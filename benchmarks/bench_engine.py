@@ -1,0 +1,79 @@
+"""Bench: end-to-end SQL latency per visibility level on flights.
+
+Not a paper figure — an engineering benchmark for the engine itself:
+parse + plan + (reweight) + execute for each visibility level, plus the
+relational substrate's group-by throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MosaicDB
+from repro.engine.executor import execute_select
+from repro.sql.parser import parse_statement
+from repro.workloads.flights import (
+    FlightsConfig,
+    bucket_flights,
+    flights_marginals,
+    make_flights_population,
+)
+
+CONFIG = FlightsConfig(rows=30_000)
+
+
+@pytest.fixture(scope="module")
+def flights_db():
+    rng = np.random.default_rng(0)
+    population = make_flights_population(CONFIG, rng)
+    db = MosaicDB(seed=0)
+    db.execute(
+        "CREATE GLOBAL POPULATION Flights "
+        "(carrier TEXT, taxi_out INT, taxi_in INT, elapsed_time INT, distance INT)"
+    )
+    db.execute("CREATE SAMPLE S AS (SELECT * FROM Flights)")
+    from repro.mechanisms.biased import PredicateBiasedMechanism
+    from repro.workloads.flights import long_flight_predicate
+
+    mechanism = PredicateBiasedMechanism(long_flight_predicate(CONFIG), 5.0, 0.95)
+    sample_rows = population.take(mechanism.draw(population, db.rng))
+    db.ingest_relation("S", bucket_flights(sample_rows, CONFIG))
+    for marginal in flights_marginals(population, CONFIG):
+        db.register_marginal(marginal.name, "Flights", marginal)
+    return db, population
+
+
+def test_closed_query_latency(benchmark, flights_db):
+    db, _ = flights_db
+    result = benchmark(
+        db.execute,
+        "SELECT CLOSED carrier, AVG(distance) AS d FROM Flights GROUP BY carrier",
+    )
+    assert result.num_rows > 0
+
+
+def test_semi_open_query_latency(benchmark, flights_db):
+    """Includes the full IPF rake on every call (no caching)."""
+    db, _ = flights_db
+    result = benchmark(
+        db.execute,
+        "SELECT SEMI-OPEN carrier, AVG(distance) AS d FROM Flights GROUP BY carrier",
+    )
+    assert result.num_rows > 0
+
+
+def test_parser_throughput(benchmark):
+    sql = (
+        "SELECT SEMI-OPEN carrier, AVG(distance) FROM Flights "
+        "WHERE elapsed_time > 200 AND carrier IN ('WN', 'AA') GROUP BY carrier "
+        "ORDER BY carrier LIMIT 10"
+    )
+    benchmark(parse_statement, sql)
+
+
+def test_executor_group_by_throughput(benchmark, flights_db):
+    _, population = flights_db
+    query = parse_statement(
+        "SELECT carrier, AVG(distance) AS d, COUNT(*) AS n FROM F GROUP BY carrier"
+    )
+    out = benchmark(execute_select, query, population)
+    assert out.num_rows == 14

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 6 (Unif vs M-SWG on 2-D box counts)."""
+
+from repro.experiments import figure6
+
+
+def test_figure6(run_once):
+    result = run_once(figure6.run, figure6.quick_config())
+    print()
+    print(result.render())
+
+    means: dict[tuple, float] = {
+        (row["coverage"], row["method"]): row["mean"] for row in result.rows
+    }
+    coverages = sorted({row["coverage"] for row in result.rows})
+
+    # Paper's shape: "we always outperform the uniformly reweighted sample
+    # except when the range is very narrow". M-SWG must win on every
+    # non-narrow coverage (> 0.2).
+    for coverage in coverages:
+        if coverage > 0.2:
+            assert means[(coverage, "M-SWG")] < means[(coverage, "Unif")], (
+                f"M-SWG should beat Unif at coverage {coverage}"
+            )
+
+    # Both methods' errors shrink as the boxes widen.
+    widest, narrowest = max(coverages), min(coverages)
+    for method in ("Unif", "M-SWG"):
+        assert means[(widest, method)] < means[(narrowest, method)]

@@ -1,0 +1,56 @@
+"""Microbenchmarks: the numpy NN substrate's hot paths.
+
+Tracks the per-step cost of the generator's forward/backward pass and of
+each loss term — the quantities that dominate M-SWG training time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generative.losses.coverage import CoveragePenalty
+from repro.generative.losses.wasserstein import QuantileMatchingLoss
+from repro.generative.nn import BatchNorm1d, Linear, ReLU, Sequential
+from repro.generative.optim import Adam
+
+
+def _paper_flights_network(rng):
+    """5 layers x 50 units, 18-wide output — the paper's flights generator."""
+    layers = []
+    in_features = 18
+    for i in range(5):
+        layers += [Linear(in_features, 50, rng, name=f"fc{i}"), BatchNorm1d(50), ReLU()]
+        in_features = 50
+    layers.append(Linear(50, 18, rng, init="xavier"))
+    return Sequential(*layers)
+
+
+def test_forward_backward_step(benchmark):
+    rng = np.random.default_rng(0)
+    network = _paper_flights_network(rng)
+    optimizer = Adam(network.parameters())
+    latents = rng.normal(size=(500, 18))
+    grad = rng.normal(size=(500, 18))
+
+    def step():
+        output = network.forward(latents)
+        optimizer.zero_grad()
+        network.backward(grad)
+        optimizer.step()
+        return output
+
+    benchmark(step)
+
+
+def test_quantile_loss_step(benchmark):
+    rng = np.random.default_rng(0)
+    loss = QuantileMatchingLoss(rng.normal(size=5_000), None, batch_size=500)
+    x = rng.normal(size=500)
+    benchmark(loss.loss_and_grad, x)
+
+
+@pytest.mark.parametrize("sample_rows", [1_000, 20_000])
+def test_coverage_penalty_step(benchmark, sample_rows):
+    rng = np.random.default_rng(0)
+    penalty = CoveragePenalty(rng.normal(size=(sample_rows, 18)), lam=1e-7)
+    x = rng.normal(size=(500, 18))
+    benchmark(penalty.loss_and_grad, x)

@@ -1,0 +1,18 @@
+"""Bench: the 200-random-query comparison (Sec. 5.3 in-text result).
+
+"all of our M-SWG models achieve a lower query error than Unif. IPF also
+achieves a lower error than Unif" — asserted on the not-empty-filtered
+random template workload.
+"""
+
+from repro.experiments import random_queries
+
+
+def test_random_queries(run_once):
+    result = run_once(random_queries.run, random_queries.quick_config())
+    print()
+    print(result.render())
+
+    means = {row["method"]: row["mean"] for row in result.rows}
+    assert means["IPF"] < means["Unif"]
+    assert means["M-SWG"] < means["Unif"]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 1 (flights attributes and M-SWG encoded dims)."""
+
+from repro.experiments import table1
+
+
+def test_table1(run_once):
+    result = run_once(table1.run, table1.quick_config())
+    print()
+    print(result.render())
+
+    by_attr = {row["Flights"]: row for row in result.rows}
+    # Paper Table 1: carrier is a 14-wide one-hot block, numerics width 1.
+    assert by_attr["carrier"]["M-SWG Dim"] == 14
+    for attribute in ("taxi_out", "taxi_in", "elapsed_time", "distance"):
+        assert by_attr[attribute]["M-SWG Dim"] == 1
+    # Sec. 5.3: "Our M-SWG has to model an 18 dimensional space".
+    assert result.params["total_width"] == 18

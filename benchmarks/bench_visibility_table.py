@@ -1,0 +1,23 @@
+"""Bench: regenerate the Sec. 3.3 visibility trade-off table."""
+
+from repro.experiments import visibility_table
+
+
+def test_visibility_table(run_once):
+    result = run_once(visibility_table.run, visibility_table.quick_config())
+    print()
+    print(result.render())
+
+    rows = {row["visibility"]: row for row in result.rows}
+    # CLOSED and SEMI-OPEN: n false negatives, zero false positives.
+    assert rows["CLOSED"]["false_positive_groups"] == 0
+    assert rows["SEMI-OPEN"]["false_positive_groups"] == 0
+    assert (
+        rows["CLOSED"]["false_negative_groups"]
+        == rows["SEMI-OPEN"]["false_negative_groups"]
+    )
+    # OPEN: <= n false negatives (possibly at the cost of false positives).
+    assert (
+        rows["OPEN"]["false_negative_groups"]
+        <= rows["CLOSED"]["false_negative_groups"]
+    )

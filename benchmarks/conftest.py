@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Experiment benchmarks run exactly once per session (rounds=1): each one
+trains models / rakes weights, so classic multi-round timing would be
+prohibitively slow and adds nothing — the interesting output is the
+regenerated table/figure, which every bench asserts the *shape* of.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

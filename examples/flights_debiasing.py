@@ -1,0 +1,90 @@
+"""Flights debiasing: the paper's Sec. 5.3 evaluation scenario as a script.
+
+Builds the synthetic IDEBench-style flights population, draws the biased
+5 % sample (95 % long flights), registers the four 2-D marginals, and
+answers Table 2's queries through the SQL engine — comparing the default
+uniform estimate (CLOSED + manual scaling) against SEMI-OPEN IPF
+reweighting, with ground truth alongside.
+
+Run with::
+
+    python examples/flights_debiasing.py
+"""
+
+import numpy as np
+
+from repro import MosaicDB
+from repro.metrics.error import percent_difference
+from repro.workloads.flights import (
+    FlightsConfig,
+    bucket_flights,
+    flights_marginals,
+    make_flights_population,
+)
+from repro.workloads.queries import paper_flights_queries
+
+
+def main() -> None:
+    config = FlightsConfig(rows=50_000)
+    rng = np.random.default_rng(0)
+    population = make_flights_population(config, rng)
+    print(f"population: {population.num_rows} flights "
+          f"({np.mean(population.column('elapsed_time') > 200):.0%} longer than 200 min)")
+
+    db = MosaicDB(seed=0)
+    db.execute(
+        "CREATE GLOBAL POPULATION Flights "
+        "(carrier TEXT, taxi_out INT, taxi_in INT, elapsed_time INT, distance INT)"
+    )
+
+    # Draw the paper's biased sample through the mechanism machinery.
+    from repro.mechanisms.biased import PredicateBiasedMechanism
+    from repro.workloads.flights import long_flight_predicate
+
+    mechanism = PredicateBiasedMechanism(
+        long_flight_predicate(config), percent=config.sample_percent,
+        bias=config.sample_bias,
+    )
+    # The mechanism is deliberately NOT declared on the sample: the data
+    # scientist doesn't know how the sample was collected, so Mosaic must
+    # fall back to IPF against the marginals.
+    sample_rows = population.take(mechanism.draw(population, db.rng))
+    db.execute("CREATE SAMPLE FlightSample AS (SELECT * FROM Flights)")
+    # Register the bucketed view of the sample: marginal cells use the same
+    # bucketing, so IPF cell matching works.
+    db.ingest_relation("FlightSample", bucket_flights(sample_rows, config))
+    print(f"sample: {sample_rows.num_rows} flights, "
+          f"{np.mean(sample_rows.column('elapsed_time') > 200):.0%} long "
+          "(heavily biased!)\n")
+
+    for marginal in flights_marginals(population, config):
+        db.register_marginal(marginal.name, "Flights", marginal)
+
+    print(f"{'query':>5} | {'truth':>9} | {'CLOSED (biased)':>16} | "
+          f"{'SEMI-OPEN (IPF)':>16} | {'IPF err':>8}")
+    print("-" * 70)
+    for query in paper_flights_queries():
+        if query.group_by is not None:
+            continue  # keep the console output compact: queries 1-4
+        truth = query.evaluate(population)[()]
+        closed = db.execute(
+            query.to_sql("Flights").replace("SELECT ", "SELECT CLOSED ", 1)
+        ).rows()[0][0]
+        semi = db.execute(
+            query.to_sql("Flights").replace("SELECT ", "SELECT SEMI-OPEN ", 1)
+        ).rows()[0][0]
+        print(
+            f"{query.query_id:>5} | {truth:9.2f} | {closed:16.2f} | "
+            f"{semi:16.2f} | {percent_difference(semi, truth):7.2f}%"
+        )
+
+    print("\nGroup-by query 5 (popular carriers), SEMI-OPEN:")
+    result = db.execute(
+        "SELECT SEMI-OPEN carrier, AVG(distance) AS avg_distance FROM Flights "
+        "WHERE elapsed_time > 200 AND carrier IN ('WN', 'AA') GROUP BY carrier"
+    )
+    print(result.pretty())
+
+
+if __name__ == "__main__":
+    main()

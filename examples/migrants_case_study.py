@@ -1,0 +1,60 @@
+"""The paper's Sec. 2 motivating example, end to end, with ground truth.
+
+A data scientist wants migrants per (country, email provider) but only
+has a Yahoo-only sample plus Eurostat-style reported counts.  This script
+builds the scenario, runs all three visibility levels, and scores each
+answer against the (hidden) ground-truth population — reproducing the
+CLOSED/SEMI-OPEN/OPEN trade-off table of Sec. 3.3.
+
+Run with::
+
+    python examples/migrants_case_study.py
+"""
+
+from repro.metrics.error import average_percent_difference
+from repro.relational.groupby import group_rows
+from repro.workloads.migrants import build_migrants_database
+
+
+def main() -> None:
+    db, population = build_migrants_database(seed=0, open_repetitions=5)
+
+    truth = {
+        key: float(len(indices))
+        for key, indices in group_rows(population, ["country", "email"])
+    }
+    print(f"ground truth: {population.num_rows} migrants across {len(truth)} "
+          "(country, email) groups — hidden from the database\n")
+
+    sql = (
+        "SELECT {vis} country, email, COUNT(*) AS n "
+        "FROM EuropeMigrants GROUP BY country, email"
+    )
+    for visibility in ("CLOSED", "SEMI-OPEN", "OPEN"):
+        result = db.execute(sql.format(vis=visibility))
+        answered = {
+            (r["country"], r["email"]): float(r["n"]) for r in result.to_pylist()
+        }
+        false_negatives = len(set(truth) - set(answered))
+        false_positives = len(set(answered) - set(truth))
+        error = average_percent_difference(answered, truth)
+        print(f"=== {visibility} ===")
+        print(result.pretty(max_rows=8))
+        print(
+            f"groups answered: {len(answered)}/{len(truth)}  "
+            f"false negatives: {false_negatives}  "
+            f"false positives: {false_positives}  "
+            f"avg % error on common groups: "
+            f"{'n/a' if error is None else f'{error:.1f}%'}"
+        )
+        for note in result.notes:
+            print(f"  note: {note}")
+        print()
+
+    print("Paper Sec. 3.3 recap: CLOSED and SEMI-OPEN never invent tuples")
+    print("(zero false positives, many false negatives); OPEN trades a few")
+    print("potential false positives for far fewer false negatives.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: declare a population, attach metadata, query a biased sample.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the smallest possible Mosaic session: an auxiliary staging
+table, a global population, marginal metadata, a sample with known bias,
+and the three visibility levels side by side.
+"""
+
+from repro import MosaicDB
+
+
+def main() -> None:
+    db = MosaicDB(seed=0)
+
+    # 1. Stage ground-truth aggregates in an ordinary (auxiliary) table.
+    #    A city's transit agency reports how many commuters use each mode.
+    db.execute(
+        "CREATE TABLE ModeReport (mode TEXT, reported_count INT)"
+    )
+    db.execute(
+        "INSERT INTO ModeReport VALUES "
+        "('car', 5000), ('bus', 3000), ('bike', 2000)"
+    )
+
+    # 2. Declare the population of interest — its tuples do NOT exist in
+    #    the database; only the declaration does.
+    db.execute("CREATE GLOBAL POPULATION Commuters (mode TEXT, minutes FLOAT)")
+
+    # 3. Attach the report as marginal metadata (the <population>_Mk naming
+    #    convention binds it to Commuters automatically).
+    db.execute(
+        "CREATE METADATA Commuters_M1 AS "
+        "(SELECT mode, reported_count FROM ModeReport)"
+    )
+
+    # 4. Declare a sample and ingest survey rows. The survey happened at a
+    #    bike event, so cyclists are heavily over-represented.
+    db.execute("CREATE SAMPLE Survey AS (SELECT * FROM Commuters)")
+    rows = (
+        [("bike", 25.0)] * 60
+        + [("car", 30.0)] * 25
+        + [("bus", 45.0)] * 15
+    )
+    db.ingest_rows("Survey", rows)
+
+    # 5. Ask the same question at each visibility level.
+    sql = "SELECT {vis} mode, COUNT(*) AS commuters FROM Commuters GROUP BY mode"
+
+    closed = db.execute(sql.format(vis="CLOSED"))
+    print("CLOSED (raw sample counts — the bike-event bias is untouched):")
+    print(closed.pretty(), end="\n\n")
+
+    semi_open = db.execute(sql.format(vis="SEMI-OPEN"))
+    print("SEMI-OPEN (IPF reweighting against the agency report):")
+    print(semi_open.pretty(), end="\n\n")
+    for note in semi_open.notes:
+        print(f"  note: {note}")
+
+    # The weighted AVG uses the same debiased weights.
+    avg = db.execute("SELECT SEMI-OPEN AVG(minutes) AS avg_commute FROM Commuters")
+    print(f"\nDebiased average commute: {avg.scalar():.1f} minutes")
+    print("(raw sample average would be "
+          f"{db.execute('SELECT CLOSED AVG(minutes) AS a FROM Commuters').scalar():.1f}"
+          " — dragged down by all those cyclists)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(``pip install -e .``) cannot build; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Reproduction of *Mosaic: A Sample-Based Database System for Open World
+Query Processing* (Orr et al., CIDR 2020).
+
+The public API is the :class:`~repro.core.database.MosaicDB` facade plus the
+building blocks it is assembled from:
+
+- ``repro.relational`` — a columnar relational engine on numpy.
+- ``repro.sql`` — the Mosaic SQL dialect (populations, samples, metadata,
+  and ``SELECT {CLOSED | SEMI-OPEN | OPEN}`` visibility).
+- ``repro.reweight`` — inverse-probability weighting and Iterative
+  Proportional Fitting (SEMI-OPEN evaluation).
+- ``repro.generative`` — the marginal-constrained sliced-Wasserstein
+  generator, M-SWG (OPEN evaluation).
+- ``repro.bayesnet`` — a Themis-style Bayesian-network population model.
+- ``repro.workloads`` / ``repro.experiments`` — the paper's datasets,
+  queries, and figure/table reproductions.
+
+Quickstart::
+
+    from repro import MosaicDB
+    db = MosaicDB(seed=0)
+    db.execute("CREATE GLOBAL POPULATION Pop (x FLOAT, y FLOAT)")
+    ...
+"""
+
+from repro.errors import MosaicError
+
+__version__ = "1.0.0"
+
+__all__ = ["MosaicDB", "QueryResult", "Visibility", "MosaicError", "__version__"]
+
+_LAZY_EXPORTS = {
+    "MosaicDB": ("repro.core.database", "MosaicDB"),
+    "QueryResult": ("repro.core.result", "QueryResult"),
+    "Visibility": ("repro.core.visibility", "Visibility"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the heavyweight facade exports.
+
+    Keeps ``import repro`` cheap and lets subpackages be imported
+    independently (e.g. ``repro.relational`` without the SQL front end).
+    """
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

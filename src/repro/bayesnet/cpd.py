@@ -1,0 +1,53 @@
+"""Conditional probability tables with Laplace smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerativeModelError
+
+
+class RootTable:
+    """``P(X)`` for the tree root."""
+
+    def __init__(self, codes: np.ndarray, domain_size: int, weights: np.ndarray, alpha: float):
+        counts = np.zeros(domain_size)
+        np.add.at(counts, codes, weights)
+        smoothed = counts + alpha
+        total = smoothed.sum()
+        if total <= 0:
+            raise GenerativeModelError("root CPT has zero total mass")
+        self.probabilities = smoothed / total
+
+    def __getitem__(self, value_code: int) -> float:
+        return float(self.probabilities[value_code])
+
+
+class ConditionalTable:
+    """``P(child | parent)`` as a (|parent|, |child|) row-stochastic matrix.
+
+    Laplace smoothing ``alpha`` keeps unseen parent values usable: a parent
+    value with no sample mass falls back to the uniform distribution.
+    """
+
+    def __init__(
+        self,
+        child_codes: np.ndarray,
+        parent_codes: np.ndarray,
+        child_size: int,
+        parent_size: int,
+        weights: np.ndarray,
+        alpha: float,
+    ):
+        counts = np.zeros((parent_size, child_size))
+        np.add.at(counts, (parent_codes, child_codes), weights)
+        smoothed = counts + alpha
+        totals = smoothed.sum(axis=1, keepdims=True)
+        zero_rows = totals[:, 0] <= 0
+        if np.any(zero_rows):
+            smoothed[zero_rows] = 1.0
+            totals = smoothed.sum(axis=1, keepdims=True)
+        self.probabilities = smoothed / totals
+
+    def row(self, parent_code: int) -> np.ndarray:
+        return self.probabilities[parent_code]

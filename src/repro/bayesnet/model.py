@@ -1,0 +1,451 @@
+"""The Bayesian-network population model: fit, infer, sample.
+
+Pipeline (Themis-style):
+
+1. (optional) IPF-rake the sample weights against the population
+   marginals, so everything downstream reflects the debiased mass.
+2. Discretise: categoricals keep their domains (extended with marginal
+   values); numerics get equal-width bins covering sample ∪ marginal
+   ranges.
+3. Learn a Chow-Liu tree from the weighted codes and fit smoothed CPTs.
+4. Answer ``expected_count`` queries by exact message passing on the tree
+   (no tuple materialisation — the paper's Sec. 4.2 "COUNT(*) ... using
+   direct inference over the network"), or draw synthetic tuples by
+   ancestral sampling for group-by / top-k queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bayesnet.cpd import ConditionalTable, RootTable
+from repro.bayesnet.structure import TreeStructure, learn_chow_liu
+from repro.catalog.metadata import Marginal
+from repro.errors import GenerativeModelError
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+from repro.reweight.contingency import Binner
+from repro.reweight.ipf import ipf_reweight
+
+
+@dataclass(frozen=True)
+class AttributeModel:
+    """Discretisation of one attribute.
+
+    ``kind`` is ``"categorical"`` (explicit domain) or ``"binned"``
+    (equal-width bins of a numeric column).  ``representatives`` holds the
+    value used to evaluate predicates / decode samples per code: the
+    category itself, or the bin midpoint.
+    """
+
+    name: str
+    dtype: DType
+    kind: str
+    representatives: tuple
+    binner: Binner | None = None
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.representatives)
+
+
+class BayesianNetworkModel:
+    """A tree-structured generative population model.
+
+    Satisfies the engine's OPEN-generator protocol
+    (``fit(sample, marginals, sample_weights=None)`` / ``generate(n, rng)``)
+    and additionally supports :meth:`expected_count` — aggregate answering
+    without materialisation.
+    """
+
+    def __init__(
+        self,
+        bins: int = 20,
+        alpha: float = 0.1,
+        max_categorical_int_values: int = 30,
+        seed: int = 0,
+    ):
+        self.bins = bins
+        self.alpha = alpha
+        self.max_categorical_int_values = max_categorical_int_values
+        self._rng = np.random.default_rng(seed)
+        self.structure: TreeStructure | None = None
+        self.attributes: dict[str, AttributeModel] = {}
+        self.population_size: float = 0.0
+        self._root_table: RootTable | None = None
+        self._cpds: dict[str, ConditionalTable] = {}
+        self._schema = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        sample: Relation,
+        marginals: list[Marginal],
+        sample_weights: np.ndarray | None = None,
+        categorical_columns: set[str] | None = None,
+    ) -> "BayesianNetworkModel":
+        if sample.num_rows == 0:
+            raise GenerativeModelError("cannot fit a Bayesian network on an empty sample")
+        self._schema = sample.schema
+
+        self.attributes = self._discretize(sample, marginals, categorical_columns or set())
+        codes = {
+            name: self._encode_column(sample, model)
+            for name, model in self.attributes.items()
+        }
+
+        if sample_weights is None:
+            if marginals:
+                # Rake on the *discretised* view: continuous marginal cells
+                # only match sample tuples at the bin level.
+                discrete_relation = self._discrete_relation(codes, sample.num_rows)
+                discrete_marginals = [self._discretize_marginal(m) for m in marginals]
+                sample_weights = ipf_reweight(
+                    discrete_relation, discrete_marginals
+                ).weights
+            else:
+                sample_weights = np.ones(sample.num_rows)
+        else:
+            sample_weights = np.asarray(sample_weights, dtype=np.float64)
+
+        alive = sample_weights > 0
+        if not np.any(alive):
+            raise GenerativeModelError("all sample weights are zero after raking")
+
+        if marginals:
+            totals = sorted(m.total_mass for m in marginals)
+            mid = len(totals) // 2
+            self.population_size = (
+                totals[mid]
+                if len(totals) % 2
+                else 0.5 * (totals[mid - 1] + totals[mid])
+            )
+        else:
+            self.population_size = float(np.sum(sample_weights))
+        domain_sizes = {name: model.domain_size for name, model in self.attributes.items()}
+        self.structure = learn_chow_liu(codes, domain_sizes, sample_weights)
+
+        root = self.structure.root
+        self._root_table = RootTable(
+            codes[root], domain_sizes[root], sample_weights, self.alpha
+        )
+        self._cpds = {}
+        for child, parent in self.structure.parents.items():
+            if parent is None:
+                continue
+            self._cpds[child] = ConditionalTable(
+                codes[child],
+                codes[parent],
+                domain_sizes[child],
+                domain_sizes[parent],
+                sample_weights,
+                self.alpha,
+            )
+        if marginals:
+            self.calibrate_to_marginals(marginals)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Marginal calibration (tree-structured IPF)
+    # ------------------------------------------------------------------ #
+
+    def calibrate_to_marginals(
+        self,
+        marginals: list[Marginal],
+        rounds: int = 30,
+        tolerance: float = 1e-9,
+    ) -> None:
+        """Rescale the CPTs so the model's attribute marginals match metadata.
+
+        Raked sample weights cannot put mass on attribute values the sample
+        never contains (the migrants sample has zero non-Yahoo tuples), but
+        the metadata says those values exist.  This step runs IPF directly
+        on the tree distribution: per attribute, compare the model-implied
+        marginal against the metadata's 1-D projection and scale that
+        attribute's CPT (root vector, or conditional columns) by
+        ``target / implied``, iterating to a fixed point.  Laplace smoothing
+        guarantees the scaled cells start nonzero.
+        """
+        assert self.structure is not None and self._root_table is not None
+        targets: dict[str, np.ndarray] = {}
+        for marginal in marginals:
+            for attribute in marginal.attributes:
+                if attribute in targets:
+                    continue
+                target = self._target_vector(marginal.project(attribute), attribute)
+                if target is not None:
+                    targets[attribute] = target
+        if not targets:
+            return
+
+        for _ in range(rounds):
+            worst = 0.0
+            for attribute, target in targets.items():
+                implied = self._implied_marginal(attribute)
+                positive = (implied > 0) & (target > 0)
+                factor = np.ones_like(implied)
+                factor[positive] = target[positive] / implied[positive]
+                factor[target <= 0] = 0.0
+                worst = max(worst, float(np.max(np.abs(factor - 1.0))))
+                self._scale_attribute(attribute, factor)
+            if worst <= tolerance:
+                break
+
+    def _target_vector(self, marginal: Marginal, attribute: str) -> np.ndarray | None:
+        """The metadata marginal as a probability vector over codes."""
+        model = self.attributes[attribute]
+        masses = np.zeros(model.domain_size)
+        if model.kind == "categorical":
+            index = {value: i for i, value in enumerate(model.representatives)}
+            for key, mass in marginal.cells():
+                position = index.get(_native(key[0]))
+                if position is None:
+                    return None  # domain mismatch; leave uncalibrated
+                masses[position] += mass
+        else:
+            assert model.binner is not None
+            for key, mass in marginal.cells():
+                code = int(model.binner.assign(np.asarray([float(key[0])]))[0])
+                masses[code] += mass
+        total = masses.sum()
+        if total <= 0:
+            return None
+        return masses / total
+
+    def _implied_marginal(self, attribute: str) -> np.ndarray:
+        """P(attribute) under the current tree, by a top-down pass."""
+        assert self.structure is not None and self._root_table is not None
+        node_marginals: dict[str, np.ndarray] = {
+            self.structure.root: self._root_table.probabilities
+        }
+        for node in self.structure.order[1:]:
+            parent = self.structure.parents[node]
+            assert parent is not None
+            node_marginals[node] = (
+                node_marginals[parent] @ self._cpds[node].probabilities
+            )
+        return node_marginals[attribute]
+
+    def _scale_attribute(self, attribute: str, factor: np.ndarray) -> None:
+        assert self.structure is not None and self._root_table is not None
+        if attribute == self.structure.root:
+            scaled = self._root_table.probabilities * factor
+            total = scaled.sum()
+            if total > 0:
+                self._root_table.probabilities = scaled / total
+            return
+        table = self._cpds[attribute].probabilities * factor[None, :]
+        totals = table.sum(axis=1, keepdims=True)
+        zero_rows = totals[:, 0] <= 0
+        if np.any(zero_rows):
+            table[zero_rows] = 1.0 / table.shape[1]
+            totals = table.sum(axis=1, keepdims=True)
+        self._cpds[attribute].probabilities = table / totals
+
+    def _discretize(
+        self,
+        sample: Relation,
+        marginals: list[Marginal],
+        categorical_columns: set[str],
+    ) -> dict[str, AttributeModel]:
+        marginal_values: dict[str, list] = {}
+        for marginal in marginals:
+            for axis, attribute in enumerate(marginal.attributes):
+                marginal_values.setdefault(attribute, []).extend(
+                    key[axis] for key in marginal.keys()
+                )
+
+        attributes: dict[str, AttributeModel] = {}
+        for field in sample.schema:
+            values = sample.column(field.name)
+            extras = marginal_values.get(field.name, [])
+            treat_categorical = (
+                field.dtype in (DType.TEXT, DType.BOOL)
+                or field.name in categorical_columns
+            )
+            if not treat_categorical and field.dtype is DType.INT:
+                distinct = set(np.unique(values).tolist()) | {
+                    int(v) for v in extras
+                }
+                if len(distinct) <= self.max_categorical_int_values:
+                    treat_categorical = True
+            if treat_categorical:
+                domain = sorted(
+                    {_native(v) for v in values} | {_native(v) for v in extras},
+                    key=str,
+                )
+                attributes[field.name] = AttributeModel(
+                    name=field.name,
+                    dtype=field.dtype,
+                    kind="categorical",
+                    representatives=tuple(domain),
+                )
+            else:
+                numeric = np.concatenate(
+                    [
+                        np.asarray(values, dtype=np.float64),
+                        np.asarray([float(v) for v in extras], dtype=np.float64),
+                    ]
+                )
+                binner = Binner.fit(numeric, self.bins)
+                attributes[field.name] = AttributeModel(
+                    name=field.name,
+                    dtype=field.dtype,
+                    kind="binned",
+                    representatives=tuple(binner.midpoints().tolist()),
+                    binner=binner,
+                )
+        return attributes
+
+    def _discrete_relation(self, codes: dict[str, np.ndarray], n: int) -> Relation:
+        """The sample with every attribute replaced by its representative."""
+        columns: dict[str, object] = {}
+        for name, model in self.attributes.items():
+            columns[name] = [model.representatives[c] for c in codes[name]]
+        return Relation.from_dict(columns)
+
+    def _discretize_marginal(self, marginal: Marginal) -> Marginal:
+        """Remap marginal cell keys onto representatives (bins collapse)."""
+        cells: dict[tuple, float] = {}
+        models = [self.attributes[a] for a in marginal.attributes]
+        for key, mass in marginal.cells():
+            mapped = []
+            for model, value in zip(models, key):
+                if model.kind == "binned":
+                    assert model.binner is not None
+                    code = int(model.binner.assign(np.asarray([float(value)]))[0])
+                    mapped.append(model.representatives[code])
+                else:
+                    mapped.append(_native(value))
+            mapped_key = tuple(mapped)
+            cells[mapped_key] = cells.get(mapped_key, 0.0) + mass
+        return Marginal(list(marginal.attributes), cells, name=f"{marginal.name}|binned")
+
+    def _encode_column(self, relation: Relation, model: AttributeModel) -> np.ndarray:
+        values = relation.column(model.name)
+        if model.kind == "binned":
+            assert model.binner is not None
+            return model.binner.assign(np.asarray(values, dtype=np.float64))
+        index = {value: i for i, value in enumerate(model.representatives)}
+        return np.asarray([index[_native(v)] for v in values], dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Exact inference
+    # ------------------------------------------------------------------ #
+
+    def probability(self, constraints: dict[str, Callable[[object], bool]]) -> float:
+        """``P(⋀_i  pred_i(A_i))`` by message passing on the tree.
+
+        Each constraint is a Python predicate evaluated over the
+        attribute's discrete representatives (category values / bin
+        midpoints).  Attributes without a constraint are unconstrained.
+        """
+        if self.structure is None or self._root_table is None:
+            raise GenerativeModelError("probability() before fit()")
+        for name in constraints:
+            if name not in self.attributes:
+                raise GenerativeModelError(f"unknown attribute {name!r} in constraint")
+
+        masks = {
+            name: self._constraint_mask(model, constraints.get(name))
+            for name, model in self.attributes.items()
+        }
+
+        def upward(node: str) -> np.ndarray:
+            """Message to the parent: per parent-less code, the probability of
+            the constrained subtree below (and including) ``node``."""
+            mask = masks[node].astype(np.float64)
+            product = mask.copy()
+            for child in self.structure.children(node):
+                product = product * upward_through_cpd(child)
+            return product
+
+        def upward_through_cpd(child: str) -> np.ndarray:
+            child_vector = upward(child)
+            return self._cpds[child].probabilities @ child_vector
+
+        root = self.structure.root
+        root_vector = upward(root)
+        return float(np.dot(self._root_table.probabilities, root_vector))
+
+    def expected_count(self, constraints: dict[str, Callable[[object], bool]]) -> float:
+        """Estimated ``COUNT(*)`` of population tuples matching the constraints."""
+        return self.population_size * self.probability(constraints)
+
+    @staticmethod
+    def _constraint_mask(
+        model: AttributeModel, predicate: Callable[[object], bool] | None
+    ) -> np.ndarray:
+        if predicate is None:
+            return np.ones(model.domain_size, dtype=bool)
+        return np.asarray(
+            [bool(predicate(value)) for value in model.representatives], dtype=bool
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def generate(self, n: int, rng: np.random.Generator | None = None) -> Relation:
+        """Draw ``n`` synthetic tuples by ancestral sampling.
+
+        Binned attributes decode uniformly within their bin (rounded for
+        INT columns), categoricals decode to their category value.
+        """
+        if self.structure is None or self._root_table is None or self._schema is None:
+            raise GenerativeModelError("generate() before fit()")
+        if n <= 0:
+            raise GenerativeModelError(f"need a positive sample size, got {n}")
+        rng = rng if rng is not None else self._rng
+
+        codes: dict[str, np.ndarray] = {}
+        root = self.structure.root
+        codes[root] = rng.choice(
+            self.attributes[root].domain_size, size=n, p=self._root_table.probabilities
+        )
+        for node in self.structure.order[1:]:
+            parent = self.structure.parents[node]
+            assert parent is not None
+            table = self._cpds[node].probabilities
+            parent_codes = codes[parent]
+            draws = np.empty(n, dtype=np.int64)
+            # Group rows by parent code so each choice() call is vectorised.
+            for parent_code in np.unique(parent_codes):
+                rows = np.flatnonzero(parent_codes == parent_code)
+                draws[rows] = rng.choice(
+                    table.shape[1], size=rows.shape[0], p=table[parent_code]
+                )
+            codes[node] = draws
+
+        columns: dict[str, object] = {}
+        for name, model in self.attributes.items():
+            attr_codes = codes[name]
+            if model.kind == "categorical":
+                columns[name] = [model.representatives[c] for c in attr_codes]
+            else:
+                assert model.binner is not None
+                width = (model.binner.high - model.binner.low) / model.binner.bins
+                low_edges = model.binner.low + attr_codes * width
+                values = low_edges + rng.random(n) * width
+                if model.dtype is DType.INT:
+                    values = np.round(values)
+                columns[name] = values
+        return Relation.from_columns(self._schema, columns)
+
+    def generate_many(
+        self, n: int, repetitions: int, rng: np.random.Generator | None = None
+    ) -> list[Relation]:
+        rng = rng if rng is not None else self._rng
+        return [self.generate(n, rng=rng) for _ in range(repetitions)]
+
+
+def _native(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

@@ -1,0 +1,23 @@
+"""The Mosaic data model: populations, samples, marginal metadata, catalog.
+
+Three relation kinds (paper Sec. 3.1):
+
+- **Population** (:class:`~repro.catalog.population.PopulationRelation`) —
+  a set of tuples that *could* exist but is not fully known; queried, never
+  stored.
+- **Sample** (:class:`~repro.catalog.sample.SampleRelation`) — concrete
+  tuples from the global population, with per-tuple weights (initialised to
+  one) and an optional known sampling mechanism.
+- **Auxiliary** — ordinary SQL tables used for staging/ingestion; stored
+  directly in the catalog as plain relations.
+
+Population metadata (Sec. 3.2) is 1- or 2-dimensional marginal histograms
+(:class:`~repro.catalog.metadata.Marginal`).
+"""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.metadata import Marginal
+from repro.catalog.population import PopulationRelation
+from repro.catalog.sample import SampleRelation
+
+__all__ = ["Catalog", "Marginal", "PopulationRelation", "SampleRelation"]

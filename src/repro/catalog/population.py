@@ -1,0 +1,90 @@
+"""Population relations: queryable sets of tuples that need not exist."""
+
+from __future__ import annotations
+
+from repro.catalog.metadata import Marginal
+from repro.errors import CatalogError
+from repro.relational.expressions import Expr
+from repro.relational.schema import Schema
+
+
+class PopulationRelation:
+    """A population the user can query (paper Sec. 3.1, relation kind 1).
+
+    A population never stores tuples.  The *global* population (GP) is the
+    reference everything else is defined against; a non-global population is
+    a view ``SELECT ... FROM <gp> WHERE <predicate>`` over the GP.
+
+    Marginal metadata attached to a population (``CREATE METADATA``) is the
+    ground truth the engine fits reweighting and generation against.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        is_global: bool = False,
+        source_population: str | None = None,
+        defining_predicate: Expr | None = None,
+    ):
+        if not is_global and source_population is None:
+            raise CatalogError(
+                f"population {name!r} must either be GLOBAL or be defined as a "
+                "SELECT over a global population"
+            )
+        self.name = name
+        self.schema = schema
+        self.is_global = is_global
+        self.source_population = source_population
+        self.defining_predicate = defining_predicate
+        self._marginals: dict[str, Marginal] = {}
+
+    # ------------------------------------------------------------------ #
+    # Metadata
+    # ------------------------------------------------------------------ #
+
+    def add_marginal(self, name: str, marginal: Marginal) -> None:
+        if name in self._marginals:
+            raise CatalogError(f"metadata {name!r} already exists on population {self.name!r}")
+        for attribute in marginal.attributes:
+            if attribute not in self.schema:
+                raise CatalogError(
+                    f"metadata {name!r} references {attribute!r}, which is not an "
+                    f"attribute of population {self.name!r}"
+                )
+        self._marginals[name] = marginal
+
+    def drop_marginal(self, name: str) -> None:
+        if name not in self._marginals:
+            raise CatalogError(f"no metadata {name!r} on population {self.name!r}")
+        del self._marginals[name]
+
+    @property
+    def marginals(self) -> dict[str, Marginal]:
+        return dict(self._marginals)
+
+    @property
+    def has_metadata(self) -> bool:
+        return bool(self._marginals)
+
+    def marginal_list(self) -> list[Marginal]:
+        return list(self._marginals.values())
+
+    def estimated_size(self) -> float | None:
+        """Population size implied by the metadata.
+
+        Every marginal over the full population should report the same
+        total mass; we use the median across marginals for robustness to
+        slightly inconsistent reports.
+        """
+        if not self._marginals:
+            return None
+        totals = sorted(m.total_mass for m in self._marginals.values())
+        mid = len(totals) // 2
+        if len(totals) % 2:
+            return totals[mid]
+        return 0.5 * (totals[mid - 1] + totals[mid])
+
+    def __repr__(self) -> str:
+        kind = "GLOBAL POPULATION" if self.is_global else "POPULATION"
+        return f"{kind} {self.name} ({', '.join(self.schema.names)})"

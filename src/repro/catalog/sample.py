@@ -1,0 +1,110 @@
+"""Sample relations: concrete tuples plus per-tuple weight metadata."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CatalogError, SchemaError
+from repro.mechanisms.base import SamplingMechanism
+from repro.relational.expressions import Expr
+from repro.relational.relation import Relation
+
+
+class SampleRelation:
+    """A sample of the global population (paper Sec. 3.1, relation kind 2).
+
+    Holds the sampled tuples, a mutable per-tuple weight vector
+    (initialised to one, per Sec. 3.2), the population the sample was drawn
+    from, the predicate that restricted it (``WHERE email = 'Yahoo'``), and
+    — when declared — the sampling mechanism.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relation: Relation,
+        population: str,
+        defining_predicate: Expr | None = None,
+        mechanism: SamplingMechanism | None = None,
+        initial_weights: np.ndarray | None = None,
+    ):
+        self.name = name
+        self.relation = relation
+        self.population = population
+        self.defining_predicate = defining_predicate
+        self.mechanism = mechanism
+        if initial_weights is None:
+            weights = np.ones(relation.num_rows, dtype=np.float64)
+        else:
+            weights = np.asarray(initial_weights, dtype=np.float64).copy()
+            self._validate_weights(weights, relation.num_rows)
+        self._weights = weights
+
+    @staticmethod
+    def _validate_weights(weights: np.ndarray, num_rows: int) -> None:
+        if weights.shape != (num_rows,):
+            raise SchemaError(
+                f"weights shape {weights.shape} does not match sample rows {num_rows}"
+            )
+        if np.any(~np.isfinite(weights)):
+            raise CatalogError("sample weights must be finite")
+        if np.any(weights < 0):
+            raise CatalogError("sample weights must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Weights (the per-sample metadata of Sec. 3.2)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def weights(self) -> np.ndarray:
+        """A copy of the current weights (mutate via :meth:`set_weights`)."""
+        return self._weights.copy()
+
+    @property
+    def total_weight(self) -> float:
+        return float(np.sum(self._weights))
+
+    @property
+    def num_rows(self) -> int:
+        return self.relation.num_rows
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64).copy()
+        self._validate_weights(weights, self.relation.num_rows)
+        self._weights = weights
+
+    def reset_weights(self) -> None:
+        """Back to the all-ones initialisation."""
+        self._weights = np.ones(self.relation.num_rows, dtype=np.float64)
+
+    def scale_weights_to_total(self, target_total: float) -> None:
+        """Rescale so weights sum to ``target_total`` (population size)."""
+        current = self.total_weight
+        if current <= 0:
+            raise CatalogError(f"sample {self.name!r} has zero total weight")
+        self._weights = self._weights * (target_total / current)
+
+    def effective_sample_size(self) -> float:
+        """Kish's effective sample size ``(Σw)² / Σw²``.
+
+        A diagnostic for weight degeneracy: equals ``n`` for uniform
+        weights and collapses towards 1 as a few tuples dominate.
+        """
+        w = self._weights
+        denominator = float(np.sum(w * w))
+        if denominator == 0.0:
+            return 0.0
+        return float(np.sum(w)) ** 2 / denominator
+
+    def weighted_relation(self, weight_column: str = "weight") -> Relation:
+        """The sample data with the weight vector attached as a column."""
+        from repro.relational.dtypes import DType
+
+        return self.relation.with_column(weight_column, DType.FLOAT, self._weights)
+
+    def __repr__(self) -> str:
+        mech = f", mechanism={self.mechanism.describe()}" if self.mechanism else ""
+        return (
+            f"SampleRelation({self.name}, rows={self.num_rows}, "
+            f"population={self.population}{mech})"
+        )

@@ -1,0 +1,5 @@
+"""Public facade: the :class:`MosaicDB` database object and query results."""
+
+from repro.core.visibility import Visibility
+
+__all__ = ["Visibility"]

@@ -1,0 +1,494 @@
+"""``MosaicDB``: the public facade tying the whole system together.
+
+Typical SQL session (the paper's Sec. 2 motivating example)::
+
+    db = MosaicDB(seed=0)
+    db.execute("CREATE TEMPORARY TABLE Eurostat (country TEXT, email TEXT, n INT)")
+    db.execute("INSERT INTO Eurostat VALUES ('UK', 'Yahoo', 20000), ...")
+    db.execute("CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT)")
+    db.execute("CREATE METADATA EuropeMigrants_M1 AS (SELECT country, n FROM Eurostat)")
+    db.execute("CREATE SAMPLE YahooMigrants AS (SELECT * FROM EuropeMigrants "
+               "WHERE email = 'Yahoo')")
+    db.ingest_rows("YahooMigrants", [...])
+    result = db.execute("SELECT SEMI-OPEN country, email, COUNT(*) "
+                        "FROM EuropeMigrants GROUP BY country, email")
+
+Programmatic helpers (:meth:`draw_sample`, :meth:`register_marginal`,
+:meth:`ingest_relation`) cover what experiments need beyond the SQL
+surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.metadata import Marginal
+from repro.catalog.population import PopulationRelation
+from repro.catalog.sample import SampleRelation
+from repro.core.result import QueryResult
+from repro.core.session import SessionConfig
+from repro.core.visibility import Visibility
+from repro.engine.closed import evaluate_closed
+from repro.engine.executor import execute_select
+from repro.engine.open_world import OpenGenerator, OpenQueryConfig, evaluate_open
+from repro.engine.planner import PlannedSource, choose_sample
+from repro.engine.semi_open import evaluate_semi_open
+from repro.errors import (
+    CatalogError,
+    SqlCompileError,
+    VisibilityError,
+)
+from repro.mechanisms import StratifiedMechanism, UniformMechanism
+from repro.mechanisms.base import SamplingMechanism
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.sql.ast_nodes import (
+    CreateMetadata,
+    CreatePopulation,
+    CreateSample,
+    CreateTable,
+    Drop,
+    Insert,
+    MechanismSpec,
+    SelectQuery,
+    Statement,
+    UpdateWeights,
+)
+from repro.sql.binder import bind_expression, require_column
+from repro.sql.parser import parse_script, parse_statement
+
+
+class MosaicDB:
+    """An in-memory Mosaic database instance."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_visibility: Visibility = Visibility.SEMI_OPEN,
+        open_config: OpenQueryConfig | None = None,
+        combine_samples: bool = False,
+    ):
+        self.config = SessionConfig(
+            seed=seed,
+            default_visibility=default_visibility,
+            combine_samples=combine_samples,
+        )
+        if open_config is not None:
+            self.config.open_config = open_config
+        self.catalog = Catalog()
+        self.rng = np.random.default_rng(seed)
+        self._open_generators: dict[tuple[str, str], OpenGenerator] = {}
+
+    # ------------------------------------------------------------------ #
+    # SQL entry points
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and run one statement; DDL returns an empty status result."""
+        return self._run(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Run a ``;``-separated script, returning one result per statement."""
+        return [self._run(statement) for statement in parse_script(sql)]
+
+    def query(self, sql: str) -> QueryResult:
+        """Alias of :meth:`execute` for read-only callers."""
+        return self.execute(sql)
+
+    # ------------------------------------------------------------------ #
+    # Statement dispatch
+    # ------------------------------------------------------------------ #
+
+    def _run(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, SelectQuery):
+            return self._run_select(statement)
+        if isinstance(statement, CreateTable):
+            return self._run_create_table(statement)
+        if isinstance(statement, Insert):
+            return self._run_insert(statement)
+        if isinstance(statement, CreatePopulation):
+            return self._run_create_population(statement)
+        if isinstance(statement, CreateSample):
+            return self._run_create_sample(statement)
+        if isinstance(statement, CreateMetadata):
+            return self._run_create_metadata(statement)
+        if isinstance(statement, UpdateWeights):
+            return self._run_update_weights(statement)
+        if isinstance(statement, Drop):
+            self._invalidate_model_caches()
+            self.catalog.drop(statement.kind, statement.name)
+            return _status(f"dropped {statement.kind.lower()} {statement.name}")
+        raise SqlCompileError(f"unsupported statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    # ------------------------------------------------------------------ #
+
+    def _run_create_table(self, statement: CreateTable) -> QueryResult:
+        if not statement.columns:
+            raise SqlCompileError(
+                f"CREATE TABLE {statement.name} needs column definitions"
+            )
+        schema = Schema(Field(c.name, c.dtype) for c in statement.columns)
+        self.catalog.create_auxiliary(statement.name, Relation.empty(schema))
+        return _status(f"created table {statement.name}")
+
+    def _run_create_population(self, statement: CreatePopulation) -> QueryResult:
+        if statement.is_global:
+            if not statement.columns:
+                raise SqlCompileError(
+                    "a GLOBAL POPULATION needs explicit column definitions "
+                    "(the paper's example elides them 'for space')"
+                )
+            schema = Schema(Field(c.name, c.dtype) for c in statement.columns)
+            population = PopulationRelation(statement.name, schema, is_global=True)
+        else:
+            if statement.source is None:
+                raise SqlCompileError(
+                    f"population {statement.name!r} must be GLOBAL or defined "
+                    "AS (SELECT ... FROM <global population> ...)"
+                )
+            gp = self.catalog.population(statement.source.table)
+            schema = self._projected_schema(statement.source, gp.schema)
+            predicate = (
+                None
+                if statement.source.where is None
+                else bind_expression(statement.source.where, gp.schema)
+            )
+            population = PopulationRelation(
+                statement.name,
+                schema,
+                is_global=False,
+                source_population=gp.name,
+                defining_predicate=predicate,
+            )
+        self.catalog.create_population(population)
+        return _status(f"created population {statement.name}")
+
+    def _run_create_sample(self, statement: CreateSample) -> QueryResult:
+        source = statement.source
+        population = self.catalog.population(source.table)
+        schema = self._projected_schema(source, population.schema)
+        predicate = (
+            None
+            if source.where is None
+            else bind_expression(source.where, population.schema)
+        )
+        mechanism = self._build_mechanism(statement.mechanism, population.schema)
+        sample = SampleRelation(
+            name=statement.name,
+            relation=Relation.empty(schema),
+            population=population.name,
+            defining_predicate=predicate,
+            mechanism=mechanism,
+        )
+        self.catalog.create_sample(sample)
+        return _status(
+            f"created sample {statement.name} over population {population.name} "
+            "(ingest tuples with INSERT INTO or MosaicDB.ingest_relation)"
+        )
+
+    @staticmethod
+    def _build_mechanism(
+        spec: MechanismSpec | None, schema: Schema
+    ) -> SamplingMechanism | None:
+        if spec is None:
+            return None
+        if spec.kind == "UNIFORM":
+            return UniformMechanism(spec.percent)
+        assert spec.kind == "STRATIFIED"
+        attribute = require_column(spec.stratify_on, schema)
+        return StratifiedMechanism(attribute, spec.percent)
+
+    @staticmethod
+    def _projected_schema(query: SelectQuery, base: Schema) -> Schema:
+        fields: list[Field] = []
+        for item in query.items:
+            if item.is_star:
+                fields.extend(base.fields)
+            elif item.is_aggregate:
+                raise SqlCompileError(
+                    "aggregates are not allowed in population/sample definitions"
+                )
+            else:
+                name = getattr(item.expr, "name", None)
+                if name is None:
+                    raise SqlCompileError(
+                        "population/sample definitions must project plain columns"
+                    )
+                column = require_column(name, base)
+                fields.append(Field(item.alias or column, base.dtype(column)))
+        return Schema(fields)
+
+    def _run_create_metadata(self, statement: CreateMetadata) -> QueryResult:
+        relation = self.catalog.auxiliary(statement.query.table)
+        result = execute_select(statement.query, relation)
+        attributes, count_column = self._metadata_columns(statement.query, result.schema)
+        marginal = Marginal.from_relation(
+            attributes, result, count_column, name=statement.name
+        )
+        population_name = self.catalog.resolve_metadata_population(
+            statement.name, statement.for_population
+        )
+        self.catalog.register_metadata(statement.name, population_name, marginal)
+        self._invalidate_model_caches()
+        return _status(
+            f"registered metadata {statement.name} on population {population_name} "
+            f"({marginal.num_cells} cells over {marginal.attributes})"
+        )
+
+    @staticmethod
+    def _metadata_columns(query: SelectQuery, schema: Schema) -> tuple[list[str], str]:
+        names = list(schema.names)
+        if len(names) < 2 or len(names) > 3:
+            raise SqlCompileError(
+                "CREATE METADATA queries must produce 1 or 2 attribute columns "
+                f"plus one count column, got columns {names}"
+            )
+        return names[:-1], names[-1]
+
+    def _run_insert(self, statement: Insert) -> QueryResult:
+        kind = self.catalog.kind_of(statement.table)
+        if kind == "auxiliary":
+            relation = self.catalog.auxiliary(statement.table)
+            appended = Relation.from_rows(relation.schema, statement.rows)
+            self.catalog.replace_auxiliary(statement.table, relation.concat(appended))
+            return _status(f"inserted {len(statement.rows)} row(s) into {statement.table}")
+        if kind == "sample":
+            sample = self.catalog.sample(statement.table)
+            appended = Relation.from_rows(sample.relation.schema, statement.rows)
+            self._append_to_sample(sample, appended)
+            return _status(
+                f"ingested {len(statement.rows)} row(s) into sample {statement.table}"
+            )
+        raise CatalogError(
+            f"cannot INSERT into {kind} relation {statement.table!r}; populations "
+            "never store tuples"
+        )
+
+    def _append_to_sample(self, sample: SampleRelation, appended: Relation) -> None:
+        new_relation = sample.relation.concat(appended)
+        new_weights = np.concatenate(
+            [sample.weights, np.ones(appended.num_rows)]
+        )
+        sample.relation = new_relation
+        sample.set_weights(new_weights)
+        self._invalidate_model_caches()
+
+    def _run_update_weights(self, statement: UpdateWeights) -> QueryResult:
+        sample = self.catalog.sample(statement.sample)
+        weighted = sample.weighted_relation()
+        expr = bind_expression(statement.expr, weighted.schema, allow_barewords=False)
+        values = np.asarray(expr.evaluate(weighted), dtype=np.float64)
+        weights = sample.weights
+        if statement.where is None:
+            weights = values
+        else:
+            predicate = bind_expression(statement.where, weighted.schema)
+            mask = np.asarray(predicate.evaluate(weighted), dtype=bool)
+            weights[mask] = values[mask]
+        sample.set_weights(weights)
+        self._invalidate_model_caches()
+        return _status(f"updated weights of sample {statement.sample}")
+
+    # ------------------------------------------------------------------ #
+    # SELECT routing
+    # ------------------------------------------------------------------ #
+
+    def _run_select(self, query: SelectQuery) -> QueryResult:
+        kind = self.catalog.kind_of(query.table)
+        if kind == "auxiliary":
+            if query.visibility not in (None, Visibility.CLOSED):
+                raise VisibilityError(
+                    "visibility keywords only apply to populations and samples; "
+                    f"{query.table!r} is an auxiliary table"
+                )
+            relation = execute_select(query, self.catalog.auxiliary(query.table))
+            return QueryResult(relation, visibility=str(Visibility.CLOSED))
+        if kind == "sample":
+            return self._select_from_sample(query)
+        return self._select_from_population(query)
+
+    def _select_from_sample(self, query: SelectQuery) -> QueryResult:
+        sample = self.catalog.sample(query.table)
+        visibility = query.visibility or Visibility.CLOSED
+        if visibility is Visibility.OPEN:
+            raise VisibilityError(
+                "OPEN queries target populations, not samples; query the "
+                f"population {sample.population!r} instead"
+            )
+        weights = sample.weights if visibility is Visibility.SEMI_OPEN else None
+        relation = execute_select(query, sample.relation, weights=weights)
+        return QueryResult(
+            relation,
+            visibility=str(visibility),
+            sample_name=sample.name,
+            notes=(
+                "sample queried directly with its stored weights"
+                if weights is not None
+                else "sample queried directly, unweighted",
+            ),
+        )
+
+    def _select_from_population(self, query: SelectQuery) -> QueryResult:
+        population = self.catalog.population(query.table)
+        visibility = query.visibility or self.config.default_visibility
+        source = choose_sample(
+            self.catalog, population, combine_samples=self.config.combine_samples
+        )
+
+        if visibility is Visibility.CLOSED:
+            relation, notes = evaluate_closed(query, source)
+        elif visibility is Visibility.SEMI_OPEN:
+            relation, notes = evaluate_semi_open(query, source, self.catalog)
+        else:
+            relation, notes = self._evaluate_open(query, source)
+
+        return QueryResult(
+            relation,
+            visibility=str(visibility),
+            sample_name=source.sample.name,
+            notes=tuple(notes),
+        )
+
+    def _evaluate_open(self, query: SelectQuery, source: PlannedSource):
+        population = source.population
+        marginals, size, fit_relation, scope_note = self._open_fit_inputs(source)
+        key = (population.name, source.sample.name)
+        generator = self._open_generators.get(key)
+        if generator is None:
+            factory = self.config.open_config.generator_factory
+            generator = factory() if callable(factory) else factory
+            generator.fit(
+                fit_relation,
+                marginals,
+                categorical_columns=self.config.open_config.categorical_columns,
+            )
+            self._open_generators[key] = generator
+        relation, notes = evaluate_open(
+            query,
+            source,
+            generator,
+            self.config.open_config,
+            population_size=size,
+            rng=self.rng,
+        )
+        notes.insert(0, scope_note)
+        return relation, notes
+
+    def _open_fit_inputs(self, source: PlannedSource):
+        """Marginals, population size, and fitting tuples for OPEN queries."""
+        population = source.population
+        gp = self.catalog.global_population
+        if population.has_metadata:
+            marginals = population.marginal_list()
+            size = population.estimated_size()
+            relation = source.sample.relation
+            predicate = population.defining_predicate
+            if predicate is not None:
+                bound = bind_expression(predicate, relation.schema)
+                relation = relation.filter(bound.evaluate(relation))
+            scope = (
+                f"OPEN: generator fit on sample {source.sample.name!r} against "
+                f"population {population.name!r} metadata"
+            )
+            if relation.num_rows == 0:
+                raise VisibilityError(
+                    f"sample {source.sample.name!r} has no tuples inside "
+                    f"population {population.name!r}; cannot fit a generator"
+                )
+            return marginals, float(size), relation, scope
+        if gp is not None and gp.has_metadata:
+            scope = (
+                f"OPEN: generator fit on sample {source.sample.name!r} against "
+                f"global population {gp.name!r} metadata"
+            )
+            return gp.marginal_list(), float(gp.estimated_size()), source.sample.relation, scope
+        raise VisibilityError(
+            f"population {population.name!r} has no marginal metadata (nor does "
+            "the global population); OPEN queries need marginals to train a "
+            "generator (Sec. 5.2)"
+        )
+
+    def _invalidate_model_caches(self) -> None:
+        self._open_generators.clear()
+
+    # ------------------------------------------------------------------ #
+    # Programmatic API (used by experiments and examples)
+    # ------------------------------------------------------------------ #
+
+    def ingest_relation(self, name: str, relation: Relation) -> None:
+        """Append tuples to a sample or auxiliary table by name."""
+        kind = self.catalog.kind_of(name)
+        if kind == "auxiliary":
+            existing = self.catalog.auxiliary(name)
+            merged = relation if existing.num_rows == 0 else existing.concat(relation)
+            self.catalog.replace_auxiliary(name, merged)
+            return
+        if kind == "sample":
+            sample = self.catalog.sample(name)
+            if sample.num_rows == 0:
+                sample.relation = relation.project(list(sample.relation.column_names))
+                sample.set_weights(np.ones(relation.num_rows))
+                self._invalidate_model_caches()
+            else:
+                self._append_to_sample(
+                    sample, relation.project(list(sample.relation.column_names))
+                )
+            return
+        raise CatalogError(f"cannot ingest into {kind} relation {name!r}")
+
+    def ingest_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        kind = self.catalog.kind_of(name)
+        schema = (
+            self.catalog.auxiliary(name).schema
+            if kind == "auxiliary"
+            else self.catalog.sample(name).relation.schema
+        )
+        self.ingest_relation(name, Relation.from_rows(schema, rows))
+
+    def draw_sample(
+        self,
+        name: str,
+        population_name: str,
+        population_data: Relation,
+        mechanism: SamplingMechanism,
+    ) -> SampleRelation:
+        """Draw a concrete sample from materialised population data.
+
+        Experiment-harness helper: real Mosaic deployments never hold
+        population tuples, but reproductions do, and need samples whose
+        bias is known exactly.
+        """
+        population = self.catalog.population(population_name)
+        indices = mechanism.draw(population_data, self.rng)
+        sample = SampleRelation(
+            name=name,
+            relation=population_data.take(indices),
+            population=population.name,
+            mechanism=mechanism,
+        )
+        self.catalog.create_sample(sample)
+        self._invalidate_model_caches()
+        return sample
+
+    def register_marginal(
+        self, metadata_name: str, population_name: str, marginal: Marginal
+    ) -> None:
+        """Attach a precomputed marginal to a population."""
+        self.catalog.register_metadata(metadata_name, population_name, marginal)
+        self._invalidate_model_caches()
+
+    def set_open_generator(self, factory) -> None:
+        """Replace the OPEN generator factory (e.g. swap in BayesNetGenerator)."""
+        self.config.open_config.generator_factory = factory
+        self._invalidate_model_caches()
+
+
+def _status(message: str) -> QueryResult:
+    relation = Relation.from_dict({"status": [message]})
+    return QueryResult(relation, notes=(message,))

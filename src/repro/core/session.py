@@ -1,0 +1,27 @@
+"""Session-level defaults for a :class:`~repro.core.database.MosaicDB`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.visibility import Visibility
+from repro.engine.open_world import OpenQueryConfig
+
+
+@dataclass
+class SessionConfig:
+    """Tunable defaults for one database session.
+
+    ``default_visibility`` applies when a population query omits the
+    visibility keyword.  The paper leaves the default open; SEMI-OPEN is
+    the conservative open-world choice (no false positives), so it is ours.
+
+    ``combine_samples`` enables the Sec. 7 "Multiple Samples" extension:
+    union all schema-compatible samples of a population before reweighting
+    instead of picking the single largest.
+    """
+
+    seed: int = 0
+    default_visibility: Visibility = Visibility.SEMI_OPEN
+    combine_samples: bool = False
+    open_config: OpenQueryConfig = field(default_factory=OpenQueryConfig)

@@ -1,0 +1,32 @@
+"""Query evaluation per visibility level (paper Sec. 4, Fig. 2/3).
+
+- :mod:`repro.engine.executor` — evaluates a bound SELECT over a
+  (optionally weighted) relation: filter, group-by, weighted aggregates
+  (``COUNT(*) → SUM(weight)`` et al.), order, limit.
+- :mod:`repro.engine.planner` — picks the "single, optimal sample" for a
+  population query (assumption 2 of Sec. 4) or unions compatible samples
+  (the Sec. 7 "Multiple Samples" extension).
+- :mod:`repro.engine.closed` — CLOSED: the sample as-is (LAV-view style).
+- :mod:`repro.engine.semi_open` — SEMI-OPEN: inverse-probability weights
+  when the mechanism is known, IPF against query-population or global
+  metadata otherwise (the two dashed paths of Fig. 3).
+- :mod:`repro.engine.open_world` — OPEN: pluggable generative models
+  (M-SWG, Bayesian network, IPF synthesizer), 10-sample group
+  intersection + aggregate averaging (Sec. 5.3).
+"""
+
+from repro.engine.executor import execute_select
+from repro.engine.open_world import (
+    BayesNetGenerator,
+    IPFSynthesizer,
+    MswgGenerator,
+    OpenQueryConfig,
+)
+
+__all__ = [
+    "execute_select",
+    "OpenQueryConfig",
+    "MswgGenerator",
+    "BayesNetGenerator",
+    "IPFSynthesizer",
+]

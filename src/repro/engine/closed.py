@@ -1,0 +1,35 @@
+"""CLOSED query evaluation: the sample as-is, no debiasing.
+
+Paper Sec. 3.3/4: a CLOSED query treats the global population as a global
+database and the samples as local views over it — answering with the
+sample tuples directly (the LAV data-integration setting).  Population
+definitions still apply as view predicates.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import execute_select
+from repro.engine.planner import PlannedSource
+from repro.relational.relation import Relation
+from repro.sql.ast_nodes import SelectQuery
+from repro.sql.binder import bind_expression
+
+
+def evaluate_closed(query: SelectQuery, source: PlannedSource) -> tuple[Relation, list[str]]:
+    """Answer ``query`` from the raw sample tuples.
+
+    Returns the result relation plus human-readable notes about what the
+    engine did.
+    """
+    relation = source.sample.relation
+    notes = [f"CLOSED: answered from sample {source.sample.name!r} with no reweighting"]
+
+    predicate = source.population.defining_predicate
+    if predicate is not None:
+        bound = bind_expression(predicate, relation.schema)
+        relation = relation.filter(bound.evaluate(relation))
+        notes.append(
+            f"applied population view predicate {bound.to_sql()}"
+        )
+
+    return execute_select(query, relation, weights=None), notes

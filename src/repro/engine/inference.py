@@ -1,0 +1,146 @@
+"""OPEN COUNT queries by direct inference (paper Sec. 4.2).
+
+"If we model the probability distribution as a Bayesian network, we can
+answer COUNT(*) queries using direct inference over the network" — no
+tuple materialisation, no generation variance.  Generators that expose
+``expected_count(constraints)`` (the Bayesian network and the IPF
+synthesizer) get this fast path for queries of the shape::
+
+    SELECT OPEN COUNT(*) FROM <population> [WHERE <conjunctive predicate>]
+
+The WHERE clause must decompose into per-attribute constraints (a
+conjunction of single-column comparisons / IN / BETWEEN); anything richer
+falls back to the materialisation path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.relational.expressions import ColumnRef, Expr, Literal
+from repro.relational.predicates import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    TruePredicate,
+)
+from repro.sql.ast_nodes import SelectQuery
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def is_pure_count(query: SelectQuery) -> bool:
+    """``SELECT COUNT(*) ...`` with no grouping, ordering, or companions."""
+    return (
+        len(query.items) == 1
+        and query.items[0].is_aggregate
+        and query.items[0].func == "COUNT"
+        and query.items[0].expr is None
+        and not query.group_by
+        and not query.order_by
+        and not query.distinct
+    )
+
+
+def predicate_constraints(
+    predicate: Expr | None,
+) -> dict[str, Callable[[object], bool]] | None:
+    """Decompose a bound predicate into per-attribute value predicates.
+
+    Returns ``None`` when the predicate is not a conjunction of
+    single-column terms (the caller then falls back to materialisation).
+    Multiple terms on the same column AND together.
+    """
+    terms: list[tuple[str, Callable[[object], bool]]] = []
+    if predicate is not None and not _collect(predicate, terms):
+        return None
+
+    combined: dict[str, Callable[[object], bool]] = {}
+    for column, term in terms:
+        previous = combined.get(column)
+        if previous is None:
+            combined[column] = term
+        else:
+            combined[column] = _conjoin(previous, term)
+    return combined
+
+
+def _conjoin(
+    first: Callable[[object], bool], second: Callable[[object], bool]
+) -> Callable[[object], bool]:
+    return lambda value: first(value) and second(value)
+
+
+def _collect(expr: Expr, out: list[tuple[str, Callable[[object], bool]]]) -> bool:
+    if isinstance(expr, TruePredicate):
+        return True
+    if isinstance(expr, And):
+        return _collect(expr.left, out) and _collect(expr.right, out)
+    if isinstance(expr, Comparison):
+        term = _comparison_term(expr)
+        if term is None:
+            return False
+        out.append(term)
+        return True
+    if isinstance(expr, InList):
+        if not isinstance(expr.operand, ColumnRef):
+            return False
+        values = {_comparable(v) for v in expr.values}
+        negated = expr.negated
+        out.append(
+            (
+                expr.operand.name,
+                lambda v: (_comparable(v) in values) != negated,
+            )
+        )
+        return True
+    if isinstance(expr, Between):
+        if not (
+            isinstance(expr.operand, ColumnRef)
+            and isinstance(expr.low, Literal)
+            and isinstance(expr.high, Literal)
+        ):
+            return False
+        low, high = expr.low.value, expr.high.value
+        negated = expr.negated
+        out.append(
+            (expr.operand.name, lambda v: (low <= v <= high) != negated)
+        )
+        return True
+    return False
+
+
+def _comparison_term(
+    expr: Comparison,
+) -> tuple[str, Callable[[object], bool]] | None:
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        column, literal, op = expr.left.name, expr.right.value, expr.op
+    elif isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        column, literal = expr.right.name, expr.left.value
+        op = _flip(expr.op)
+    else:
+        return None
+    compare = _COMPARATORS[op]
+    literal = _comparable(literal)
+    return column, lambda value: compare(_comparable(value), literal)
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[op]
+
+
+def _comparable(value: object) -> object:
+    """Numeric-vs-string safety: compare numbers as floats, rest as str."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return str(value)

@@ -1,0 +1,76 @@
+"""Sample selection for population queries.
+
+Paper Sec. 4, assumption 2: "When a population query gets issued, the
+query engine receives a single, optimal sample to use (this can be relaxed
+by unioning samples over shared attributes)."  The planner implements both:
+pick the largest applicable sample (default), or union all compatible
+samples (the Sec. 7 'Multiple Samples' extension) and let reweighting
+re-balance the combined tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.population import PopulationRelation
+from repro.catalog.sample import SampleRelation
+from repro.errors import VisibilityError
+from repro.relational.ops import union_all
+
+
+@dataclass(frozen=True)
+class PlannedSource:
+    """The tuples a population query will be answered from.
+
+    ``sample`` is the primary (or synthetic union) sample; ``weights`` are
+    its current stored weights, aligned with ``sample.relation``.
+    """
+
+    sample: SampleRelation
+    population: PopulationRelation
+    combined: bool = False
+
+
+def choose_sample(
+    catalog: Catalog,
+    population: PopulationRelation,
+    combine_samples: bool = False,
+) -> PlannedSource:
+    """Pick the sample(s) backing a query over ``population``.
+
+    Candidate samples are those declared over the population itself, or
+    over its global population (samples are defined against the GP;
+    a derived population is a view the engine applies as a predicate).
+    """
+    candidates = list(catalog.samples_of(population.name))
+    if not candidates and population.source_population is not None:
+        candidates = list(catalog.samples_of(population.source_population))
+    if not candidates and not population.is_global:
+        # A derived population may also be backed by GP samples when the
+        # population itself has none.
+        gp = catalog.global_population
+        if gp is not None:
+            candidates = list(catalog.samples_of(gp.name))
+    if not candidates:
+        raise VisibilityError(
+            f"no sample is available to answer queries over population "
+            f"{population.name!r}"
+        )
+
+    if not combine_samples or len(candidates) == 1:
+        best = max(candidates, key=lambda s: s.num_rows)
+        return PlannedSource(sample=best, population=population)
+
+    compatible = [s for s in candidates if s.relation.schema == candidates[0].relation.schema]
+    union_relation = union_all([s.relation for s in compatible])
+    union_weights = np.concatenate([s.weights for s in compatible])
+    union_sample = SampleRelation(
+        name="+".join(s.name for s in compatible),
+        relation=union_relation,
+        population=population.name,
+        initial_weights=union_weights,
+    )
+    return PlannedSource(sample=union_sample, population=population, combined=True)

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the Mosaic reproduction.
+
+Every error raised by this package derives from :class:`MosaicError` so
+callers can catch one type at the API boundary.  Subclasses separate the
+major failure domains: the SQL front end, the catalog, the relational
+substrate, reweighting, and generative modelling.
+"""
+
+from __future__ import annotations
+
+
+class MosaicError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SchemaError(MosaicError):
+    """A relation schema is malformed or violated (bad column, dtype, arity)."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value or expression does not match the declared column type."""
+
+
+class SqlError(MosaicError):
+    """Base class for errors raised by the SQL front end."""
+
+
+class SqlSyntaxError(SqlError):
+    """The statement text could not be tokenised or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    known, so error messages can point at the statement text.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SqlCompileError(SqlError):
+    """The statement parsed but cannot be translated to an executable plan."""
+
+
+class CatalogError(MosaicError):
+    """A catalog object is missing, duplicated, or used inconsistently."""
+
+
+class UnknownRelationError(CatalogError):
+    """A statement referenced a relation name the catalog does not know."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class DuplicateRelationError(CatalogError):
+    """A CREATE statement used a name that already exists in the catalog."""
+
+    def __init__(self, name: str):
+        super().__init__(f"relation already exists: {name!r}")
+        self.name = name
+
+
+class VisibilityError(MosaicError):
+    """A query used a visibility level that cannot be satisfied.
+
+    For example a SEMI-OPEN query over a population with neither a known
+    sampling mechanism nor any marginal metadata.
+    """
+
+
+class ReweightError(MosaicError):
+    """Sample reweighting (inverse-probability or IPF) failed."""
+
+
+class ConvergenceError(ReweightError):
+    """An iterative fit (IPF, generator training) failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None):
+        if iterations is not None:
+            message = f"{message} (after {iterations} iterations)"
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class GenerativeModelError(MosaicError):
+    """A generative model could not be trained or sampled from."""
+
+
+class EncodingError(GenerativeModelError):
+    """Table encoding/decoding between relations and matrices failed."""

@@ -1,0 +1,27 @@
+"""Per-figure/table experiment drivers (paper Sec. 5.3).
+
+Each experiment module exposes ``run(config) -> ExperimentResult`` plus
+``quick_config()`` / ``paper_config()`` presets.  The CLI
+(``python -m repro.experiments <name>``) and the pytest benchmarks call
+the same drivers, at different scales.
+
+Experiments (see DESIGN.md Sec. 4 for the full index):
+
+==================  ===========================================
+name                reproduces
+==================  ===========================================
+figure5             Fig. 5 — spiral population / biased sample /
+                    M-SWG generated sample (ASCII scatter +
+                    marginal-fit and shape metrics)
+figure6             Fig. 6 — Unif vs M-SWG on random box counts
+                    across width coverages
+figure7_continuous  Fig. 7 left — queries 1–4, Unif/IPF/M-SWG
+figure7_categorical Fig. 7 right — queries 5–8, Unif/IPF/M-SWG
+table1              Table 1 — flights attributes & encoded dims
+visibility_table    Sec. 3.3 — FN/FP per visibility level
+==================  ===========================================
+"""
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,58 @@
+"""CLI: ``python -m repro.experiments <name> [--paper] [--out FILE]``.
+
+``mosaic-experiments list`` shows the available experiments; each maps to
+one table or figure of the paper (see DESIGN.md's per-experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mosaic-experiments",
+        description="Regenerate the Mosaic paper's tables and figures.",
+    )
+    parser.add_argument(
+        "name",
+        help="experiment name, or 'list' / 'all'",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="run at the paper's full scale (slow) instead of quick scale",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the rendered result to this file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.name == "list":
+        for name in registry.names():
+            print(f"{name:22s} {registry.get(name).description}")
+        return 0
+
+    scale = "paper" if args.paper else "quick"
+    names = registry.names() if args.name == "all" else [args.name]
+    outputs = []
+    for name in names:
+        result = registry.run_experiment(name, scale=scale)
+        rendered = result.render()
+        print(rendered)
+        print()
+        outputs.append(rendered)
+    if args.out is not None:
+        args.out.write_text("\n\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

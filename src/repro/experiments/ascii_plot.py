@@ -1,0 +1,70 @@
+"""ASCII rendering of scatter plots (the Fig. 5 replacement).
+
+No plotting library is available offline, so figures render as character
+grids: population points as ``.``, overlay points (sample / generated) as
+``#``, overlap as ``@``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_scatter(
+    base_x: np.ndarray,
+    base_y: np.ndarray,
+    overlay_x: np.ndarray | None = None,
+    overlay_y: np.ndarray | None = None,
+    width: int = 64,
+    height: int = 28,
+) -> str:
+    """Render one (optionally two) point clouds on a character grid."""
+    xs = [np.asarray(base_x, dtype=np.float64)]
+    ys = [np.asarray(base_y, dtype=np.float64)]
+    if overlay_x is not None:
+        xs.append(np.asarray(overlay_x, dtype=np.float64))
+        ys.append(np.asarray(overlay_y, dtype=np.float64))
+
+    all_x = np.concatenate(xs)
+    all_y = np.concatenate(ys)
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    x_span = max(x_high - x_low, 1e-12)
+    y_span = max(y_high - y_low, 1e-12)
+
+    def cells(x: np.ndarray, y: np.ndarray) -> set[tuple[int, int]]:
+        columns = np.clip(((x - x_low) / x_span * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(((y_high - y) / y_span * (height - 1)).astype(int), 0, height - 1)
+        return set(zip(rows.tolist(), columns.tolist()))
+
+    base_cells = cells(xs[0], ys[0])
+    overlay_cells = cells(xs[1], ys[1]) if overlay_x is not None else set()
+
+    grid = []
+    for r in range(height):
+        line = []
+        for c in range(width):
+            in_base = (r, c) in base_cells
+            in_overlay = (r, c) in overlay_cells
+            if in_base and in_overlay:
+                line.append("@")
+            elif in_overlay:
+                line.append("#")
+            elif in_base:
+                line.append(".")
+            else:
+                line.append(" ")
+        grid.append("".join(line))
+    legend = "legend: . base, # overlay, @ both"
+    return "\n".join(grid + [legend])
+
+
+def ascii_bars(labels: list[str], values: list[float], width: int = 50) -> str:
+    """Horizontal bar chart (used for Fig. 7-style per-query errors)."""
+    top = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / top * width))) if value > 0 else ""
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Experiment result container and plain-text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: tabular rows plus free-form sections.
+
+    ``rows`` regenerate the paper's table/series; ``sections`` hold ASCII
+    plots and commentary; ``params`` records the exact configuration so
+    EXPERIMENTS.md entries are reproducible.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    sections: list[tuple[str, str]] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def add_section(self, heading: str, body: str) -> None:
+        self.sections.append((heading, body))
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            lines.append(f"params: {rendered}")
+        if self.rows:
+            lines.append(render_table(self.rows))
+        for heading, body in self.sections:
+            lines.append(f"-- {heading} --")
+            lines.append(body)
+        return "\n".join(lines)
+
+
+def render_table(rows: Sequence[dict[str, Any]]) -> str:
+    """Fixed-width table over the union of row keys (insertion order)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(columns)
+    ]
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [" | ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered]
+    return "\n".join([header, rule, *body])
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,123 @@
+"""Registry mapping experiment names to their run/config functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MosaicError
+from repro.experiments import (
+    figure5,
+    figure6,
+    figure7,
+    random_queries,
+    table1,
+    visibility_table,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    name: str
+    description: str
+    quick: Callable[[], object]
+    paper: Callable[[], object]
+    run: Callable[[object], ExperimentResult]
+
+
+_ENTRIES: dict[str, ExperimentEntry] = {}
+
+
+def _register(entry: ExperimentEntry) -> None:
+    _ENTRIES[entry.name] = entry
+
+
+_register(
+    ExperimentEntry(
+        name="figure5",
+        description="Spiral population / biased sample / M-SWG sample (Fig. 5)",
+        quick=figure5.quick_config,
+        paper=figure5.paper_config,
+        run=figure5.run,
+    )
+)
+_register(
+    ExperimentEntry(
+        name="figure6",
+        description="Unif vs M-SWG on random box counts (Fig. 6)",
+        quick=figure6.quick_config,
+        paper=figure6.paper_config,
+        run=figure6.run,
+    )
+)
+_register(
+    ExperimentEntry(
+        name="figure7_continuous",
+        description="Unif vs IPF vs M-SWG, flights queries 1-4 (Fig. 7 left)",
+        quick=lambda: figure7.quick_config("continuous"),
+        paper=lambda: figure7.paper_config("continuous"),
+        run=figure7.run,
+    )
+)
+_register(
+    ExperimentEntry(
+        name="figure7_categorical",
+        description="Unif vs IPF vs M-SWG, flights queries 5-8 (Fig. 7 right)",
+        quick=lambda: figure7.quick_config("categorical"),
+        paper=lambda: figure7.paper_config("categorical"),
+        run=figure7.run,
+    )
+)
+_register(
+    ExperimentEntry(
+        name="random_queries",
+        description="200 random template queries, Unif vs IPF vs M-SWG (Sec. 5.3 text)",
+        quick=random_queries.quick_config,
+        paper=random_queries.paper_config,
+        run=random_queries.run,
+    )
+)
+_register(
+    ExperimentEntry(
+        name="table1",
+        description="Flights attributes and M-SWG encoded dims (Table 1)",
+        quick=table1.quick_config,
+        paper=table1.paper_config,
+        run=table1.run,
+    )
+)
+_register(
+    ExperimentEntry(
+        name="visibility_table",
+        description="FN/FP per visibility level (Sec. 3.3 table)",
+        quick=visibility_table.quick_config,
+        paper=visibility_table.paper_config,
+        run=visibility_table.run,
+    )
+)
+
+
+def names() -> list[str]:
+    return sorted(_ENTRIES)
+
+
+def get(name: str) -> ExperimentEntry:
+    entry = _ENTRIES.get(name)
+    if entry is None:
+        raise MosaicError(
+            f"unknown experiment {name!r}; available: {', '.join(names())}"
+        )
+    return entry
+
+
+def run_experiment(name: str, scale: str = "quick") -> ExperimentResult:
+    """Run one experiment at ``quick`` or ``paper`` scale."""
+    entry = get(name)
+    if scale == "quick":
+        config = entry.quick()
+    elif scale == "paper":
+        config = entry.paper()
+    else:
+        raise MosaicError(f"unknown scale {scale!r} (use 'quick' or 'paper')")
+    return entry.run(config)

@@ -1,0 +1,114 @@
+"""The Sec. 3.3 visibility trade-off table, verified empirically.
+
+The paper's table:
+
+============  ==============  ==============  ==========
+visibility    false negative  false positive  assumption
+============  ==============  ==============  ==========
+CLOSED        n               0               Closed
+SEMI-OPEN     n               0               Open
+OPEN          ≤ n             ≥ 0             Open
+============  ==============  ==============  ==========
+
+where ``n`` is the number of population tuple-groups absent from the
+sample.  We measure FN/FP at the group level on the migrants scenario:
+a false negative is a true (country, email) group the answer misses; a
+false positive is an answered group that does not exist in the population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import ExperimentResult
+from repro.workloads.migrants import MigrantsConfig, build_migrants_database
+
+
+@dataclass
+class VisibilityTableConfig:
+    migrants: MigrantsConfig = field(default_factory=MigrantsConfig)
+    open_repetitions: int = 5
+    seed: int = 0
+
+
+def quick_config() -> VisibilityTableConfig:
+    return VisibilityTableConfig(
+        migrants=MigrantsConfig(
+            country_counts={"UK": 4000, "FR": 2000, "DE": 3000, "ES": 1000}
+        ),
+        open_repetitions=3,
+    )
+
+
+def paper_config() -> VisibilityTableConfig:
+    return VisibilityTableConfig()
+
+
+def run(config: VisibilityTableConfig | None = None) -> ExperimentResult:
+    config = config or VisibilityTableConfig()
+    db, population = build_migrants_database(
+        config.migrants, seed=config.seed, open_repetitions=config.open_repetitions
+    )
+
+    true_groups = _group_counts(population)
+    sql = (
+        "SELECT {visibility} country, email, COUNT(*) AS n "
+        "FROM EuropeMigrants GROUP BY country, email"
+    )
+
+    rows = []
+    fn_by_visibility = {}
+    for visibility, assumption in (
+        ("CLOSED", "Closed"),
+        ("SEMI-OPEN", "Open"),
+        ("OPEN", "Open"),
+    ):
+        answer = db.execute(sql.format(visibility=visibility))
+        answered = {
+            (r["country"], r["email"]): r["n"] for r in answer.to_pylist()
+        }
+        false_negatives = len(set(true_groups) - set(answered))
+        false_positives = len(set(answered) - set(true_groups))
+        fn_by_visibility[visibility] = false_negatives
+        rows.append(
+            {
+                "visibility": visibility,
+                "false_negative_groups": false_negatives,
+                "false_positive_groups": false_positives,
+                "answered_groups": len(answered),
+                "true_groups": len(true_groups),
+                "assumption": assumption,
+            }
+        )
+
+    result = ExperimentResult(
+        experiment_id="visibility_table",
+        title="Sec. 3.3: false negatives / false positives per visibility",
+        rows=rows,
+        params={
+            "population": population.num_rows,
+            "open_repetitions": config.open_repetitions,
+        },
+    )
+    closed_fn = fn_by_visibility["CLOSED"]
+    open_fn = fn_by_visibility["OPEN"]
+    result.add_section(
+        "paper property check",
+        "\n".join(
+            [
+                f"CLOSED FN = SEMI-OPEN FN = n = {closed_fn} (no invented tuples)",
+                f"OPEN FN = {open_fn} <= n: "
+                + ("HOLDS" if open_fn <= closed_fn else "VIOLATED"),
+            ]
+        ),
+    )
+    return result
+
+
+def _group_counts(population) -> dict[tuple, int]:
+    from repro.relational.groupby import group_rows
+
+    return {
+        key: len(indices)
+        for key, indices in group_rows(population, ["country", "email"])
+    }

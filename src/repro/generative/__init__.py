@@ -1,0 +1,26 @@
+"""OPEN query machinery: the marginal-constrained sliced-Wasserstein
+generator (M-SWG, paper Sec. 5) and its substrates.
+
+Because the environment has no deep-learning framework, everything is
+implemented on numpy with hand-derived gradients:
+
+- ``repro.generative.nn`` — Linear / ReLU / BatchNorm1d / block softmax
+  modules with manual backprop (gradient-checked in the test suite).
+- ``repro.generative.optim`` — Adam and ReduceLROnPlateau (the paper's
+  training setup: "Pytorch's Adam optimizer with the default settings and
+  an initial learning rate of 0.001 that decreases by a factor of 10 if a
+  plateau is reached").
+- ``repro.generative.losses`` — exact 1-D Wasserstein distance (sorting /
+  quantile matching, per [49]), sliced projections for 2-D marginals
+  (per [46, 15]), and the λ-weighted nearest-sample coverage penalty.
+- ``repro.generative.encoding`` — one-hot + min-max table encoding
+  ("we one-hot encode the categorical variables and scale all attributes
+  to be between 0 and 1").
+- ``repro.generative.mswg`` — the generator itself:
+  ``MSWG(config).fit(sample, marginals).generate(n)``.
+"""
+
+from repro.generative.encoding import TableEncoder
+from repro.generative.mswg import MSWG, MswgConfig
+
+__all__ = ["MSWG", "MswgConfig", "TableEncoder"]

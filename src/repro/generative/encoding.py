@@ -1,0 +1,231 @@
+"""Encoding relations as matrices for generator training.
+
+Paper Sec. 5.3: *"For M-SWG training, we one-hot encode the categorical
+variables and scale all attributes to be between 0 and 1."*  Table 1's
+"M-SWG Dim" column is exactly the per-attribute encoded width this module
+produces (carrier → 14, each numeric attribute → 1).
+
+The encoder must know category values and numeric ranges that appear in
+the *marginals* as well as the sample — the whole point of OPEN queries is
+generating values the sample lacks (e.g. AOL emails), so the encoding is
+fit over both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.metadata import Marginal
+from repro.errors import EncodingError
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class ColumnEncoding:
+    """How one relation column maps into matrix columns.
+
+    ``kind`` is ``"numeric"`` (one min-max-scaled dimension) or
+    ``"categorical"`` (one-hot block).  ``start``/``stop`` delimit the
+    matrix columns.  For categoricals ``categories`` lists the block's
+    values in column order; for numerics ``low``/``high`` give the scaling
+    range.
+    """
+
+    name: str
+    dtype: DType
+    kind: str
+    start: int
+    stop: int
+    categories: tuple = ()
+    low: float = 0.0
+    high: float = 1.0
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+class TableEncoder:
+    """Bidirectional relation ⇄ matrix encoding (one-hot + min-max)."""
+
+    def __init__(self, columns: list[ColumnEncoding], schema: Schema):
+        self.columns = columns
+        self.schema = schema
+        self._by_name = {c.name: c for c in columns}
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def fit(
+        cls,
+        relation: Relation,
+        marginals: list[Marginal] | None = None,
+        categorical_columns: set[str] | None = None,
+    ) -> "TableEncoder":
+        """Learn the encoding from a relation plus marginal metadata.
+
+        TEXT/BOOL columns are categorical; numeric columns are min-max
+        scaled.  ``categorical_columns`` forces named numeric columns to be
+        treated as categoricals (small integer domains).  Category sets and
+        numeric ranges are extended with every value the marginals mention.
+        """
+        marginals = marginals or []
+        categorical_columns = categorical_columns or set()
+
+        extra_values: dict[str, list] = {}
+        for marginal in marginals:
+            for axis, attribute in enumerate(marginal.attributes):
+                bucket = extra_values.setdefault(attribute, [])
+                bucket.extend(key[axis] for key in marginal.keys())
+
+        encodings: list[ColumnEncoding] = []
+        offset = 0
+        for field in relation.schema:
+            values = relation.column(field.name)
+            extras = extra_values.get(field.name, [])
+            if field.dtype in (DType.TEXT, DType.BOOL) or field.name in categorical_columns:
+                categories = sorted(
+                    {_native(v) for v in values} | {_native(v) for v in extras},
+                    key=str,
+                )
+                if not categories:
+                    raise EncodingError(f"column {field.name!r} has no values to encode")
+                encoding = ColumnEncoding(
+                    name=field.name,
+                    dtype=field.dtype,
+                    kind="categorical",
+                    start=offset,
+                    stop=offset + len(categories),
+                    categories=tuple(categories),
+                )
+            else:
+                numeric = np.asarray(values, dtype=np.float64)
+                lows = [float(np.min(numeric))] if numeric.size else []
+                highs = [float(np.max(numeric))] if numeric.size else []
+                lows.extend(float(v) for v in extras)
+                highs.extend(float(v) for v in extras)
+                if not lows:
+                    raise EncodingError(f"column {field.name!r} has no values to encode")
+                low, high = min(lows), max(highs)
+                if high == low:
+                    high = low + 1.0
+                encoding = ColumnEncoding(
+                    name=field.name,
+                    dtype=field.dtype,
+                    kind="numeric",
+                    start=offset,
+                    stop=offset + 1,
+                    low=low,
+                    high=high,
+                )
+            encodings.append(encoding)
+            offset = encoding.stop
+        return cls(encodings, relation.schema)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def width(self) -> int:
+        """Total encoded dimensionality (sum of Table 1's "M-SWG Dim")."""
+        return self.columns[-1].stop if self.columns else 0
+
+    def column(self, name: str) -> ColumnEncoding:
+        encoding = self._by_name.get(name)
+        if encoding is None:
+            raise EncodingError(f"no encoding for column {name!r}")
+        return encoding
+
+    def block_indices(self, names: list[str]) -> np.ndarray:
+        """Matrix column indices of the named attributes, concatenated."""
+        pieces = [np.arange(self.column(n).start, self.column(n).stop) for n in names]
+        return np.concatenate(pieces)
+
+    def softmax_blocks(self) -> list[tuple[int, int]]:
+        """(start, stop) of every categorical block (for BlockSoftmax)."""
+        return [(c.start, c.stop) for c in self.columns if c.kind == "categorical"]
+
+    # ------------------------------------------------------------------ #
+    # Transform
+    # ------------------------------------------------------------------ #
+
+    def transform(self, relation: Relation) -> np.ndarray:
+        """Encode a relation into an ``(n, width)`` float matrix."""
+        n = relation.num_rows
+        matrix = np.zeros((n, self.width), dtype=np.float64)
+        for encoding in self.columns:
+            values = relation.column(encoding.name)
+            if encoding.kind == "numeric":
+                numeric = np.asarray(values, dtype=np.float64)
+                matrix[:, encoding.start] = (numeric - encoding.low) / (
+                    encoding.high - encoding.low
+                )
+            else:
+                index = {category: i for i, category in enumerate(encoding.categories)}
+                for row in range(n):
+                    value = _native(values[row])
+                    position = index.get(value)
+                    if position is None:
+                        raise EncodingError(
+                            f"value {value!r} of column {encoding.name!r} was not "
+                            "seen when the encoder was fit"
+                        )
+                    matrix[row, encoding.start + position] = 1.0
+        return matrix
+
+    def encode_value(self, name: str, value) -> np.ndarray:
+        """Encode one attribute value into its block's coordinates."""
+        encoding = self.column(name)
+        if encoding.kind == "numeric":
+            return np.asarray(
+                [(float(value) - encoding.low) / (encoding.high - encoding.low)]
+            )
+        block = np.zeros(encoding.width)
+        try:
+            block[encoding.categories.index(_native(value))] = 1.0
+        except ValueError:
+            raise EncodingError(
+                f"value {value!r} of column {name!r} was not seen when the "
+                "encoder was fit"
+            ) from None
+        return block
+
+    def inverse_transform(self, matrix: np.ndarray) -> Relation:
+        """Decode a matrix back into a relation.
+
+        Categorical blocks decode by argmax (the paper's "force the output
+        to be binary for data generation"); numeric columns unscale, clip
+        to the fitted range, and round when the original dtype was INT.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.width:
+            raise EncodingError(
+                f"matrix shape {matrix.shape} does not match encoder width {self.width}"
+            )
+        columns: dict[str, object] = {}
+        for encoding in self.columns:
+            block = matrix[:, encoding.start : encoding.stop]
+            if encoding.kind == "numeric":
+                raw = np.clip(block[:, 0], 0.0, 1.0)
+                values = encoding.low + raw * (encoding.high - encoding.low)
+                if encoding.dtype is DType.INT:
+                    values = np.round(values)
+                columns[encoding.name] = values
+            else:
+                picks = block.argmax(axis=1)
+                values = [encoding.categories[p] for p in picks]
+                columns[encoding.name] = values
+        return Relation.from_columns(self.schema, columns)
+
+
+def _native(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

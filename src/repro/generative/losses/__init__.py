@@ -1,0 +1,30 @@
+"""M-SWG loss terms (paper Sec. 5.2, Eq. 1).
+
+The total objective is::
+
+    min_G  Σ_{i∈I1} W(P_i, Q_i)                      # 1-D marginals, exact
+         + (1/p) Σ_{{i,j}∈I2} Σ_{ω∈Ω} W(P_ijω, Q_ijω)  # 2-D marginals, sliced
+         + λ E_{x~G} [ min_{y∈S} ‖x − y‖₂ ]          # sample-coverage penalty
+
+For training we use the standard sorting/quantile-matching surrogate
+(sorted generated values matched against target quantiles) whose gradient
+is closed-form; the exact W₁ metric (``wasserstein_1d``) is used for
+evaluation.
+"""
+
+from repro.generative.losses.coverage import CoveragePenalty
+from repro.generative.losses.sliced import SlicedMarginalLoss, random_unit_projections
+from repro.generative.losses.wasserstein import (
+    QuantileMatchingLoss,
+    WeightedQuantileFunction,
+    wasserstein_1d,
+)
+
+__all__ = [
+    "wasserstein_1d",
+    "WeightedQuantileFunction",
+    "QuantileMatchingLoss",
+    "SlicedMarginalLoss",
+    "random_unit_projections",
+    "CoveragePenalty",
+]

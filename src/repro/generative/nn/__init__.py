@@ -1,0 +1,17 @@
+"""Minimal neural-network substrate with manual backprop (numpy only)."""
+
+from repro.generative.nn.activations import BlockSoftmax, ReLU
+from repro.generative.nn.batchnorm import BatchNorm1d
+from repro.generative.nn.linear import Linear
+from repro.generative.nn.module import Module, Parameter
+from repro.generative.nn.sequential import Sequential
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "BlockSoftmax",
+    "BatchNorm1d",
+    "Sequential",
+]

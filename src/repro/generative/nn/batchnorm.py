@@ -1,0 +1,59 @@
+"""Batch normalisation with manual backprop.
+
+The paper's generator applies "batch normalization after each layer"
+(Sec. 5.3, synthetic experiment).  Training mode normalises by batch
+statistics and maintains exponential running averages for inference mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generative.nn.module import Module, Parameter
+
+
+class BatchNorm1d(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5, name: str = ""):
+        self.gamma = Parameter(np.ones(num_features), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_features), name=f"{name}.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._require_cache(self._cache, "statistics")
+        self._cache = None
+        self.gamma.grad += (grad_output * x_hat).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_x_hat = grad_output * self.gamma.value
+        if not self.training:
+            return grad_x_hat * inv_std
+        n = grad_output.shape[0]
+        return (
+            inv_std
+            / n
+            * (
+                n * grad_x_hat
+                - grad_x_hat.sum(axis=0)
+                - x_hat * (grad_x_hat * x_hat).sum(axis=0)
+            )
+        )
+
+    def parameters(self):
+        yield self.gamma
+        yield self.beta

@@ -1,0 +1,17 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) normal initialisation — the right scale for ReLU nets."""
+    scale = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot uniform initialisation — for linear / softmax output layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

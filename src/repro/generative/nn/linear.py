@@ -1,0 +1,49 @@
+"""Fully connected layer with manual backprop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generative.nn.init import he_normal, xavier_uniform
+from repro.generative.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """``y = x @ W + b``.
+
+    ``init="he"`` (default) suits ReLU hidden layers; ``init="xavier"``
+    suits the output layer.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init: str = "he",
+        name: str = "",
+    ):
+        if init == "he":
+            weight = he_normal(rng, in_features, out_features)
+        elif init == "xavier":
+            weight = xavier_uniform(rng, in_features, out_features)
+        else:
+            raise ValueError(f"unknown init scheme: {init!r}")
+        self.weight = Parameter(weight, name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._require_cache(self._cache, "input")
+        self._cache = None
+        self.weight.grad += x.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self):
+        yield self.weight
+        yield self.bias

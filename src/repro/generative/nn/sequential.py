@@ -1,0 +1,40 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generative.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain layers; backward runs in reverse."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def parameters(self):
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def train(self) -> "Sequential":
+        super().train()
+        for layer in self.layers:
+            layer.train()
+        return self
+
+    def eval(self) -> "Sequential":
+        super().eval()
+        for layer in self.layers:
+            layer.eval()
+        return self

@@ -1,0 +1,6 @@
+"""Optimisers and LR schedulers for the numpy NN substrate."""
+
+from repro.generative.optim.adam import Adam
+from repro.generative.optim.schedulers import ReduceLROnPlateau
+
+__all__ = ["Adam", "ReduceLROnPlateau"]

@@ -1,0 +1,54 @@
+"""Learning-rate schedules.
+
+The paper: "an initial learning rate of 0.001 that decreases by a factor
+of 10 if a plateau is reached during training" — i.e. PyTorch's
+ReduceLROnPlateau.
+"""
+
+from __future__ import annotations
+
+from repro.generative.optim.adam import Adam
+
+
+class ReduceLROnPlateau:
+    """Divide the LR by ``1/factor`` when the metric stops improving.
+
+    ``patience`` epochs without an improvement of at least
+    ``threshold`` (relative) trigger a decay; ``min_lr`` floors the rate.
+    """
+
+    def __init__(
+        self,
+        optimizer: Adam,
+        factor: float = 0.1,
+        patience: int = 5,
+        threshold: float = 1e-4,
+        min_lr: float = 1e-7,
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.threshold = threshold
+        self.min_lr = min_lr
+        self._best = float("inf")
+        self._stale_epochs = 0
+        self.num_decays = 0
+
+    def step(self, metric: float) -> bool:
+        """Record an epoch metric; returns True when the LR was decayed."""
+        if metric < self._best * (1.0 - self.threshold):
+            self._best = metric
+            self._stale_epochs = 0
+            return False
+        self._stale_epochs += 1
+        if self._stale_epochs <= self.patience:
+            return False
+        self._stale_epochs = 0
+        new_rate = max(self.optimizer.learning_rate * self.factor, self.min_lr)
+        if new_rate < self.optimizer.learning_rate:
+            self.optimizer.learning_rate = new_rate
+            self.num_decays += 1
+            return True
+        return False

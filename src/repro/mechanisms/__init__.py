@@ -1,0 +1,33 @@
+"""Sampling mechanisms: how tuples get from a population into a sample.
+
+The paper (Sec. 3) defines the *sampling mechanism* as the probability
+``PrS(t)`` of each population tuple being included in the sample, declared
+via ``USING MECHANISM <mechanism> PERCENT <perc>``.  A known mechanism
+enables exact inverse-probability reweighting for SEMI-OPEN queries
+(Sec. 4.1); an unknown one forces IPF against marginals.
+
+Implemented mechanisms:
+
+- :class:`~repro.mechanisms.uniform.UniformMechanism` — simple random sample.
+- :class:`~repro.mechanisms.stratified.StratifiedMechanism` — equal
+  allocation per stratum (covers rare strata; distributionally biased).
+- :class:`~repro.mechanisms.biased.PredicateBiasedMechanism` — the flights
+  experiment's bias shape: X % of the sample drawn from tuples matching a
+  predicate (e.g. 95 % long flights).
+- :class:`~repro.mechanisms.custom.CustomMechanism` — arbitrary per-tuple
+  inclusion probabilities.
+"""
+
+from repro.mechanisms.base import SamplingMechanism
+from repro.mechanisms.biased import PredicateBiasedMechanism
+from repro.mechanisms.custom import CustomMechanism
+from repro.mechanisms.stratified import StratifiedMechanism
+from repro.mechanisms.uniform import UniformMechanism
+
+__all__ = [
+    "SamplingMechanism",
+    "UniformMechanism",
+    "StratifiedMechanism",
+    "PredicateBiasedMechanism",
+    "CustomMechanism",
+]

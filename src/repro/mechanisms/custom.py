@@ -1,0 +1,44 @@
+"""Custom sampling mechanisms from user-supplied inclusion probabilities."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReweightError
+from repro.relational.relation import Relation
+from repro.mechanisms.base import SamplingMechanism
+
+
+class CustomMechanism(SamplingMechanism):
+    """Arbitrary per-tuple inclusion probabilities.
+
+    ``probability_fn`` maps a population relation to an array of per-tuple
+    inclusion probabilities in [0, 1].  Drawing is independent Bernoulli
+    per tuple (Poisson sampling), which is the sampling design the
+    inverse-probability estimator in the paper's reference [7] assumes.
+    """
+
+    def __init__(self, probability_fn: Callable[[Relation], np.ndarray], label: str = "CUSTOM"):
+        self._probability_fn = probability_fn
+        self.label = label
+
+    def inclusion_probabilities(self, population: Relation) -> np.ndarray:
+        probabilities = np.asarray(self._probability_fn(population), dtype=np.float64)
+        if probabilities.shape != (population.num_rows,):
+            raise ReweightError(
+                "custom mechanism returned probabilities of shape "
+                f"{probabilities.shape}, expected ({population.num_rows},)"
+            )
+        if np.any((probabilities < 0.0) | (probabilities > 1.0)):
+            raise ReweightError("custom mechanism probabilities must lie in [0, 1]")
+        return probabilities
+
+    def draw(self, population: Relation, rng: np.random.Generator) -> np.ndarray:
+        probabilities = self.inclusion_probabilities(population)
+        mask = rng.random(population.num_rows) < probabilities
+        return np.flatnonzero(mask)
+
+    def describe(self) -> str:
+        return self.label

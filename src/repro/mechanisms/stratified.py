@@ -1,0 +1,76 @@
+"""Stratified sampling: ``USING MECHANISM STRATIFIED ON a PERCENT p``.
+
+Equal allocation: the total sample budget (``p`` percent of the population)
+is split evenly across the strata (distinct values of the stratification
+attribute).  This is the textbook design that guarantees coverage of rare
+strata — exactly the "sample coverage" property the paper's M-SWG relies on
+(Sec. 5.2) — at the cost of being distributionally biased, which is what
+reweighting corrects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanisms.base import SamplingMechanism, sample_size, validate_percent
+from repro.relational.groupby import group_rows
+from repro.relational.relation import Relation
+
+
+class StratifiedMechanism(SamplingMechanism):
+    """Equal-allocation stratified sampling on one attribute."""
+
+    def __init__(self, attribute: str, percent: float):
+        self.attribute = attribute
+        self.percent = validate_percent(percent)
+
+    def _per_stratum_quota(self, population: Relation) -> list[tuple[np.ndarray, int]]:
+        """(stratum row indices, rows to draw) for every stratum.
+
+        Each stratum's quota is capped at its size; leftover budget is
+        redistributed greedily to the largest strata so the total sample
+        size stays at ``p`` percent whenever feasible.
+        """
+        groups = group_rows(population, [self.attribute])
+        total = sample_size(population.num_rows, self.percent)
+        k = len(groups)
+        if k == 0:
+            return []
+        base = total // k
+        remainder = total - base * k
+        quotas = []
+        for position, (_, indices) in enumerate(groups):
+            want = base + (1 if position < remainder else 0)
+            quotas.append([indices, min(want, len(indices))])
+        shortfall = total - sum(q for _, q in quotas)
+        if shortfall > 0:
+            by_capacity = sorted(
+                range(k), key=lambda i: len(quotas[i][0]) - quotas[i][1], reverse=True
+            )
+            for i in by_capacity:
+                if shortfall == 0:
+                    break
+                capacity = len(quotas[i][0]) - quotas[i][1]
+                extra = min(capacity, shortfall)
+                quotas[i][1] += extra
+                shortfall -= extra
+        return [(indices, quota) for indices, quota in quotas]
+
+    def inclusion_probabilities(self, population: Relation) -> np.ndarray:
+        probabilities = np.zeros(population.num_rows)
+        for indices, quota in self._per_stratum_quota(population):
+            if len(indices):
+                probabilities[indices] = quota / len(indices)
+        return probabilities
+
+    def draw(self, population: Relation, rng: np.random.Generator) -> np.ndarray:
+        chosen: list[np.ndarray] = []
+        for indices, quota in self._per_stratum_quota(population):
+            if quota > 0:
+                chosen.append(rng.choice(indices, size=quota, replace=False))
+        if not chosen:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(chosen))
+
+    def describe(self) -> str:
+        return f"STRATIFIED ON {self.attribute} PERCENT {self.percent:g}"

@@ -1,0 +1,25 @@
+"""Uniform (simple random) sampling: ``USING MECHANISM UNIFORM PERCENT p``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanisms.base import SamplingMechanism, sample_size, validate_percent
+from repro.relational.relation import Relation
+
+
+class UniformMechanism(SamplingMechanism):
+    """Every population tuple included with the same probability ``p/100``."""
+
+    def __init__(self, percent: float):
+        self.percent = validate_percent(percent)
+
+    def inclusion_probabilities(self, population: Relation) -> np.ndarray:
+        return np.full(population.num_rows, self.percent / 100.0)
+
+    def draw(self, population: Relation, rng: np.random.Generator) -> np.ndarray:
+        n = sample_size(population.num_rows, self.percent)
+        return rng.choice(population.num_rows, size=n, replace=False)
+
+    def describe(self) -> str:
+        return f"UNIFORM PERCENT {self.percent:g}"

@@ -1,0 +1,17 @@
+"""Evaluation metrics: query error, distribution fit, box-plot stats."""
+
+from repro.metrics.error import (
+    average_percent_difference,
+    percent_difference,
+)
+from repro.metrics.distribution import marginal_fit_error, sliced_wasserstein_metric
+from repro.metrics.summary import BoxplotStats, boxplot_stats
+
+__all__ = [
+    "percent_difference",
+    "average_percent_difference",
+    "marginal_fit_error",
+    "sliced_wasserstein_metric",
+    "BoxplotStats",
+    "boxplot_stats",
+]

@@ -1,0 +1,54 @@
+"""Query-answer error metrics.
+
+The paper reports "average percent difference": ``|estimate − truth| /
+truth × 100``, averaged over queries (and, for group-by queries, over the
+groups present in both answers — the "not-empty filter" of Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import MosaicError
+
+
+def percent_difference(estimate: float, truth: float) -> float:
+    """``|estimate − truth| / |truth| × 100``.
+
+    A zero truth with a nonzero estimate is an infinite relative error;
+    zero/zero is a perfect answer.
+    """
+    if truth == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - truth) / abs(truth) * 100.0
+
+
+def average_percent_difference(
+    estimates: Mapping[tuple, float],
+    truths: Mapping[tuple, float],
+    policy: str = "common",
+    missing_penalty: float = 100.0,
+) -> float | None:
+    """Average percent difference between two group-keyed answers.
+
+    ``policy``:
+
+    - ``"common"`` — average over the keys present in both (the paper's
+      not-empty filter).  Returns ``None`` when the intersection is empty
+      (the "empty answer" case the paper excludes).
+    - ``"penalize_missing"`` — additionally counts ``missing_penalty`` for
+      every true group the estimate misses (false negatives) and for every
+      estimated group that does not exist (false positives).
+    """
+    if policy not in ("common", "penalize_missing"):
+        raise MosaicError(f"unknown comparison policy {policy!r}")
+    common = set(estimates) & set(truths)
+    errors = [percent_difference(estimates[k], truths[k]) for k in sorted(common)]
+    if policy == "penalize_missing":
+        errors.extend([missing_penalty] * len(set(truths) - common))
+        errors.extend([missing_penalty] * len(set(estimates) - common))
+    if not errors:
+        return None
+    return float(np.mean(errors))

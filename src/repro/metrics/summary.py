@@ -1,0 +1,53 @@
+"""Box-plot summary statistics (Fig. 6's rendering).
+
+"Fig. 6 show box plots (X is average) of the average query error ...
+where the whiskers show the 3rd and 97th percentiles."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MosaicError
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    mean: float
+    median: float
+    p3: float
+    p25: float
+    p75: float
+    p97: float
+    count: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p3": self.p3,
+            "p25": self.p25,
+            "p75": self.p75,
+            "p97": self.p97,
+            "count": self.count,
+        }
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxplotStats:
+    """Mean, median, quartiles, and the paper's 3rd/97th whiskers."""
+    finite = [v for v in values if np.isfinite(v)]
+    if not finite:
+        raise MosaicError("boxplot_stats needs at least one finite value")
+    arr = np.asarray(finite, dtype=np.float64)
+    return BoxplotStats(
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        p3=float(np.percentile(arr, 3)),
+        p25=float(np.percentile(arr, 25)),
+        p75=float(np.percentile(arr, 75)),
+        p97=float(np.percentile(arr, 97)),
+        count=len(finite),
+    )

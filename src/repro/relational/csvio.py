@@ -1,0 +1,98 @@
+"""CSV import/export for relations.
+
+The format is a plain header row followed by data rows.  On read, either
+pass an explicit :class:`~repro.relational.schema.Schema` or let the loader
+infer types (INT ⊂ FLOAT ⊂ TEXT; BOOL from ``true``/``false`` literals).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SchemaError
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to ``path`` with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.column_names)
+        for row in relation.rows():
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
+    """Read a relation from ``path``.
+
+    With ``schema=None`` the column types are inferred from the data; an
+    empty file (header only) with no schema infers everything as TEXT.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty (no header)") from None
+        rows = [row for row in reader if row]
+
+    for row in rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"CSV row arity {len(row)} does not match header arity {len(header)}"
+            )
+
+    raw_columns = {name: [row[i] for row in rows] for i, name in enumerate(header)}
+    if schema is None:
+        schema = Schema(
+            Field(name, _infer_text_dtype(values)) for name, values in raw_columns.items()
+        )
+    typed = {
+        field.name: [_parse_cell(cell, field.dtype) for cell in raw_columns[field.name]]
+        for field in schema
+    }
+    return Relation.from_columns(schema, typed)
+
+
+def _infer_text_dtype(values: list[str]) -> DType:
+    if not values:
+        return DType.TEXT
+    lowered = [v.strip().lower() for v in values]
+    if all(v in ("true", "false") for v in lowered):
+        return DType.BOOL
+    if all(_parses_as_int(v) for v in values):
+        return DType.INT
+    if all(_parses_as_float(v) for v in values):
+        return DType.FLOAT
+    return DType.TEXT
+
+
+def _parse_cell(cell: str, dtype: DType):
+    if dtype is DType.BOOL:
+        return cell.strip().lower() == "true"
+    if dtype is DType.INT:
+        return int(cell)
+    if dtype is DType.FLOAT:
+        return float(cell)
+    return cell
+
+
+def _parses_as_int(text: str) -> bool:
+    try:
+        int(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _parses_as_float(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,150 @@
+"""Column type system for the relational substrate.
+
+Four logical types cover everything the paper's workloads need:
+
+- ``INT`` — 64-bit integers (flight times, counts, whole-number attributes).
+- ``FLOAT`` — 64-bit floats (generator output, weights, continuous data).
+- ``TEXT`` — strings, stored as numpy object arrays (categorical attributes
+  such as the flights ``carrier``).
+- ``BOOL`` — booleans.
+
+Each logical type knows its numpy storage dtype and how to coerce raw
+Python values or arrays into that storage form.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class DType(enum.Enum):
+    """Logical column type."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOL = "BOOL"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store columns of this logical type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the type supports arithmetic and range predicates."""
+        return self in (DType.INT, DType.FLOAT)
+
+    @classmethod
+    def parse(cls, name: str) -> "DType":
+        """Parse a SQL type name (case-insensitive, common aliases allowed)."""
+        normalized = name.strip().upper()
+        alias = _TYPE_ALIASES.get(normalized)
+        if alias is None:
+            raise TypeMismatchError(f"unknown column type: {name!r}")
+        return alias
+
+    @classmethod
+    def infer(cls, values: Any) -> "DType":
+        """Infer the narrowest logical type that holds every value.
+
+        Booleans are checked before integers because ``bool`` is a subclass
+        of ``int`` in Python.
+        """
+        arr = np.asarray(values)
+        if arr.dtype == np.bool_:
+            return cls.BOOL
+        if np.issubdtype(arr.dtype, np.integer):
+            return cls.INT
+        if np.issubdtype(arr.dtype, np.floating):
+            return cls.FLOAT
+        if arr.dtype == object:
+            flat = [v for v in arr.ravel()]
+            if flat and all(isinstance(v, bool) for v in flat):
+                return cls.BOOL
+            if flat and all(isinstance(v, (int, np.integer)) and not isinstance(v, bool) for v in flat):
+                return cls.INT
+            if flat and all(
+                isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(v, bool)
+                for v in flat
+            ):
+                return cls.FLOAT
+        return cls.TEXT
+
+    def coerce_array(self, values: Any) -> np.ndarray:
+        """Coerce ``values`` into a 1-D numpy array of this type's storage dtype.
+
+        Raises :class:`TypeMismatchError` when a value cannot be represented
+        (for example a string in an ``INT`` column, or a non-integral float).
+        """
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        try:
+            if self is DType.TEXT:
+                out = np.empty(arr.shape[0], dtype=object)
+                out[:] = [str(v) for v in arr]
+                return out
+            if self is DType.INT:
+                as_float = arr.astype(np.float64)
+                as_int = as_float.astype(np.int64)
+                if not np.all(as_float == as_int):
+                    raise TypeMismatchError("non-integral value in INT column")
+                return as_int
+            if self is DType.FLOAT:
+                return arr.astype(np.float64)
+            return arr.astype(np.bool_)
+        except (ValueError, TypeError) as exc:
+            raise TypeMismatchError(f"cannot coerce values to {self.value}: {exc}") from exc
+
+    def coerce_scalar(self, value: Any) -> Any:
+        """Coerce a single Python value to this type (Python-native result)."""
+        if self is DType.TEXT:
+            return str(value)
+        if self is DType.BOOL:
+            return bool(value)
+        if self is DType.INT:
+            as_float = float(value)
+            as_int = int(as_float)
+            if as_float != as_int:
+                raise TypeMismatchError(f"non-integral value for INT column: {value!r}")
+            return as_int
+        return float(value)
+
+
+_NUMPY_DTYPES: dict[DType, np.dtype] = {
+    DType.INT: np.dtype(np.int64),
+    DType.FLOAT: np.dtype(np.float64),
+    DType.TEXT: np.dtype(object),
+    DType.BOOL: np.dtype(np.bool_),
+}
+
+_TYPE_ALIASES: dict[str, DType] = {
+    "INT": DType.INT,
+    "INTEGER": DType.INT,
+    "BIGINT": DType.INT,
+    "FLOAT": DType.FLOAT,
+    "REAL": DType.FLOAT,
+    "DOUBLE": DType.FLOAT,
+    "NUMERIC": DType.FLOAT,
+    "TEXT": DType.TEXT,
+    "VARCHAR": DType.TEXT,
+    "STRING": DType.TEXT,
+    "CHAR": DType.TEXT,
+    "BOOL": DType.BOOL,
+    "BOOLEAN": DType.BOOL,
+}
+
+
+def common_numeric_type(left: DType, right: DType) -> DType:
+    """The result type of arithmetic between two numeric types."""
+    if not (left.is_numeric and right.is_numeric):
+        raise TypeMismatchError(f"arithmetic requires numeric types, got {left.value} and {right.value}")
+    if left is DType.FLOAT or right is DType.FLOAT:
+        return DType.FLOAT
+    return DType.INT

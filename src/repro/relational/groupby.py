@@ -1,0 +1,68 @@
+"""Group-by machinery: partition a relation's rows by key columns."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.relational.relation import Relation
+
+
+def group_rows(
+    relation: Relation, keys: Sequence[str]
+) -> list[tuple[tuple, np.ndarray]]:
+    """Partition row indices by the distinct values of ``keys``.
+
+    Returns ``[(key_values, row_indices), ...]`` ordered by key (the same
+    order ``np.unique`` yields, i.e. sorted per column).  ``key_values`` is a
+    tuple of Python-native scalars aligned with ``keys``.
+
+    With no key columns, the entire relation forms a single group with an
+    empty key tuple — this makes ungrouped aggregation a special case of
+    grouped aggregation.
+    """
+    n = relation.num_rows
+    if not keys:
+        return [((), np.arange(n))]
+    if n == 0:
+        return []
+
+    per_column_codes = []
+    per_column_values = []
+    for name in keys:
+        column = relation.column(name)
+        uniques, codes = np.unique(column, return_inverse=True)
+        per_column_codes.append(codes)
+        per_column_values.append(uniques)
+
+    combined = per_column_codes[0].astype(np.int64)
+    for codes, uniques in zip(per_column_codes[1:], per_column_values[1:]):
+        combined = combined * len(uniques) + codes
+
+    order = np.argsort(combined, kind="stable")
+    sorted_codes = combined[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    groups = np.split(order, boundaries)
+
+    result: list[tuple[tuple, np.ndarray]] = []
+    for indices in groups:
+        first = indices[0]
+        key = tuple(
+            _to_python(relation.column(name)[first]) for name in keys
+        )
+        result.append((key, indices))
+    return result
+
+
+def distinct_indices(relation: Relation, keys: Sequence[str]) -> np.ndarray:
+    """Row indices of the first occurrence of each distinct key combination."""
+    return np.asarray(
+        [indices[0] for _, indices in group_rows(relation, keys)], dtype=np.int64
+    )
+
+
+def _to_python(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

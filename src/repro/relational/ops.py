@@ -1,0 +1,115 @@
+"""Relational operators: filter, project, union, join, distinct, limit.
+
+These are the physical operators the query engine composes.  Each takes and
+returns :class:`~repro.relational.relation.Relation` values; none mutates
+its input.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.dtypes import DType
+from repro.relational.expressions import Expr, validate_expression
+from repro.relational.groupby import distinct_indices
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+def filter_rows(relation: Relation, predicate: Expr) -> Relation:
+    """Keep rows satisfying ``predicate`` (a BOOL-typed expression)."""
+    dtype = validate_expression(predicate, relation.schema)
+    if dtype is not DType.BOOL:
+        raise SchemaError(f"WHERE predicate must be boolean, got {dtype.value}")
+    return relation.filter(predicate.evaluate(relation))
+
+
+def project_expressions(
+    relation: Relation, exprs: Sequence[Expr], aliases: Sequence[str]
+) -> Relation:
+    """Evaluate expressions into a new relation with the given column names."""
+    if len(exprs) != len(aliases):
+        raise SchemaError("projection expressions and aliases must align")
+    fields = []
+    columns = {}
+    for expr, alias in zip(exprs, aliases):
+        dtype = validate_expression(expr, relation.schema)
+        fields.append(Field(alias, dtype))
+        columns[alias] = dtype.coerce_array(expr.evaluate(relation))
+    return Relation(Schema(fields), columns)
+
+
+def union_all(relations: Sequence[Relation]) -> Relation:
+    """Vertical union of relations sharing one schema."""
+    if not relations:
+        raise SchemaError("union of zero relations")
+    result = relations[0]
+    for rel in relations[1:]:
+        result = result.concat(rel)
+    return result
+
+
+def distinct(relation: Relation, keys: Sequence[str] | None = None) -> Relation:
+    """First occurrence of each distinct key combination (all columns if None)."""
+    keys = list(keys) if keys is not None else list(relation.column_names)
+    indices = distinct_indices(relation, keys)
+    return relation.take(np.sort(indices))
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    left_key: str,
+    right_key: str,
+    suffix: str = "_right",
+) -> Relation:
+    """Inner equi-join on one key column per side.
+
+    Right-side columns whose names collide with left-side names get
+    ``suffix`` appended (the join key from the right is dropped, since it
+    equals the left key on every output row).
+    """
+    left.schema.field(left_key)
+    right.schema.field(right_key)
+
+    buckets: dict[object, list[int]] = {}
+    right_values = right.column(right_key)
+    for i in range(right.num_rows):
+        buckets.setdefault(_hashable(right_values[i]), []).append(i)
+
+    left_indices: list[int] = []
+    right_indices: list[int] = []
+    left_values = left.column(left_key)
+    for i in range(left.num_rows):
+        for j in buckets.get(_hashable(left_values[i]), ()):
+            left_indices.append(i)
+            right_indices.append(j)
+
+    left_out = left.take(np.asarray(left_indices, dtype=np.int64))
+    right_out = right.take(np.asarray(right_indices, dtype=np.int64)).drop_column(right_key)
+
+    rename: dict[str, str] = {}
+    for name in right_out.column_names:
+        if name in left_out.schema:
+            rename[name] = f"{name}{suffix}"
+    right_out = right_out.rename(rename) if rename else right_out
+
+    schema = left_out.schema.concat(right_out.schema)
+    columns = {name: left_out.column(name) for name in left_out.column_names}
+    columns.update({name: right_out.column(name) for name in right_out.column_names})
+    return Relation(schema, columns)
+
+
+def limit(relation: Relation, n: int) -> Relation:
+    if n < 0:
+        raise SchemaError(f"LIMIT must be non-negative, got {n}")
+    return relation.head(n)
+
+
+def _hashable(value) -> object:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

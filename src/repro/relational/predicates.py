@@ -1,0 +1,212 @@
+"""Boolean-valued expressions: comparisons, IN, BETWEEN, AND/OR/NOT.
+
+Predicates are ordinary :class:`~repro.relational.expressions.Expr` nodes
+whose output dtype is BOOL, so they compose freely with the scalar
+expression machinery and with ``Relation.filter``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+from repro.relational.dtypes import DType
+from repro.relational.expressions import Expr
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+_COMPARISON_OPS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_ORDER_OPS = frozenset(["<", "<=", ">", ">="])
+
+
+class Comparison(Expr):
+    """``left <op> right`` producing a boolean mask.
+
+    Equality works for every type; ordering comparisons require both sides
+    numeric or both sides TEXT (lexicographic).
+    """
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _COMPARISON_OPS:
+            raise TypeMismatchError(f"unknown comparison operator: {op!r}")
+        self.op = "!=" if op == "<>" else op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        left = self.left.evaluate(relation)
+        right = self.right.evaluate(relation)
+        left_is_text = left.dtype == object
+        right_is_text = right.dtype == object
+        if left_is_text != right_is_text:
+            raise TypeMismatchError(
+                f"cannot compare TEXT with non-TEXT in {self.to_sql()}"
+            )
+        if left_is_text:
+            left = np.asarray([str(v) for v in left])
+            right = np.asarray([str(v) for v in right])
+        return _COMPARISON_OPS[self.op](left, right)
+
+    def output_dtype(self, schema: Schema) -> DType:
+        left = self.left.output_dtype(schema)
+        right = self.right.output_dtype(schema)
+        if (left is DType.TEXT) != (right is DType.TEXT):
+            raise TypeMismatchError(f"cannot compare TEXT with non-TEXT in {self.to_sql()}")
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` (or NOT IN)."""
+
+    def __init__(self, operand: Expr, values: Sequence[Any], negated: bool = False):
+        self.operand = operand
+        self.values = tuple(values)
+        self.negated = negated
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = self.operand.evaluate(relation)
+        if column.dtype == object:
+            wanted = {str(v) for v in self.values}
+            mask = np.asarray([str(v) in wanted for v in column], dtype=bool)
+        else:
+            mask = np.isin(column, np.asarray(self.values))
+        return ~mask if self.negated else mask
+
+    def output_dtype(self, schema: Schema) -> DType:
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.values)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {keyword} ({rendered}))"
+
+
+class Between(Expr):
+    """``expr BETWEEN low AND high`` — inclusive on both ends, per SQL."""
+
+    def __init__(self, operand: Expr, low: Expr, high: Expr, negated: bool = False):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        values = self.operand.evaluate(relation)
+        low = self.low.evaluate(relation)
+        high = self.high.evaluate(relation)
+        mask = (values >= low) & (values <= high)
+        return ~mask if self.negated else mask
+
+    def output_dtype(self, schema: Schema) -> DType:
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return (
+            self.operand.referenced_columns()
+            | self.low.referenced_columns()
+            | self.high.referenced_columns()
+        )
+
+    def to_sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.to_sql()} {keyword} {self.low.to_sql()} AND {self.high.to_sql()})"
+
+
+class And(Expr):
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return self.left.evaluate(relation) & self.right.evaluate(relation)
+
+    def output_dtype(self, schema: Schema) -> DType:
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} AND {self.right.to_sql()})"
+
+
+class Or(Expr):
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return self.left.evaluate(relation) | self.right.evaluate(relation)
+
+    def output_dtype(self, schema: Schema) -> DType:
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} OR {self.right.to_sql()})"
+
+
+class Not(Expr):
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return ~self.operand.evaluate(relation)
+
+    def output_dtype(self, schema: Schema) -> DType:
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.operand.to_sql()})"
+
+
+class TruePredicate(Expr):
+    """A predicate accepting every row (the implicit WHERE of no WHERE)."""
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return np.ones(relation.num_rows, dtype=bool)
+
+    def output_dtype(self, schema: Schema) -> DType:
+        return DType.BOOL
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+
+def conjoin(predicates: Sequence[Expr]) -> Expr:
+    """AND together a possibly-empty sequence of predicates."""
+    remaining = [p for p in predicates if not isinstance(p, TruePredicate)]
+    if not remaining:
+        return TruePredicate()
+    result = remaining[0]
+    for pred in remaining[1:]:
+        result = And(result, pred)
+    return result

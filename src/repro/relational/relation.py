@@ -1,0 +1,237 @@
+"""The :class:`Relation`: an immutable columnar table backed by numpy.
+
+A relation is a :class:`~repro.relational.schema.Schema` plus one numpy
+array per column, all of equal length.  Every transformation returns a new
+relation; column arrays are shared where safe (the arrays themselves are
+treated as immutable by convention).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.dtypes import DType
+from repro.relational.schema import Field, Schema
+
+
+class Relation:
+    """An immutable, schema-typed columnar table.
+
+    Construct with :meth:`from_columns`, :meth:`from_rows`, or
+    :meth:`empty`.  The raw constructor assumes the arrays are already
+    coerced to the schema's storage dtypes.
+    """
+
+    __slots__ = ("_schema", "_columns", "_nrows")
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise SchemaError(
+                f"column set {sorted(columns)} does not match schema {list(schema.names)}"
+            )
+        lengths = {arr.shape[0] for arr in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self._schema = schema
+        self._columns = {name: columns[name] for name in schema.names}
+        self._nrows = next(iter(lengths)) if lengths else 0
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_columns(cls, schema: Schema, columns: Mapping[str, Any]) -> "Relation":
+        """Build a relation, coercing each column to its declared dtype."""
+        coerced = {
+            field.name: field.dtype.coerce_array(columns[field.name]) for field in schema
+        }
+        return cls(schema, coerced)
+
+    @classmethod
+    def from_dict(cls, columns: Mapping[str, Any]) -> "Relation":
+        """Build a relation inferring the schema from the column values."""
+        schema = Schema(Field(name, DType.infer(values)) for name, values in columns.items())
+        return cls.from_columns(schema, columns)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from an iterable of row tuples."""
+        materialized = [tuple(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema arity {len(schema)}"
+                )
+        columns = {
+            field.name: [row[position] for row in materialized]
+            for position, field in enumerate(schema)
+        }
+        return cls.from_columns(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        """A zero-row relation with the given schema."""
+        return cls(
+            schema,
+            {field.name: np.empty(0, dtype=field.dtype.numpy_dtype) for field in schema},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema!r}, rows={self._nrows})"
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw storage array for a column. Treat as read-only."""
+        self._schema.field(name)
+        return self._columns[name]
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate rows as Python tuples (TEXT as str, numerics as numpy scalars)."""
+        arrays = [self._columns[name] for name in self._schema.names]
+        for i in range(self._nrows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_pylist(self) -> list[dict[str, Any]]:
+        """Rows as a list of plain-Python dicts (useful for tests and display)."""
+        names = self._schema.names
+        out = []
+        for row in self.rows():
+            out.append({name: _to_python(value) for name, value in zip(names, row)})
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Transformations (all return new relations)
+    # ------------------------------------------------------------------ #
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Keep rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self._nrows:
+            raise SchemaError(
+                f"mask length {mask.shape[0]} does not match row count {self._nrows}"
+            )
+        return Relation(self._schema, {name: arr[mask] for name, arr in self._columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Select rows by integer position (duplicates and reorderings allowed)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Relation(
+            self._schema, {name: arr[indices] for name, arr in self._columns.items()}
+        )
+
+    def head(self, n: int) -> "Relation":
+        return self.take(np.arange(min(n, self._nrows)))
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Keep only the named columns, in the given order."""
+        schema = self._schema.project(names)
+        return Relation(schema, {name: self._columns[name] for name in names})
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        schema = self._schema.rename(mapping)
+        columns = {mapping.get(name, name): arr for name, arr in self._columns.items()}
+        return Relation(schema, columns)
+
+    def with_column(self, name: str, dtype: DType, values: Any) -> "Relation":
+        """Append (or replace) a column."""
+        coerced = dtype.coerce_array(values)
+        if coerced.shape[0] != self._nrows:
+            raise SchemaError(
+                f"new column length {coerced.shape[0]} does not match row count {self._nrows}"
+            )
+        if name in self._schema:
+            fields = [
+                Field(name, dtype) if field.name == name else field for field in self._schema
+            ]
+        else:
+            fields = [*self._schema.fields, Field(name, dtype)]
+        columns = dict(self._columns)
+        columns[name] = coerced
+        return Relation(Schema(fields), columns)
+
+    def drop_column(self, name: str) -> "Relation":
+        remaining = [n for n in self._schema.names if n != name]
+        if len(remaining) == len(self._schema.names):
+            raise SchemaError(f"no such column: {name!r}")
+        return self.project(remaining)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Vertical union (schemas must match exactly)."""
+        if other.schema != self._schema:
+            raise SchemaError(
+                f"cannot concat relations with different schemas: "
+                f"{self._schema!r} vs {other.schema!r}"
+            )
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self._schema.names
+        }
+        return Relation(self._schema, columns)
+
+    def sort_by(self, names: Sequence[str], ascending: Sequence[bool] | None = None) -> "Relation":
+        """Stable multi-key sort.
+
+        Each key column is reduced to dense integer codes (value ranks), which
+        makes descending order a simple negation and lets ``np.lexsort`` do a
+        single stable pass over all keys.
+        """
+        if ascending is None:
+            ascending = [True] * len(names)
+        if len(ascending) != len(names):
+            raise SchemaError("sort keys and directions must have equal length")
+        if self._nrows == 0 or not names:
+            return self
+        keys = []
+        for name, asc in zip(names, ascending):
+            codes = _group_codes(self._columns[name])
+            keys.append(codes if asc else -codes)
+        # np.lexsort treats the *last* key as primary, so reverse the list.
+        order = np.lexsort(tuple(reversed(keys)))
+        return self.take(order)
+
+    def equals(self, other: "Relation") -> bool:
+        """Exact equality: same schema, same rows in the same order."""
+        if self._schema != other.schema or self._nrows != other.num_rows:
+            return False
+        for name in self._schema.names:
+            mine, theirs = self._columns[name], other.column(name)
+            if self._schema.dtype(name) is DType.FLOAT:
+                if not np.allclose(mine, theirs, equal_nan=True):
+                    return False
+            elif not np.array_equal(mine, theirs):
+                return False
+        return True
+
+
+def _group_codes(values: np.ndarray) -> np.ndarray:
+    """Dense integer codes per distinct value, in first-appearance order."""
+    _, codes = np.unique(values, return_inverse=True)
+    return codes
+
+
+def _to_python(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

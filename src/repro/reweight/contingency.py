@@ -1,0 +1,137 @@
+"""Mapping sample tuples onto marginal cells.
+
+IPF needs to know, for every sample row and every marginal, which cell the
+row falls in.  The flights data uses exact (whole-number / categorical)
+cell values, so the default mapping is exact-value; an optional
+equal-width :class:`Binner` supports continuous attributes whose marginals
+are histograms over intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.metadata import Marginal
+from repro.errors import ReweightError
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class CellAssignment:
+    """Rows → marginal cells, for one marginal over one sample relation.
+
+    ``cell_keys`` lists the distinct cells that occur (marginal cells plus
+    any sample-only cells); ``row_cell`` maps each sample row to an index
+    into ``cell_keys``; ``target_mass[i]`` is the marginal's mass for cell
+    ``i`` (0 for cells the marginal does not list).
+    """
+
+    cell_keys: tuple[tuple, ...]
+    row_cell: np.ndarray
+    target_mass: np.ndarray
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_keys)
+
+    def achieved_mass(self, weights: np.ndarray) -> np.ndarray:
+        """Current weighted mass per cell."""
+        return np.bincount(self.row_cell, weights=weights, minlength=self.num_cells)
+
+    def unreachable_mass(self, weights: np.ndarray | None = None) -> float:
+        """Marginal mass in cells with no sample rows at all.
+
+        This is the mass SEMI-OPEN evaluation can never recover (it would
+        need new tuples — the motivation for OPEN queries).
+        """
+        occupied = np.zeros(self.num_cells, dtype=bool)
+        occupied[np.unique(self.row_cell)] = True
+        return float(np.sum(self.target_mass[~occupied]))
+
+
+def assign_cells(relation: Relation, marginal: Marginal) -> CellAssignment:
+    """Assign every row of ``relation`` to a cell of ``marginal``.
+
+    Sample values that do not appear in the marginal become extra cells
+    with target mass 0 (the marginal asserts those values have zero
+    population mass, so IPF drives their weights to zero).
+    """
+    columns = []
+    for attribute in marginal.attributes:
+        if attribute not in relation.schema:
+            raise ReweightError(
+                f"marginal attribute {attribute!r} missing from sample columns "
+                f"{list(relation.column_names)}"
+            )
+        columns.append(relation.column(attribute))
+
+    key_index: dict[tuple, int] = {}
+    cell_keys: list[tuple] = []
+    masses: list[float] = []
+    for key, mass in marginal.cells():
+        key_index[key] = len(cell_keys)
+        cell_keys.append(key)
+        masses.append(mass)
+
+    n = relation.num_rows
+    row_cell = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        key = tuple(_native(col[i]) for col in columns)
+        index = key_index.get(key)
+        if index is None:
+            index = len(cell_keys)
+            key_index[key] = index
+            cell_keys.append(key)
+            masses.append(0.0)
+        row_cell[i] = index
+
+    return CellAssignment(
+        cell_keys=tuple(cell_keys),
+        row_cell=row_cell,
+        target_mass=np.asarray(masses, dtype=np.float64),
+    )
+
+
+class Binner:
+    """Equal-width binning of a continuous attribute.
+
+    Produces integer bin labels so binned attributes can be used as exact
+    marginal cell values: bin ``b`` covers ``[low + b·width, low + (b+1)·width)``
+    with the last bin closed on the right.
+    """
+
+    def __init__(self, low: float, high: float, bins: int):
+        if not bins > 0:
+            raise ReweightError(f"need a positive number of bins, got {bins}")
+        if not high > low:
+            raise ReweightError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self.bins = int(bins)
+
+    @classmethod
+    def fit(cls, values: np.ndarray, bins: int) -> "Binner":
+        values = np.asarray(values, dtype=np.float64)
+        low, high = float(np.min(values)), float(np.max(values))
+        if high == low:
+            high = low + 1.0
+        return cls(low, high, bins)
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Bin label per value; out-of-range values clamp to the edge bins."""
+        values = np.asarray(values, dtype=np.float64)
+        width = (self.high - self.low) / self.bins
+        labels = np.floor((values - self.low) / width).astype(np.int64)
+        return np.clip(labels, 0, self.bins - 1)
+
+    def midpoints(self) -> np.ndarray:
+        width = (self.high - self.low) / self.bins
+        return self.low + width * (np.arange(self.bins) + 0.5)
+
+
+def _native(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

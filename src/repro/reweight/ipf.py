@@ -1,0 +1,166 @@
+"""Iterative Proportional Fitting on tuple weights ("raking").
+
+The paper (Sec. 4.1): *"Mosaic leverages the IPF technique presented in
+[42] to answer arbitrary queries over samples.  Specifically, we reweight
+the sample so that the given marginals are satisfied."*
+
+Classical IPF ([13] Deming & Stephan 1940, [27] Sinkhorn) iterates over the
+target marginals, scaling each contingency cell's mass by
+``target / current``.  Operating on *tuple weights* (raking) is the same
+algorithm restricted to the cells the sample occupies, keeping weights
+within a cell proportional to their current values — which also avoids
+materialising the full cross-product contingency cube.
+
+Structural zeros are reported, not hidden: marginal mass in cells with no
+sample tuples is unreachable by reweighting alone (``unreachable_mass``),
+which is exactly the false-negative gap that motivates OPEN queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.metadata import Marginal
+from repro.errors import ConvergenceError, ReweightError
+from repro.relational.relation import Relation
+from repro.reweight.contingency import CellAssignment, assign_cells
+from repro.reweight.weights import validate_weights
+
+
+@dataclass(frozen=True)
+class IpfResult:
+    """Outcome of an IPF run.
+
+    ``max_relative_error`` measures the worst marginal-cell misfit among
+    the cells that are *reachable* (target > 0 and occupied by at least one
+    sample row); unreachable target mass is reported separately per
+    marginal in ``unreachable_mass``.
+    """
+
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+    max_relative_error: float
+    unreachable_mass: tuple[float, ...]
+
+    @property
+    def total_weight(self) -> float:
+        return float(np.sum(self.weights))
+
+
+def ipf_reweight(
+    relation: Relation,
+    marginals: list[Marginal],
+    initial_weights: np.ndarray | None = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+    raise_on_failure: bool = False,
+) -> IpfResult:
+    """Rake ``relation``'s tuple weights to satisfy ``marginals``.
+
+    Parameters
+    ----------
+    relation:
+        The sample tuples.
+    marginals:
+        1-D / 2-D target marginals whose attributes all exist in
+        ``relation``.
+    initial_weights:
+        Starting weights (all ones when omitted — the paper's
+        initialisation, Sec. 3.2).
+    max_iterations:
+        Full passes over all marginals.
+    tolerance:
+        Convergence threshold on the maximum relative cell error over
+        reachable cells.
+    raise_on_failure:
+        Raise :class:`ConvergenceError` instead of returning a
+        non-converged result.
+    """
+    if not marginals:
+        raise ReweightError("IPF needs at least one marginal")
+    if relation.num_rows == 0:
+        raise ReweightError("IPF needs a non-empty sample")
+
+    if initial_weights is None:
+        weights = np.ones(relation.num_rows, dtype=np.float64)
+    else:
+        weights = validate_weights(initial_weights).copy()
+        if weights.shape[0] != relation.num_rows:
+            raise ReweightError(
+                f"initial weights length {weights.shape[0]} does not match "
+                f"sample rows {relation.num_rows}"
+            )
+
+    assignments = [assign_cells(relation, marginal) for marginal in marginals]
+
+    # Rows in cells the marginals give zero mass can never carry weight.
+    for assignment in assignments:
+        dead_cells = assignment.target_mass <= 0.0
+        weights[dead_cells[assignment.row_cell]] = 0.0
+
+    if not np.any(weights > 0):
+        raise ReweightError(
+            "every sample tuple falls in zero-mass marginal cells; "
+            "the sample is disjoint from the declared population"
+        )
+
+    iterations = 0
+    error = np.inf
+    for iterations in range(1, max_iterations + 1):
+        for assignment in assignments:
+            weights = _rake_once(weights, assignment)
+        error = _max_relative_error(weights, assignments)
+        if error <= tolerance:
+            break
+
+    converged = error <= tolerance
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"IPF failed to reach tolerance {tolerance:g} "
+            f"(max relative error {error:g})",
+            iterations=iterations,
+        )
+
+    return IpfResult(
+        weights=weights,
+        iterations=iterations,
+        converged=converged,
+        max_relative_error=float(error),
+        unreachable_mass=tuple(a.unreachable_mass() for a in assignments),
+    )
+
+
+def _rake_once(weights: np.ndarray, assignment: CellAssignment) -> np.ndarray:
+    """One raking step: scale weights so this marginal is matched exactly."""
+    achieved = assignment.achieved_mass(weights)
+    factors = np.ones(assignment.num_cells, dtype=np.float64)
+    fittable = (achieved > 0.0) & (assignment.target_mass > 0.0)
+    factors[fittable] = assignment.target_mass[fittable] / achieved[fittable]
+    zero_target = assignment.target_mass <= 0.0
+    factors[zero_target] = 0.0
+    return weights * factors[assignment.row_cell]
+
+
+def _max_relative_error(weights: np.ndarray, assignments: list[CellAssignment]) -> float:
+    """Worst relative misfit across all reachable marginal cells."""
+    worst = 0.0
+    for assignment in assignments:
+        achieved = assignment.achieved_mass(weights)
+        occupied = np.zeros(assignment.num_cells, dtype=bool)
+        occupied[np.unique(assignment.row_cell)] = True
+        reachable = occupied & (assignment.target_mass > 0.0)
+        if not np.any(reachable):
+            continue
+        relative = np.abs(
+            achieved[reachable] - assignment.target_mass[reachable]
+        ) / assignment.target_mass[reachable]
+        worst = max(worst, float(np.max(relative)))
+    return worst
+
+
+def fitted_marginal(relation: Relation, weights: np.ndarray, marginal: Marginal) -> Marginal:
+    """The marginal the weighted sample actually realises (for diagnostics)."""
+    return Marginal.from_data(relation, list(marginal.attributes), weights=weights)

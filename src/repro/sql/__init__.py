@@ -1,0 +1,19 @@
+"""The Mosaic SQL dialect.
+
+Standard SQL plus the paper's extensions (Sec. 3):
+
+- ``CREATE [GLOBAL] POPULATION <name> (cols) [AS (SELECT ... FROM <gp> WHERE ...)]``
+- ``CREATE SAMPLE <name> [(cols)] AS (SELECT ... FROM <gp> [WHERE ...]
+  [USING MECHANISM <mech> PERCENT <p>])``
+- ``CREATE METADATA <name> [FOR <population>] AS (SELECT Ai [, Aj], COUNT(*)
+  FROM <aux> GROUP BY Ai [, Aj])``
+- ``SELECT {CLOSED | SEMI-OPEN | OPEN} ... FROM <population> ...``
+- ``UPDATE SAMPLE <name> SET WEIGHT = <expr> [WHERE ...]``
+
+Entry point: :func:`repro.sql.parser.parse_statement` /
+:func:`repro.sql.parser.parse_script`.
+"""
+
+from repro.sql.parser import parse_script, parse_statement
+
+__all__ = ["parse_statement", "parse_script"]

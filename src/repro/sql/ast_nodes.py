@@ -1,0 +1,193 @@
+"""Statement AST for the Mosaic SQL dialect.
+
+Scalar/boolean expressions reuse the relational expression nodes
+(:mod:`repro.relational.expressions` / ``predicates``) directly, with one
+extra node — :class:`Identifier` — for names that can only be resolved
+against a schema at bind time (column reference vs. the paper's bareword
+string literals, e.g. ``WHERE email = Yahoo``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.visibility import Visibility
+from repro.errors import SqlCompileError
+from repro.relational.dtypes import DType
+from repro.relational.expressions import Expr
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class Identifier(Expr):
+    """A bare name whose meaning (column vs. string literal) binds later.
+
+    The parser cannot know the schema, so ``email = Yahoo`` (the paper's
+    motivating example uses unquoted barewords) parses ``Yahoo`` into an
+    ``Identifier``; :func:`repro.sql.binder.bind_expression` rewrites it to a
+    ``ColumnRef`` when the schema has that column and to a TEXT ``Literal``
+    otherwise.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        raise SqlCompileError(
+            f"unbound identifier {self.name!r}: bind_expression() must run first"
+        )
+
+    def output_dtype(self, schema: Schema) -> DType:
+        raise SqlCompileError(
+            f"unbound identifier {self.name!r}: bind_expression() must run first"
+        )
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_sql(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Identifier) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Identifier", self.name))
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item in a SELECT list.
+
+    Exactly one of the three shapes:
+
+    - star: ``SELECT *`` (``is_star=True``),
+    - aggregate: ``func`` in COUNT/SUM/AVG/MIN/MAX with ``expr`` (``None``
+      for ``COUNT(*)``),
+    - plain expression: ``expr`` with ``func=None``.
+    """
+
+    expr: Expr | None = None
+    func: str | None = None
+    alias: str | None = None
+    is_star: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.func is not None
+
+    def default_alias(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.is_star:
+            return "*"
+        if self.func is not None:
+            arg = "*" if self.expr is None else self.expr.to_sql()
+            return f"{self.func}({arg})"
+        assert self.expr is not None
+        return self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    column: str
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``SELECT [visibility] items FROM table [WHERE] [GROUP BY] [ORDER BY] [LIMIT]``."""
+
+    items: tuple[SelectItem, ...]
+    table: str
+    visibility: Visibility | None = None
+    where: Expr | None = None
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate for item in self.items)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    temporary: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """``USING MECHANISM UNIFORM PERCENT 10`` / ``STRATIFIED ON a PERCENT 20``."""
+
+    kind: str  # "UNIFORM" | "STRATIFIED"
+    percent: float
+    stratify_on: str | None = None
+
+
+@dataclass(frozen=True)
+class CreatePopulation:
+    name: str
+    columns: tuple[ColumnDef, ...] = ()
+    is_global: bool = False
+    source: SelectQuery | None = None
+
+
+@dataclass(frozen=True)
+class CreateSample:
+    name: str
+    source: SelectQuery
+    columns: tuple[ColumnDef, ...] = ()
+    mechanism: MechanismSpec | None = None
+
+
+@dataclass(frozen=True)
+class CreateMetadata:
+    name: str
+    query: SelectQuery
+    for_population: str | None = None
+
+
+@dataclass(frozen=True)
+class UpdateWeights:
+    """``UPDATE SAMPLE <name> SET WEIGHT = <expr> [WHERE <pred>]``."""
+
+    sample: str
+    expr: Expr
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Drop:
+    kind: str  # "TABLE" | "POPULATION" | "SAMPLE" | "METADATA"
+    name: str
+
+
+Statement = (
+    SelectQuery
+    | CreateTable
+    | Insert
+    | CreatePopulation
+    | CreateSample
+    | CreateMetadata
+    | UpdateWeights
+    | Drop
+)

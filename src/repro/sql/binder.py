@@ -1,0 +1,110 @@
+"""Name resolution: bind parsed expressions against a concrete schema.
+
+The parser produces :class:`~repro.sql.ast_nodes.Identifier` nodes for every
+bare name.  At bind time (when the target relation's schema is known) each
+identifier resolves to either:
+
+- a :class:`~repro.relational.expressions.ColumnRef` when the schema has a
+  column of that name (exact match first, then case-insensitive), or
+- a TEXT :class:`~repro.relational.expressions.Literal` otherwise — this is
+  the paper's bareword convention (``WHERE email = Yahoo``).
+
+Binding rewrites the tree bottom-up and leaves already-bound nodes alone, so
+it is idempotent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlCompileError
+from repro.relational.expressions import Arithmetic, ColumnRef, Expr, Literal, Negate
+from repro.relational.predicates import And, Between, Comparison, InList, Not, Or, TruePredicate
+from repro.relational.schema import Schema
+from repro.sql.ast_nodes import Identifier
+
+
+def bind_expression(expr: Expr, schema: Schema, allow_barewords: bool = True) -> Expr:
+    """Resolve every :class:`Identifier` in ``expr`` against ``schema``.
+
+    With ``allow_barewords=False`` an unresolvable identifier raises
+    :class:`SqlCompileError` instead of becoming a string literal.
+    """
+    if isinstance(expr, Identifier):
+        return _bind_identifier(expr, schema, allow_barewords)
+    if isinstance(expr, (ColumnRef, Literal, TruePredicate)):
+        return expr
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(
+            expr.op,
+            bind_expression(expr.left, schema, allow_barewords),
+            bind_expression(expr.right, schema, allow_barewords),
+        )
+    if isinstance(expr, Negate):
+        return Negate(bind_expression(expr.operand, schema, allow_barewords))
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op,
+            bind_expression(expr.left, schema, allow_barewords),
+            bind_expression(expr.right, schema, allow_barewords),
+        )
+    if isinstance(expr, InList):
+        return InList(
+            bind_expression(expr.operand, schema, allow_barewords),
+            expr.values,
+            negated=expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            bind_expression(expr.operand, schema, allow_barewords),
+            bind_expression(expr.low, schema, allow_barewords),
+            bind_expression(expr.high, schema, allow_barewords),
+            negated=expr.negated,
+        )
+    if isinstance(expr, And):
+        return And(
+            bind_expression(expr.left, schema, allow_barewords),
+            bind_expression(expr.right, schema, allow_barewords),
+        )
+    if isinstance(expr, Or):
+        return Or(
+            bind_expression(expr.left, schema, allow_barewords),
+            bind_expression(expr.right, schema, allow_barewords),
+        )
+    if isinstance(expr, Not):
+        return Not(bind_expression(expr.operand, schema, allow_barewords))
+    raise SqlCompileError(f"cannot bind expression node of type {type(expr).__name__}")
+
+
+def _bind_identifier(identifier: Identifier, schema: Schema, allow_barewords: bool) -> Expr:
+    name = identifier.name
+    if name in schema:
+        return ColumnRef(name)
+    resolved = resolve_column_name(name, schema)
+    if resolved is not None:
+        return ColumnRef(resolved)
+    if allow_barewords:
+        return Literal(name)
+    raise SqlCompileError(
+        f"unknown column {name!r} (have {list(schema.names)})"
+    )
+
+
+def resolve_column_name(name: str, schema: Schema) -> str | None:
+    """Resolve ``name`` to a schema column, case-insensitively if needed.
+
+    Returns the canonical column name, or ``None`` when absent or ambiguous.
+    """
+    if name in schema:
+        return name
+    lowered = name.lower()
+    matches = [column for column in schema.names if column.lower() == lowered]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def require_column(name: str, schema: Schema) -> str:
+    """Like :func:`resolve_column_name` but raising on failure."""
+    resolved = resolve_column_name(name, schema)
+    if resolved is None:
+        raise SqlCompileError(f"unknown column {name!r} (have {list(schema.names)})")
+    return resolved

@@ -1,0 +1,155 @@
+"""Tokeniser for the Mosaic SQL dialect.
+
+Supports:
+
+- identifiers / keywords (case-insensitive keywords; identifiers keep case),
+- integer and float literals (``42``, ``3.14``, ``1e-7``, ``.5``),
+- single-quoted string literals with ``''`` escaping,
+- operators ``= != <> < <= > >= + - * / %``,
+- punctuation ``( ) , ;`` and ``*``,
+- ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+_OPERATOR_CHARS = frozenset("=!<>+-/%")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        char = text[i]
+
+        if char in " \t\r\n":
+            advance(1)
+            continue
+
+        if char == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+
+        start_line, start_column = line, column
+
+        if char == "'":
+            value, length = _read_string(text, i, start_line, start_column)
+            tokens.append(Token(TokenType.STRING, value, start_line, start_column))
+            advance(length)
+            continue
+
+        if char.isdigit() or (char == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, length = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_column))
+            advance(length)
+            continue
+
+        if char.isalpha() or char == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start_line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start_line, start_column))
+            advance(j - i)
+            continue
+
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", start_line, start_column))
+            advance(1)
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", start_line, start_column))
+            advance(1)
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", start_line, start_column))
+            advance(1)
+            continue
+        if char == ";":
+            tokens.append(Token(TokenType.SEMICOLON, ";", start_line, start_column))
+            advance(1)
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", start_line, start_column))
+            advance(1)
+            continue
+
+        if char in _OPERATOR_CHARS:
+            two = text[i : i + 2]
+            if two in ("!=", "<>", "<=", ">="):
+                tokens.append(Token(TokenType.OPERATOR, two, start_line, start_column))
+                advance(2)
+                continue
+            if char == "!":
+                raise SqlSyntaxError("unexpected character '!'", start_line, start_column)
+            tokens.append(Token(TokenType.OPERATOR, char, start_line, start_column))
+            advance(1)
+            continue
+
+        raise SqlSyntaxError(f"unexpected character {char!r}", start_line, start_column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens
+
+
+def _read_string(text: str, start: int, line: int, column: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``text[start]``.
+
+    Returns ``(value, consumed_length)``; ``''`` inside the string is an
+    escaped quote.
+    """
+    i = start + 1
+    n = len(text)
+    out: list[str] = []
+    while i < n:
+        char = text[i]
+        if char == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i - start + 1
+        out.append(char)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", line, column)
+
+
+def _read_number(text: str, start: int) -> tuple[str, int]:
+    """Read a numeric literal. Supports ``123``, ``1.5``, ``.5``, ``1e-7``."""
+    i = start
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == ".":
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    return text[start:i], i - start

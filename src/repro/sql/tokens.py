@@ -1,0 +1,53 @@
+"""Token definitions for the Mosaic SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"  # = != <> < <= > >= + - * / %
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    SEMICOLON = "SEMICOLON"
+    STAR = "STAR"  # '*' (doubles as multiplication; parser disambiguates)
+    EOF = "EOF"
+
+
+# Keywords are uppercased by the lexer; identifiers keep their original case.
+KEYWORDS = frozenset(
+    [
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS",
+        "AND", "OR", "NOT", "IN", "BETWEEN", "ASC", "DESC",
+        "CREATE", "TABLE", "TEMPORARY", "INSERT", "INTO", "VALUES",
+        "POPULATION", "GLOBAL", "SAMPLE", "METADATA", "FOR",
+        "USING", "MECHANISM", "PERCENT", "UNIFORM", "STRATIFIED", "ON",
+        "CLOSED", "OPEN", "SEMI",
+        "UPDATE", "SET", "WEIGHT", "DROP",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+        "TRUE", "FALSE",
+        "DISTINCT",
+    ]
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its 1-based source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def __repr__(self) -> str:
+        return f"{self.type.value}({self.value!r})@{self.line}:{self.column}"

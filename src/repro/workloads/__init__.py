@@ -1,0 +1,54 @@
+"""The paper's datasets and query workloads, built synthetically.
+
+- :mod:`repro.workloads.spiral` — the 2-D spiral population of Sec. 5.3's
+  synthetic experiment (Fig. 5/6), with a position-biased sampler.
+- :mod:`repro.workloads.flights` — an IDEBench-flights-like synthetic
+  dataset (Table 1's five attributes with realistic correlations and
+  carrier skew), plus the paper's biased 5 % sample (95 % long flights).
+  Substitutes for the real IDEBench data, which is not available offline;
+  see DESIGN.md for the substitution argument.
+- :mod:`repro.workloads.migrants` — the Sec. 2 motivating example
+  (Eurostat-style marginals, Yahoo-only sample).
+- :mod:`repro.workloads.queries` — Table 2's eight aggregate queries,
+  random box-count queries (Fig. 6), and random template queries
+  (the paper's 200-query parameter-selection workload).
+"""
+
+from repro.workloads.flights import (
+    FlightsConfig,
+    flights_marginals,
+    make_biased_flights_sample,
+    make_flights_population,
+)
+from repro.workloads.migrants import MigrantsConfig, build_migrants_database
+from repro.workloads.queries import (
+    AggregateQuery,
+    BoxQuery,
+    paper_flights_queries,
+    random_box_queries,
+    random_template_queries,
+)
+from repro.workloads.spiral import (
+    SpiralConfig,
+    make_biased_spiral_sample,
+    make_spiral_population,
+    spiral_marginals,
+)
+
+__all__ = [
+    "SpiralConfig",
+    "make_spiral_population",
+    "make_biased_spiral_sample",
+    "spiral_marginals",
+    "FlightsConfig",
+    "make_flights_population",
+    "make_biased_flights_sample",
+    "flights_marginals",
+    "MigrantsConfig",
+    "build_migrants_database",
+    "AggregateQuery",
+    "BoxQuery",
+    "paper_flights_queries",
+    "random_box_queries",
+    "random_template_queries",
+]

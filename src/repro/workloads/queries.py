@@ -1,0 +1,242 @@
+"""Query workloads: Table 2's eight queries, box counts, random templates.
+
+Queries exist in two forms: SQL text (exercising the full front end) and a
+structured :class:`AggregateQuery` / :class:`BoxQuery` that experiments
+evaluate directly against (weighted) relations — the paper runs hundreds
+of random queries per figure, so the structured path avoids re-parsing.
+Both paths are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MosaicError
+from repro.relational.relation import Relation
+
+_COMPARATORS = {
+    ">": np.greater,
+    "<": np.less,
+    ">=": np.greater_equal,
+    "<=": np.less_equal,
+}
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``SELECT [group,] AGG(target) FROM F WHERE filter_attr op threshold
+    [AND group IN (...)] [GROUP BY group]``.
+
+    Exactly the shape of the paper's Table 2 queries and of the random
+    template workload used for model selection.
+    """
+
+    query_id: str
+    aggregate: str  # AVG / SUM / COUNT
+    target: str | None  # None only for COUNT
+    filter_attribute: str
+    comparator: str
+    threshold: float
+    group_by: str | None = None
+    group_values: tuple[str, ...] = ()
+
+    def to_sql(self, table: str = "F") -> str:
+        target = "*" if self.target is None else self.target
+        select = f"{self.aggregate}({target})"
+        where = f"{self.filter_attribute} {self.comparator} {self.threshold:g}"
+        if self.group_by:
+            values = ", ".join(f"'{v}'" for v in self.group_values)
+            in_clause = f" AND {self.group_by} IN ({values})" if self.group_values else ""
+            return (
+                f"SELECT {self.group_by}, {select} FROM {table} "
+                f"WHERE {where}{in_clause} GROUP BY {self.group_by}"
+            )
+        return f"SELECT {select} FROM {table} WHERE {where}"
+
+    def evaluate(
+        self, relation: Relation, weights: np.ndarray | None = None
+    ) -> dict[tuple, float]:
+        """Answer as ``{group_key: value}`` (key ``()`` when ungrouped).
+
+        Groups with zero surviving weight are absent — matching the
+        engine's "reweighted-away groups do not exist" semantics.
+        """
+        mask = _COMPARATORS[self.comparator](
+            np.asarray(relation.column(self.filter_attribute), dtype=np.float64),
+            self.threshold,
+        )
+        if self.group_by and self.group_values:
+            column = relation.column(self.group_by)
+            wanted = set(self.group_values)
+            mask = mask & np.asarray([str(v) in wanted for v in column], dtype=bool)
+
+        if weights is None:
+            weights = np.ones(relation.num_rows)
+        weights = np.where(mask, weights, 0.0)
+
+        if self.group_by is None:
+            value = self._aggregate(relation, weights)
+            return {} if value is None else {(): value}
+
+        answers: dict[tuple, float] = {}
+        column = relation.column(self.group_by)
+        distinct = {str(v) for v in column}
+        wanted = distinct & set(self.group_values) if self.group_values else distinct
+        for group in sorted(wanted):
+            group_mask = np.asarray([str(v) == group for v in column], dtype=bool)
+            value = self._aggregate(relation, np.where(group_mask, weights, 0.0))
+            if value is not None:
+                answers[(group,)] = value
+        return answers
+
+    def _aggregate(self, relation: Relation, weights: np.ndarray) -> float | None:
+        total = float(np.sum(weights))
+        if total <= 0.0:
+            return None
+        if self.aggregate == "COUNT":
+            return total
+        values = np.asarray(relation.column(self.target), dtype=np.float64)
+        if self.aggregate == "SUM":
+            return float(np.sum(weights * values))
+        if self.aggregate == "AVG":
+            return float(np.sum(weights * values) / total)
+        raise MosaicError(f"unsupported aggregate {self.aggregate!r}")
+
+
+#: Short attribute names of Table 1/2 mapped to the schema columns.
+ABBREVIATIONS = {
+    "C": "carrier",
+    "O": "taxi_out",
+    "I": "taxi_in",
+    "E": "elapsed_time",
+    "D": "distance",
+}
+
+
+def paper_flights_queries() -> list[AggregateQuery]:
+    """Table 2, queries 1–8 (GROUP BY C restored, per the caption)."""
+    return [
+        AggregateQuery("1", "AVG", "distance", "elapsed_time", ">", 200),
+        AggregateQuery("2", "AVG", "taxi_in", "elapsed_time", "<", 200),
+        AggregateQuery("3", "AVG", "elapsed_time", "distance", ">", 1000),
+        AggregateQuery("4", "AVG", "taxi_out", "distance", "<", 1000),
+        AggregateQuery(
+            "5", "AVG", "distance", "elapsed_time", ">", 200,
+            group_by="carrier", group_values=("WN", "AA"),
+        ),
+        AggregateQuery(
+            "6", "AVG", "taxi_in", "elapsed_time", "<", 200,
+            group_by="carrier", group_values=("WN", "AA"),
+        ),
+        AggregateQuery(
+            "7", "AVG", "elapsed_time", "distance", ">", 1000,
+            group_by="carrier", group_values=("WN", "AA"),
+        ),
+        AggregateQuery(
+            "8", "AVG", "taxi_out", "distance", "<", 1000,
+            group_by="carrier", group_values=("US", "F9"),
+        ),
+    ]
+
+
+def random_template_queries(
+    rng: np.random.Generator,
+    count: int,
+    attributes: tuple[str, ...] = ("taxi_out", "taxi_in", "elapsed_time", "distance"),
+    value_ranges: dict[str, tuple[float, float]] | None = None,
+) -> list[AggregateQuery]:
+    """Random queries with the template of queries 1–4.
+
+    "running 200 random queries over the continuous attributes with the
+    same template as queries 1-4 where the attributes and predicates are
+    randomly generated."
+    """
+    ranges = value_ranges or {
+        "taxi_out": (8.0, 45.0),
+        "taxi_in": (4.0, 25.0),
+        "elapsed_time": (40.0, 450.0),
+        "distance": (100.0, 2500.0),
+    }
+    queries = []
+    for i in range(count):
+        target = attributes[rng.integers(len(attributes))]
+        remaining = tuple(a for a in attributes if a != target)
+        filter_attribute = remaining[rng.integers(len(remaining))]
+        low, high = ranges[filter_attribute]
+        threshold = float(np.round(rng.uniform(low, high)))
+        comparator = ">" if rng.random() < 0.5 else "<"
+        queries.append(
+            AggregateQuery(
+                query_id=f"rand{i}",
+                aggregate="AVG",
+                target=target,
+                filter_attribute=filter_attribute,
+                comparator=comparator,
+                threshold=threshold,
+            )
+        )
+    return queries
+
+
+@dataclass(frozen=True)
+class BoxQuery:
+    """A 2-D range-count query: tuples inside an axis-aligned box (Fig. 6)."""
+
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+
+    def count(self, relation: Relation, weights: np.ndarray | None = None) -> float:
+        x = relation.column("x")
+        y = relation.column("y")
+        mask = (
+            (x >= self.x_low)
+            & (x <= self.x_high)
+            & (y >= self.y_low)
+            & (y <= self.y_high)
+        )
+        if weights is None:
+            return float(np.sum(mask))
+        return float(np.sum(np.where(mask, weights, 0.0)))
+
+    def to_sql(self, table: str = "Spiral") -> str:
+        return (
+            f"SELECT COUNT(*) FROM {table} WHERE "
+            f"x BETWEEN {self.x_low:g} AND {self.x_high:g} AND "
+            f"y BETWEEN {self.y_low:g} AND {self.y_high:g}"
+        )
+
+
+def random_box_queries(
+    rng: np.random.Generator,
+    population: Relation,
+    coverage: float,
+    count: int,
+) -> list[BoxQuery]:
+    """Random boxes whose side covers ``coverage`` of each axis's range.
+
+    "a width coverage of 0.8 means the range queries for 80 percent of the
+    data on one dimension and 80 percent of the data on the other" — box
+    widths are ``coverage`` × the data range per axis, positions uniform
+    within the data's bounding box.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise MosaicError(f"coverage must be in (0, 1], got {coverage}")
+    x = population.column("x")
+    y = population.column("y")
+    x_low, x_high = float(np.min(x)), float(np.max(x))
+    y_low, y_high = float(np.min(y)), float(np.max(y))
+    width_x = (x_high - x_low) * coverage
+    width_y = (y_high - y_low) * coverage
+
+    queries = []
+    for _ in range(count):
+        start_x = rng.uniform(x_low, x_high - width_x)
+        start_y = rng.uniform(y_low, y_high - width_y)
+        queries.append(
+            BoxQuery(start_x, start_x + width_x, start_y, start_y + width_y)
+        )
+    return queries

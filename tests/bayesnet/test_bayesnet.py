@@ -1,0 +1,180 @@
+"""Unit tests for the Bayesian-network population model."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpd import ConditionalTable, RootTable
+from repro.bayesnet.model import BayesianNetworkModel
+from repro.bayesnet.structure import learn_chow_liu, mutual_information
+from repro.catalog.metadata import Marginal
+from repro.errors import GenerativeModelError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def correlated_sample():
+    """a ⟂̸ b (deterministic copy), c independent."""
+    rng = np.random.default_rng(0)
+    a = rng.choice([0, 1], size=500)
+    b = a.copy()
+    c = rng.choice([0, 1], size=500)
+    return {"a": a, "b": b, "c": c}
+
+
+class TestMutualInformation:
+    def test_independent_is_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.choice(2, size=5000)
+        b = rng.choice(2, size=5000)
+        mi = mutual_information(a, b, 2, 2, np.ones(5000))
+        assert mi < 0.01
+
+    def test_deterministic_copy_is_entropy(self):
+        a = np.array([0, 1] * 100)
+        mi = mutual_information(a, a, 2, 2, np.ones(200))
+        assert mi == pytest.approx(np.log(2), rel=1e-6)
+
+    def test_weights_matter(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        # Upweight the diagonal so the variables become correlated.
+        mi = mutual_information(a, b, 2, 2, np.array([10.0, 0.1, 0.1, 10.0]))
+        assert mi > 0.3
+
+
+class TestStructure:
+    def test_correlated_pair_connected(self, correlated_sample):
+        codes = {k: v for k, v in correlated_sample.items()}
+        structure = learn_chow_liu(codes, {"a": 2, "b": 2, "c": 2}, np.ones(500))
+        # a-b is the strongest edge; whichever the root, a and b are adjacent.
+        assert structure.parents["b"] == "a" or structure.parents["a"] == "b"
+
+    def test_order_has_parents_first(self, correlated_sample):
+        codes = {k: v for k, v in correlated_sample.items()}
+        structure = learn_chow_liu(codes, {"a": 2, "b": 2, "c": 2}, np.ones(500))
+        seen = set()
+        for node in structure.order:
+            parent = structure.parents[node]
+            assert parent is None or parent in seen
+            seen.add(node)
+
+    def test_single_attribute(self):
+        structure = learn_chow_liu({"a": np.zeros(3, dtype=int)}, {"a": 1}, np.ones(3))
+        assert structure.root == "a"
+        assert structure.parents == {"a": None}
+
+    def test_explicit_root(self, correlated_sample):
+        codes = {k: v for k, v in correlated_sample.items()}
+        structure = learn_chow_liu(codes, {"a": 2, "b": 2, "c": 2}, np.ones(500), root="c")
+        assert structure.root == "c"
+
+
+class TestCpds:
+    def test_root_table_normalised(self):
+        table = RootTable(np.array([0, 0, 1]), 2, np.ones(3), alpha=0.0)
+        assert table.probabilities.sum() == pytest.approx(1.0)
+        assert table[0] == pytest.approx(2 / 3)
+
+    def test_conditional_rows_normalised(self):
+        table = ConditionalTable(
+            np.array([0, 1, 1]), np.array([0, 0, 1]), 2, 2, np.ones(3), alpha=0.0
+        )
+        assert np.allclose(table.probabilities.sum(axis=1), 1.0)
+
+    def test_smoothing_fills_unseen_parent(self):
+        table = ConditionalTable(
+            np.array([0]), np.array([0]), 2, 3, np.ones(1), alpha=0.0
+        )
+        # Parent values 1 and 2 never occur: fallback to uniform.
+        assert np.allclose(table.row(1), 0.5)
+        assert np.allclose(table.row(2), 0.5)
+
+
+class TestModelFitAndInference:
+    @pytest.fixture
+    def flights_like(self):
+        rng = np.random.default_rng(5)
+        n = 3000
+        carrier = rng.choice(["AA", "WN"], size=n, p=[0.4, 0.6])
+        distance = np.where(
+            carrier == "AA",
+            rng.normal(1500, 200, size=n),
+            rng.normal(400, 100, size=n),
+        ).round()
+        return Relation.from_dict({"carrier": carrier.tolist(), "distance": distance})
+
+    def test_expected_count_unconstrained_is_population_size(self, flights_like):
+        marginal = Marginal.from_data(flights_like, ["carrier"])
+        model = BayesianNetworkModel(seed=0).fit(flights_like, [marginal])
+        assert model.expected_count({}) == pytest.approx(3000, rel=1e-6)
+
+    def test_expected_count_matches_truth(self, flights_like):
+        marginal = Marginal.from_data(flights_like, ["carrier"])
+        model = BayesianNetworkModel(seed=0).fit(flights_like, [marginal])
+        estimated = model.expected_count({"carrier": lambda c: c == "AA"})
+        true = sum(1 for c in flights_like.column("carrier") if c == "AA")
+        assert estimated == pytest.approx(true, rel=0.02)
+
+    def test_conditional_structure_learned(self, flights_like):
+        """P(distance > 1000 | AA) should be near 1, | WN near 0."""
+        marginal = Marginal.from_data(flights_like, ["carrier"])
+        model = BayesianNetworkModel(seed=0).fit(flights_like, [marginal])
+        aa_long = model.probability(
+            {"carrier": lambda c: c == "AA", "distance": lambda d: d > 1000}
+        )
+        aa_total = model.probability({"carrier": lambda c: c == "AA"})
+        assert aa_long / aa_total > 0.9
+        wn_long = model.probability(
+            {"carrier": lambda c: c == "WN", "distance": lambda d: d > 1000}
+        )
+        wn_total = model.probability({"carrier": lambda c: c == "WN"})
+        assert wn_long / wn_total < 0.1
+
+    def test_generated_sample_matches_marginal(self, flights_like):
+        marginal = Marginal.from_data(flights_like, ["carrier"])
+        model = BayesianNetworkModel(seed=0).fit(flights_like, [marginal])
+        generated = model.generate(4000, rng=np.random.default_rng(1))
+        share_aa = np.mean([c == "AA" for c in generated.column("carrier")])
+        assert share_aa == pytest.approx(0.4, abs=0.03)
+
+    def test_debiases_with_marginals(self):
+        """Fit on a biased sample + true marginal; the marginal wins."""
+        rng = np.random.default_rng(9)
+        # Population: 50/50; sample: 90/10.
+        sample = Relation.from_dict(
+            {"tag": rng.choice(["x", "y"], size=500, p=[0.9, 0.1]).tolist()}
+        )
+        marginal = Marginal(["tag"], {("x",): 5000, ("y",): 5000})
+        model = BayesianNetworkModel(seed=0).fit(sample, [marginal])
+        assert model.expected_count({"tag": lambda t: t == "y"}) == pytest.approx(
+            5000, rel=0.01
+        )
+
+    def test_unknown_constraint_attribute_raises(self, flights_like):
+        model = BayesianNetworkModel(seed=0).fit(
+            flights_like, [Marginal.from_data(flights_like, ["carrier"])]
+        )
+        with pytest.raises(GenerativeModelError, match="unknown attribute"):
+            model.probability({"nope": lambda v: True})
+
+    def test_generate_before_fit_raises(self):
+        with pytest.raises(GenerativeModelError):
+            BayesianNetworkModel().generate(5)
+
+    def test_empty_sample_raises(self):
+        empty = Relation.from_dict({"x": np.array([], dtype=float)})
+        with pytest.raises(GenerativeModelError):
+            BayesianNetworkModel().fit(empty, [])
+
+    def test_small_int_domain_treated_categorical(self):
+        rel = Relation.from_dict({"code": [1, 2, 3, 1, 2, 3] * 10})
+        model = BayesianNetworkModel(seed=0).fit(rel, [])
+        assert model.attributes["code"].kind == "categorical"
+
+    def test_int_binned_generation_rounds(self):
+        rng = np.random.default_rng(2)
+        rel = Relation.from_dict({"v": rng.integers(0, 1000, size=200)})
+        model = BayesianNetworkModel(seed=0, max_categorical_int_values=5).fit(rel, [])
+        generated = model.generate(50, rng=np.random.default_rng(3))
+        values = generated.column("v")
+        assert np.all(values == np.round(values))

@@ -1,0 +1,88 @@
+"""Tests for Bayesian-network marginal calibration (tree-structured IPF).
+
+The raked-weights-only fit cannot put mass on attribute values the sample
+never contains; calibration rescales the CPTs against the metadata
+marginals so the model's implied marginals match the reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.model import BayesianNetworkModel
+from repro.catalog.metadata import Marginal
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def yahoo_only_case():
+    """The migrants shape: the sample contains a single email provider."""
+    rng = np.random.default_rng(0)
+    sample = Relation.from_dict(
+        {
+            "country": rng.choice(["UK", "FR"], size=400, p=[0.8, 0.2]).tolist(),
+            "email": ["Yahoo"] * 400,
+        }
+    )
+    marginals = [
+        Marginal(["country"], {("UK",): 5000, ("FR",): 5000}),
+        Marginal(["email"], {("Yahoo",): 6000, ("AOL",): 3000, ("GMX",): 1000}),
+    ]
+    return sample, marginals
+
+
+class TestCalibration:
+    def test_unseen_category_receives_mass(self, yahoo_only_case):
+        sample, marginals = yahoo_only_case
+        model = BayesianNetworkModel(seed=0).fit(sample, marginals)
+        aol = model.expected_count({"email": lambda e: e == "AOL"})
+        assert aol == pytest.approx(3000, rel=0.02)
+
+    def test_country_marginal_calibrated(self, yahoo_only_case):
+        """The sample says 80/20 UK/FR; the metadata says 50/50."""
+        sample, marginals = yahoo_only_case
+        model = BayesianNetworkModel(seed=0).fit(sample, marginals)
+        uk = model.expected_count({"country": lambda c: c == "UK"})
+        assert uk == pytest.approx(5000, rel=0.02)
+
+    def test_generation_covers_unseen_values(self, yahoo_only_case):
+        sample, marginals = yahoo_only_case
+        model = BayesianNetworkModel(seed=0).fit(sample, marginals)
+        generated = model.generate(5_000, rng=np.random.default_rng(1))
+        emails = set(generated.column("email"))
+        assert {"Yahoo", "AOL", "GMX"} <= emails
+
+    def test_two_dimensional_marginal_projections_used(self):
+        rng = np.random.default_rng(1)
+        sample = Relation.from_dict(
+            {"a": rng.choice(["x", "y"], size=300).tolist(), "b": ["p"] * 300}
+        )
+        marginal = Marginal(
+            ["a", "b"],
+            {("x", "p"): 100, ("x", "q"): 300, ("y", "p"): 500, ("y", "q"): 100},
+        )
+        model = BayesianNetworkModel(seed=0).fit(sample, [marginal])
+        q_mass = model.expected_count({"b": lambda b: b == "q"})
+        assert q_mass == pytest.approx(400, rel=0.02)
+
+    def test_binned_attribute_calibration(self):
+        rng = np.random.default_rng(2)
+        # Sample only contains small values; metadata says half are large.
+        sample = Relation.from_dict({"v": rng.uniform(0, 10, size=300)})
+        marginal = Marginal(["v"], {(5.0,): 500, (95.0,): 500})
+        model = BayesianNetworkModel(seed=0, max_categorical_int_values=0).fit(
+            sample, [marginal]
+        )
+        large = model.expected_count({"v": lambda v: v > 50})
+        assert large == pytest.approx(500, rel=0.05)
+
+    def test_calibration_idempotent_when_already_matched(self):
+        rng = np.random.default_rng(3)
+        sample = Relation.from_dict(
+            {"tag": rng.choice(["a", "b"], size=1000, p=[0.5, 0.5]).tolist()}
+        )
+        marginal = Marginal(["tag"], {("a",): 500, ("b",): 500})
+        model = BayesianNetworkModel(seed=0).fit(sample, [marginal])
+        before = model.expected_count({"tag": lambda t: t == "a"})
+        model.calibrate_to_marginals([marginal])
+        after = model.expected_count({"tag": lambda t: t == "a"})
+        assert after == pytest.approx(before, rel=1e-9)

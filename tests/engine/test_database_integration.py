@@ -1,0 +1,300 @@
+"""Integration tests: the full SQL surface through MosaicDB.
+
+Covers the paper's Sec. 2 motivating example end to end: DDL, ingestion,
+metadata, and CLOSED / SEMI-OPEN / OPEN queries over the migrants scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MosaicDB, Visibility
+from repro.engine.open_world import IPFSynthesizer, OpenQueryConfig
+from repro.errors import (
+    CatalogError,
+    SqlCompileError,
+    UnknownRelationError,
+    VisibilityError,
+)
+
+
+@pytest.fixture
+def db():
+    """The motivating example: Eurostat ground truth + a Yahoo-only sample."""
+    database = MosaicDB(
+        seed=0,
+        open_config=OpenQueryConfig(
+            generator_factory=IPFSynthesizer, repetitions=5
+        ),
+    )
+    database.execute_script(
+        """
+        CREATE TEMPORARY TABLE Eurostat (kind TEXT, value TEXT, reported_count INT);
+        INSERT INTO Eurostat VALUES
+            ('country', 'UK', 20020), ('country', 'FR', 9010),
+            ('email', 'Yahoo', 29000), ('email', 'AOL', 30);
+        CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);
+        CREATE SAMPLE YahooMigrants AS
+            (SELECT * FROM EuropeMigrants WHERE email = 'Yahoo');
+        """
+    )
+    # Metadata via the projection form, with explicit FOR binding; the
+    # SELECT aliases rename the staging column to the population attribute.
+    database.execute(
+        "CREATE METADATA EuropeMigrants_M1 FOR EuropeMigrants AS "
+        "(SELECT value AS country, reported_count FROM Eurostat WHERE kind = 'country')"
+    )
+    database.execute(
+        "CREATE METADATA EuropeMigrants_M2 FOR EuropeMigrants AS "
+        "(SELECT value AS email, reported_count FROM Eurostat WHERE kind = 'email')"
+    )
+    return database
+
+
+def build_migrants_db(**db_kwargs):
+    """Programmatic variant with correctly named marginal attributes."""
+    from repro.catalog.metadata import Marginal
+
+    database = MosaicDB(**db_kwargs)
+    database.execute_script(
+        """
+        CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);
+        CREATE SAMPLE YahooMigrants AS
+            (SELECT * FROM EuropeMigrants WHERE email = 'Yahoo');
+        """
+    )
+    database.register_marginal(
+        "EuropeMigrants_M1",
+        "EuropeMigrants",
+        Marginal(["country"], {("UK",): 20020, ("FR",): 9010}),
+    )
+    database.register_marginal(
+        "EuropeMigrants_M2",
+        "EuropeMigrants",
+        Marginal(["email"], {("Yahoo",): 29000, ("AOL",): 30}),
+    )
+    # Biased ingestion: UK over-represented relative to the marginal.
+    rows = [("UK", "Yahoo")] * 800 + [("FR", "Yahoo")] * 200
+    database.ingest_rows("YahooMigrants", rows)
+    return database
+
+
+class TestDdl:
+    def test_create_and_insert_auxiliary(self, db):
+        result = db.execute("SELECT * FROM Eurostat")
+        assert result.num_rows == 4
+
+    def test_create_table_requires_columns(self):
+        with pytest.raises(SqlCompileError, match="column definitions"):
+            MosaicDB().execute("CREATE TABLE t")
+
+    def test_global_population_requires_columns(self):
+        with pytest.raises(SqlCompileError, match="GLOBAL POPULATION"):
+            MosaicDB().execute("CREATE GLOBAL POPULATION P")
+
+    def test_insert_into_population_rejected(self, db):
+        with pytest.raises(CatalogError, match="never store tuples"):
+            db.execute("INSERT INTO EuropeMigrants VALUES ('UK', 'Yahoo')")
+
+    def test_derived_population(self, db):
+        db.execute(
+            "CREATE POPULATION UkMigrants AS "
+            "(SELECT * FROM EuropeMigrants WHERE country = 'UK')"
+        )
+        population = db.catalog.population("UkMigrants")
+        assert population.source_population == "EuropeMigrants"
+        assert population.defining_predicate is not None
+
+    def test_drop_sample(self, db):
+        db.execute("DROP SAMPLE YahooMigrants")
+        with pytest.raises(UnknownRelationError):
+            db.catalog.sample("YahooMigrants")
+
+    def test_status_results_have_messages(self, db):
+        result = db.execute("CREATE TABLE Extra (x INT)")
+        assert "created table" in result.notes[0]
+
+
+class TestSampleIngestion:
+    def test_ingest_rows_sets_unit_weights(self, db):
+        db.ingest_rows("YahooMigrants", [("UK", "Yahoo"), ("FR", "Yahoo")])
+        sample = db.catalog.sample("YahooMigrants")
+        assert sample.num_rows == 2
+        assert sample.weights.tolist() == [1.0, 1.0]
+
+    def test_sql_insert_into_sample(self, db):
+        db.execute("INSERT INTO YahooMigrants VALUES ('UK', 'Yahoo'), ('FR', 'Yahoo')")
+        assert db.catalog.sample("YahooMigrants").num_rows == 2
+
+    def test_update_weights(self, db):
+        db.ingest_rows("YahooMigrants", [("UK", "Yahoo"), ("FR", "Yahoo")])
+        db.execute("UPDATE SAMPLE YahooMigrants SET WEIGHT = 5 WHERE country = 'UK'")
+        assert db.catalog.sample("YahooMigrants").weights.tolist() == [5.0, 1.0]
+
+    def test_update_weights_expression(self, db):
+        db.ingest_rows("YahooMigrants", [("UK", "Yahoo"), ("FR", "Yahoo")])
+        db.execute("UPDATE SAMPLE YahooMigrants SET WEIGHT = weight * 3")
+        assert db.catalog.sample("YahooMigrants").weights.tolist() == [3.0, 3.0]
+
+
+class TestClosedQueries:
+    def test_closed_group_by(self):
+        database = build_migrants_db()
+        result = database.execute(
+            "SELECT CLOSED country, email, COUNT(*) AS n "
+            "FROM EuropeMigrants GROUP BY country, email"
+        )
+        rows = {(r["country"], r["email"]): r["n"] for r in result.to_pylist()}
+        # Raw sample counts, no debiasing: 800 UK / 200 FR, Yahoo only.
+        assert rows[("UK", "Yahoo")] == 800
+        assert rows[("FR", "Yahoo")] == 200
+        assert result.visibility == "CLOSED"
+
+    def test_query_sample_directly(self):
+        database = build_migrants_db()
+        result = database.execute("SELECT COUNT(*) FROM YahooMigrants")
+        assert result.scalar() == 1000
+
+
+class TestSemiOpenQueries:
+    def test_paper_semi_open_answer_shape(self):
+        """Sec. 2: SEMI-OPEN reweights but cannot invent AOL tuples."""
+        database = build_migrants_db()
+        result = database.execute(
+            "SELECT SEMI-OPEN country, email, COUNT(*) AS n "
+            "FROM EuropeMigrants GROUP BY country, email"
+        )
+        rows = {(r["country"], r["email"]): r["n"] for r in result.to_pylist()}
+        assert set(rows) == {("UK", "Yahoo"), ("FR", "Yahoo")}  # no AOL: FN
+        # Counts now match the country marginal (~20020 / ~9010 split over
+        # the Yahoo-only sample; email marginal pulls the total to 29000).
+        assert rows[("UK", "Yahoo")] == pytest.approx(20013, rel=0.01)
+        assert rows[("FR", "Yahoo")] == pytest.approx(9007, rel=0.01)
+
+    def test_semi_open_is_default_visibility(self):
+        database = build_migrants_db()
+        result = database.execute(
+            "SELECT country, COUNT(*) AS n FROM EuropeMigrants GROUP BY country"
+        )
+        assert result.visibility == "SEMI-OPEN"
+
+    def test_semi_open_without_metadata_or_mechanism_raises(self):
+        database = MosaicDB()
+        database.execute("CREATE GLOBAL POPULATION P (x TEXT)")
+        database.execute("CREATE SAMPLE S AS (SELECT * FROM P)")
+        database.ingest_rows("S", [("a",), ("b",)])
+        with pytest.raises(VisibilityError, match="SEMI-OPEN"):
+            database.execute("SELECT SEMI-OPEN x, COUNT(*) FROM P GROUP BY x")
+
+    def test_known_uniform_mechanism_used(self):
+        database = MosaicDB()
+        database.execute("CREATE GLOBAL POPULATION P (x TEXT)")
+        database.execute(
+            "CREATE SAMPLE S AS (SELECT * FROM P USING MECHANISM UNIFORM PERCENT 10)"
+        )
+        database.ingest_rows("S", [("a",)] * 30 + [("b",)] * 20)
+        result = database.execute("SELECT SEMI-OPEN x, COUNT(*) AS n FROM P GROUP BY x")
+        rows = {r["x"]: r["n"] for r in result.to_pylist()}
+        # Inverse probability: each tuple counts 10x.
+        assert rows["a"] == pytest.approx(300.0)
+        assert rows["b"] == pytest.approx(200.0)
+        assert any("inverse-probability" in note for note in result.notes)
+
+    def test_no_sample_raises(self):
+        database = MosaicDB()
+        database.execute("CREATE GLOBAL POPULATION P (x TEXT)")
+        with pytest.raises(VisibilityError, match="no sample"):
+            database.execute("SELECT SEMI-OPEN COUNT(*) FROM P")
+
+
+class TestOpenQueries:
+    def test_paper_open_answer_generates_missing_tuples(self):
+        """Sec. 2: OPEN can produce the (UK, AOL, 20) style rows.
+
+        AOL is a light hitter (30 of 29,030 tuples), so each repetition
+        must generate at population scale for AOL groups to survive the
+        all-repetitions intersection.
+        """
+        database = build_migrants_db(
+            open_config=OpenQueryConfig(
+                generator_factory=IPFSynthesizer,
+                repetitions=5,
+                rows_per_generation=30_000,
+            )
+        )
+        result = database.execute(
+            "SELECT OPEN country, email, COUNT(*) AS n "
+            "FROM EuropeMigrants GROUP BY country, email"
+        )
+        rows = {(r["country"], r["email"]): r["n"] for r in result.to_pylist()}
+        assert ("UK", "AOL") in rows or ("FR", "AOL") in rows  # new tuples!
+        total = sum(rows.values())
+        assert total == pytest.approx(29030, rel=0.02)
+        assert result.visibility == "OPEN"
+
+    def test_open_without_metadata_raises(self):
+        database = MosaicDB()
+        database.execute("CREATE GLOBAL POPULATION P (x TEXT)")
+        database.execute("CREATE SAMPLE S AS (SELECT * FROM P)")
+        database.ingest_rows("S", [("a",)])
+        with pytest.raises(VisibilityError, match="OPEN queries need marginals"):
+            database.execute("SELECT OPEN x, COUNT(*) FROM P GROUP BY x")
+
+    def test_open_on_sample_rejected(self):
+        database = build_migrants_db()
+        with pytest.raises(VisibilityError, match="populations"):
+            database.execute("SELECT OPEN COUNT(*) FROM YahooMigrants")
+
+    def test_generator_cached_across_queries(self):
+        database = build_migrants_db(
+            open_config=OpenQueryConfig(generator_factory=IPFSynthesizer, repetitions=2)
+        )
+        database.execute("SELECT OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country")
+        cached = dict(database._open_generators)
+        database.execute("SELECT OPEN email, COUNT(*) FROM EuropeMigrants GROUP BY email")
+        assert dict(database._open_generators) == cached
+
+    def test_ingestion_invalidates_generator_cache(self):
+        database = build_migrants_db(
+            open_config=OpenQueryConfig(generator_factory=IPFSynthesizer, repetitions=2)
+        )
+        database.execute("SELECT OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country")
+        database.ingest_rows("YahooMigrants", [("UK", "Yahoo")])
+        assert not database._open_generators
+
+
+class TestVisibilityTradeoffTable:
+    """The Sec. 3.3 table: FN/FP behaviour per visibility level."""
+
+    def test_closed_and_semi_open_have_no_false_positives(self):
+        database = build_migrants_db()
+        for visibility in ("CLOSED", "SEMI-OPEN"):
+            result = database.execute(
+                f"SELECT {visibility} country, email, COUNT(*) AS n "
+                "FROM EuropeMigrants GROUP BY country, email"
+            )
+            emails = {r["email"] for r in result.to_pylist()}
+            assert emails == {"Yahoo"}  # nothing invented
+
+    def test_open_reduces_false_negatives(self):
+        database = build_migrants_db(
+            open_config=OpenQueryConfig(
+                generator_factory=IPFSynthesizer,
+                repetitions=5,
+                rows_per_generation=30_000,
+            )
+        )
+        closed = database.execute(
+            "SELECT CLOSED country, email, COUNT(*) FROM EuropeMigrants "
+            "GROUP BY country, email"
+        )
+        opened = database.execute(
+            "SELECT OPEN country, email, COUNT(*) FROM EuropeMigrants "
+            "GROUP BY country, email"
+        )
+        assert opened.num_rows > closed.num_rows
+
+
+class TestAuxiliaryVisibility:
+    def test_visibility_on_auxiliary_rejected(self, db):
+        with pytest.raises(VisibilityError, match="auxiliary"):
+            db.execute("SELECT SEMI-OPEN * FROM Eurostat")

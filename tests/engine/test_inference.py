@@ -1,0 +1,149 @@
+"""Tests for the OPEN COUNT-by-inference fast path (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import MosaicDB
+from repro.catalog.metadata import Marginal
+from repro.engine.inference import is_pure_count, predicate_constraints
+from repro.engine.open_world import BayesNetGenerator, IPFSynthesizer, OpenQueryConfig
+from repro.relational.schema import Schema
+from repro.relational.dtypes import DType
+from repro.sql.binder import bind_expression
+from repro.sql.parser import parse_statement
+
+
+def where_of(sql: str):
+    schema = Schema.of(
+        country=DType.TEXT, email=DType.TEXT, age=DType.INT, v=DType.FLOAT
+    )
+    query = parse_statement(sql)
+    if query.where is None:
+        return None
+    return bind_expression(query.where, schema)
+
+
+class TestIsPureCount:
+    def test_count_star(self):
+        assert is_pure_count(parse_statement("SELECT COUNT(*) FROM P"))
+        assert is_pure_count(parse_statement("SELECT COUNT(*) FROM P WHERE x = 1"))
+
+    def test_rejections(self):
+        assert not is_pure_count(parse_statement("SELECT COUNT(v) FROM P"))
+        assert not is_pure_count(parse_statement("SELECT COUNT(*), AVG(v) FROM P"))
+        assert not is_pure_count(
+            parse_statement("SELECT g, COUNT(*) FROM P GROUP BY g")
+        )
+        assert not is_pure_count(parse_statement("SELECT * FROM P"))
+
+
+class TestPredicateConstraints:
+    def test_no_predicate(self):
+        assert predicate_constraints(None) == {}
+
+    def test_single_comparison(self):
+        constraints = predicate_constraints(where_of("SELECT * FROM P WHERE age > 30"))
+        assert set(constraints) == {"age"}
+        assert constraints["age"](31)
+        assert not constraints["age"](30)
+
+    def test_flipped_comparison(self):
+        constraints = predicate_constraints(where_of("SELECT * FROM P WHERE 30 < age"))
+        assert constraints["age"](31)
+        assert not constraints["age"](29)
+
+    def test_conjunction_same_column(self):
+        constraints = predicate_constraints(
+            where_of("SELECT * FROM P WHERE age > 10 AND age < 20")
+        )
+        assert constraints["age"](15)
+        assert not constraints["age"](25)
+
+    def test_in_list(self):
+        constraints = predicate_constraints(
+            where_of("SELECT * FROM P WHERE country IN ('UK', 'FR')")
+        )
+        assert constraints["country"]("UK")
+        assert not constraints["country"]("DE")
+
+    def test_between(self):
+        constraints = predicate_constraints(
+            where_of("SELECT * FROM P WHERE v BETWEEN 1 AND 2")
+        )
+        assert constraints["v"](1.5)
+        assert not constraints["v"](3.0)
+
+    def test_bareword_equality(self):
+        constraints = predicate_constraints(
+            where_of("SELECT * FROM P WHERE email = Yahoo")
+        )
+        assert constraints["email"]("Yahoo")
+
+    def test_or_not_decomposable(self):
+        assert predicate_constraints(
+            where_of("SELECT * FROM P WHERE age > 10 OR age < 5")
+        ) is None
+
+    def test_cross_column_not_decomposable(self):
+        assert predicate_constraints(
+            where_of("SELECT * FROM P WHERE age > v")
+        ) is None
+
+
+class TestEndToEndInference:
+    def make_db(self, factory):
+        db = MosaicDB(
+            seed=0,
+            open_config=OpenQueryConfig(generator_factory=factory, repetitions=3),
+        )
+        db.execute("CREATE GLOBAL POPULATION P (country TEXT, email TEXT)")
+        db.execute("CREATE SAMPLE S AS (SELECT * FROM P WHERE email = 'Yahoo')")
+        db.register_marginal(
+            "P_M1", "P", Marginal(["country"], {("UK",): 700, ("FR",): 300})
+        )
+        db.register_marginal(
+            "P_M2", "P", Marginal(["email"], {("Yahoo",): 600, ("AOL",): 400})
+        )
+        rng = np.random.default_rng(0)
+        rows = [
+            (rng.choice(["UK", "FR"], p=[0.9, 0.1]), "Yahoo") for _ in range(200)
+        ]
+        db.ingest_rows("S", rows)
+        return db
+
+    @pytest.mark.parametrize("factory", [IPFSynthesizer, BayesNetGenerator])
+    def test_open_count_star_uses_inference(self, factory):
+        db = self.make_db(factory)
+        result = db.execute("SELECT OPEN COUNT(*) AS n FROM P")
+        assert any("direct inference" in note for note in result.notes)
+        assert result.scalar() == pytest.approx(1000, rel=0.02)
+
+    def test_open_count_with_predicate(self):
+        db = self.make_db(IPFSynthesizer)
+        result = db.execute("SELECT OPEN COUNT(*) AS n FROM P WHERE email = 'AOL'")
+        assert any("direct inference" in note for note in result.notes)
+        # The sample has zero AOL tuples; inference recovers the marginal.
+        assert result.scalar() == pytest.approx(400, rel=0.05)
+
+    def test_group_by_falls_back_to_generation(self):
+        db = self.make_db(IPFSynthesizer)
+        result = db.execute(
+            "SELECT OPEN country, COUNT(*) FROM P GROUP BY country"
+        )
+        assert any("generated sample" in note for note in result.notes)
+
+    def test_mswg_has_no_inference_path(self):
+        """M-SWG is implicit: no expected_count, always materialises."""
+        from repro.engine.open_world import MswgGenerator
+        from repro.generative.mswg import MswgConfig
+
+        factory = lambda: MswgGenerator(
+            MswgConfig(
+                hidden_layers=2, hidden_units=16, latent_dim=2,
+                num_projections=8, batch_size=64, epochs=2,
+                steps_per_epoch=2, seed=0,
+            )
+        )
+        db = self.make_db(factory)
+        result = db.execute("SELECT OPEN COUNT(*) AS n FROM P")
+        assert any("generated sample" in note for note in result.notes)

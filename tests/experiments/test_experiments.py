@@ -1,0 +1,225 @@
+"""Tests for the experiment drivers (tiny configurations).
+
+Each driver runs end to end at a miniature scale, checking output
+structure and — where cheap enough — the paper's qualitative claims.
+Full-shape checks live in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MosaicError
+from repro.experiments import figure5, figure6, figure7, table1, visibility_table
+from repro.experiments.ascii_plot import ascii_bars, ascii_scatter
+from repro.experiments.harness import ExperimentResult, render_table
+from repro.experiments.registry import get, names, run_experiment
+from repro.generative.mswg import MswgConfig
+from repro.workloads.flights import FlightsConfig
+from repro.workloads.migrants import MigrantsConfig
+from repro.workloads.spiral import SpiralConfig
+
+
+def tiny_mswg(**overrides):
+    base = dict(
+        hidden_layers=2,
+        hidden_units=16,
+        latent_dim=2,
+        lambda_coverage=0.01,
+        num_projections=8,
+        batch_size=64,
+        epochs=2,
+        steps_per_epoch=2,
+        seed=0,
+    )
+    base.update(overrides)
+    return MswgConfig(**base)
+
+
+class TestHarness:
+    def test_render_table_alignment(self):
+        text = render_table([{"a": 1, "b": "xy"}, {"a": 22, "c": 3.5}])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0] and "c" in lines[0]
+        assert len(lines) == 4
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_result_render_contains_sections(self):
+        result = ExperimentResult("x", "title", rows=[{"v": 1}])
+        result.add_section("extra", "body text")
+        rendered = result.render()
+        assert "== x: title ==" in rendered
+        assert "extra" in rendered and "body text" in rendered
+
+
+class TestAsciiPlots:
+    def test_scatter_contains_legend_and_points(self):
+        rng = np.random.default_rng(0)
+        text = ascii_scatter(rng.random(50), rng.random(50))
+        assert "legend" in text
+        assert "." in text
+
+    def test_scatter_overlay_symbols(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 1.0])
+        text = ascii_scatter(x, y, x, y)
+        assert "@" in text  # overlap marker
+
+    def test_bars(self):
+        text = ascii_bars(["a", "bb"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+
+class TestFigure5:
+    def test_runs_and_reports_both_datasets(self):
+        config = figure5.Figure5Config(
+            spiral=SpiralConfig(population_size=2_000, sample_size=400),
+            mswg=tiny_mswg(),
+            generated_rows=400,
+        )
+        result = figure5.run(config)
+        assert [row["dataset"] for row in result.rows] == [
+            "biased sample",
+            "M-SWG generated",
+        ]
+        assert len(result.sections) == 2
+        for row in result.rows:
+            assert np.isfinite(row["W1_x"])
+            assert np.isfinite(row["sliced_W1_to_population"])
+
+
+class TestFigure6:
+    def test_structure(self):
+        config = figure6.Figure6Config(
+            spiral=SpiralConfig(population_size=2_000, sample_size=400),
+            mswg=tiny_mswg(),
+            coverages=(0.3, 0.8),
+            queries_per_coverage=10,
+            generated_samples=2,
+        )
+        result = figure6.run(config)
+        assert len(result.rows) == 4  # 2 coverages x 2 methods
+        methods = {row["method"] for row in result.rows}
+        assert methods == {"Unif", "M-SWG"}
+        for row in result.rows:
+            assert row["p3"] <= row["median"] <= row["p97"]
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result_continuous(self):
+        config = figure7.Figure7Config(
+            flights=FlightsConfig(rows=8_000),
+            mswg=tiny_mswg(latent_dim=None, lambda_coverage=1e-7),
+            generated_samples=2,
+            queries="continuous",
+        )
+        return figure7.run(config)
+
+    def test_queries_1_to_4(self, result_continuous):
+        assert [row["query"] for row in result_continuous.rows] == ["1", "2", "3", "4"]
+
+    def test_all_methods_reported(self, result_continuous):
+        for row in result_continuous.rows:
+            assert set(row) >= {"Unif", "IPF", "M-SWG"}
+
+    def test_unif_nearly_exact_on_bias_aligned_query(self, result_continuous):
+        """Query 1's predicate matches the sample bias: Unif error tiny."""
+        row = result_continuous.rows[0]
+        assert row["Unif"] < 5.0
+
+    def test_categorical_variant(self):
+        config = figure7.Figure7Config(
+            flights=FlightsConfig(rows=8_000),
+            mswg=tiny_mswg(latent_dim=None, lambda_coverage=1e-7),
+            generated_samples=2,
+            queries="categorical",
+        )
+        result = figure7.run(config)
+        assert [row["query"] for row in result.rows] == ["5", "6", "7", "8"]
+        assert "Unif_groups" in result.rows[0]
+
+
+class TestTable1:
+    def test_dims_match_paper(self):
+        result = table1.run(table1.Table1Config(flights=FlightsConfig(rows=5_000)))
+        by_attr = {row["Flights"]: row for row in result.rows}
+        assert by_attr["carrier"]["M-SWG Dim"] == 14
+        for attr in ("taxi_out", "taxi_in", "elapsed_time", "distance"):
+            assert by_attr[attr]["M-SWG Dim"] == 1
+        assert all(row["match"] for row in result.rows)
+        assert result.params["total_width"] == 18  # the paper's "18 dimensional space"
+
+
+class TestVisibilityTable:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = visibility_table.VisibilityTableConfig(
+            migrants=MigrantsConfig(
+                country_counts={"UK": 1500, "FR": 800, "DE": 900, "ES": 400}
+            ),
+            open_repetitions=3,
+        )
+        return visibility_table.run(config)
+
+    def test_closed_and_semi_open_no_false_positives(self, result):
+        for row in result.rows:
+            if row["visibility"] in ("CLOSED", "SEMI-OPEN"):
+                assert row["false_positive_groups"] == 0
+
+    def test_open_fewer_false_negatives(self, result):
+        by_visibility = {row["visibility"]: row for row in result.rows}
+        assert (
+            by_visibility["OPEN"]["false_negative_groups"]
+            <= by_visibility["CLOSED"]["false_negative_groups"]
+        )
+
+    def test_closed_equals_semi_open_fn(self, result):
+        by_visibility = {row["visibility"]: row for row in result.rows}
+        assert (
+            by_visibility["CLOSED"]["false_negative_groups"]
+            == by_visibility["SEMI-OPEN"]["false_negative_groups"]
+        )
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(names()) == {
+            "figure5",
+            "figure6",
+            "figure7_continuous",
+            "figure7_categorical",
+            "random_queries",
+            "table1",
+            "visibility_table",
+        }
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(MosaicError, match="unknown experiment"):
+            get("figure99")
+
+    def test_run_experiment_bad_scale(self):
+        with pytest.raises(MosaicError, match="unknown scale"):
+            run_experiment("table1", scale="huge")
+
+    def test_run_experiment_quick_table1(self):
+        result = run_experiment("table1", scale="quick")
+        assert result.experiment_id == "table1"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6" in out
+
+    def test_run_and_write(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "result.txt"
+        assert main(["table1", "--out", str(out_file)]) == 0
+        assert "Flights" in out_file.read_text()

@@ -1,0 +1,145 @@
+"""Unit tests for the table encoder."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import Marginal
+from repro.errors import EncodingError
+from repro.generative.encoding import TableEncoder
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_dict(
+        {
+            "carrier": ["AA", "WN", "AA", "DL"],
+            "distance": [100, 500, 900, 300],
+            "elapsed": [60.0, 120.0, 180.0, 90.0],
+        }
+    )
+
+
+class TestFit:
+    def test_width_matches_table1_semantics(self, rel):
+        encoder = TableEncoder.fit(rel)
+        # carrier -> 3 one-hot dims, distance -> 1, elapsed -> 1.
+        assert encoder.width == 5
+        assert encoder.column("carrier").kind == "categorical"
+        assert encoder.column("carrier").width == 3
+        assert encoder.column("distance").width == 1
+
+    def test_marginal_extends_categories(self, rel):
+        # 'US' never appears in the sample but the marginal mentions it.
+        marginal = Marginal(["carrier"], {("AA",): 10, ("US",): 5})
+        encoder = TableEncoder.fit(rel, [marginal])
+        assert "US" in encoder.column("carrier").categories
+        assert encoder.column("carrier").width == 4
+
+    def test_marginal_extends_numeric_range(self, rel):
+        marginal = Marginal(["distance"], {(2000,): 3})
+        encoder = TableEncoder.fit(rel, [marginal])
+        assert encoder.column("distance").high == 2000
+
+    def test_forced_categorical_numeric(self, rel):
+        encoder = TableEncoder.fit(rel, categorical_columns={"distance"})
+        assert encoder.column("distance").kind == "categorical"
+        assert encoder.column("distance").width == 4
+
+    def test_constant_numeric_column(self):
+        rel = Relation.from_dict({"x": [5.0, 5.0]})
+        encoder = TableEncoder.fit(rel)
+        matrix = encoder.transform(rel)
+        assert np.all(np.isfinite(matrix))
+
+
+class TestTransform:
+    def test_numeric_scaled_to_unit_interval(self, rel):
+        encoder = TableEncoder.fit(rel)
+        matrix = encoder.transform(rel)
+        distance_col = encoder.column("distance").start
+        assert matrix[:, distance_col].min() == 0.0
+        assert matrix[:, distance_col].max() == 1.0
+
+    def test_one_hot_block(self, rel):
+        encoder = TableEncoder.fit(rel)
+        matrix = encoder.transform(rel)
+        block = encoder.column("carrier")
+        one_hot = matrix[:, block.start : block.stop]
+        assert np.allclose(one_hot.sum(axis=1), 1.0)
+        assert set(np.unique(one_hot)) == {0.0, 1.0}
+
+    def test_unseen_category_raises(self, rel):
+        encoder = TableEncoder.fit(rel)
+        other = Relation.from_dict(
+            {"carrier": ["ZZ"], "distance": [100], "elapsed": [60.0]}
+        )
+        with pytest.raises(EncodingError, match="not.*seen"):
+            encoder.transform(other)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, rel):
+        encoder = TableEncoder.fit(rel)
+        back = encoder.inverse_transform(encoder.transform(rel))
+        assert back.equals(rel)
+
+    def test_int_columns_rounded(self, rel):
+        encoder = TableEncoder.fit(rel)
+        matrix = encoder.transform(rel)
+        matrix[:, encoder.column("distance").start] += 0.0004  # sub-integer noise
+        back = encoder.inverse_transform(matrix)
+        assert back.schema.dtype("distance") is DType.INT
+        assert back.column("distance").tolist() == [100, 500, 900, 300]
+
+    def test_out_of_range_clipped(self, rel):
+        encoder = TableEncoder.fit(rel)
+        matrix = encoder.transform(rel)
+        matrix[:, encoder.column("elapsed").start] = 2.0  # above the [0,1] range
+        back = encoder.inverse_transform(matrix)
+        assert back.column("elapsed").max() == 180.0
+
+    def test_soft_one_hot_decodes_argmax(self, rel):
+        encoder = TableEncoder.fit(rel)
+        matrix = encoder.transform(rel)
+        block = encoder.column("carrier")
+        matrix[0, block.start : block.stop] = [0.2, 0.5, 0.3]
+        back = encoder.inverse_transform(matrix)
+        assert back.column("carrier")[0] == block.categories[1]
+
+
+class TestHelpers:
+    def test_block_indices_concatenate(self, rel):
+        encoder = TableEncoder.fit(rel)
+        indices = encoder.block_indices(["carrier", "elapsed"])
+        carrier, elapsed = encoder.column("carrier"), encoder.column("elapsed")
+        expected = list(range(carrier.start, carrier.stop)) + [elapsed.start]
+        assert indices.tolist() == expected
+
+    def test_softmax_blocks(self, rel):
+        encoder = TableEncoder.fit(rel)
+        blocks = encoder.softmax_blocks()
+        carrier = encoder.column("carrier")
+        assert blocks == [(carrier.start, carrier.stop)]
+
+    def test_encode_value_numeric(self, rel):
+        encoder = TableEncoder.fit(rel)
+        encoded = encoder.encode_value("distance", 500)
+        assert encoded.shape == (1,)
+        assert encoded[0] == pytest.approx(0.5)
+
+    def test_encode_value_categorical(self, rel):
+        encoder = TableEncoder.fit(rel)
+        encoded = encoder.encode_value("carrier", "WN")
+        assert encoded.sum() == 1.0
+
+    def test_encode_unknown_value_raises(self, rel):
+        encoder = TableEncoder.fit(rel)
+        with pytest.raises(EncodingError):
+            encoder.encode_value("carrier", "ZZ")
+
+    def test_matrix_shape_validation(self, rel):
+        encoder = TableEncoder.fit(rel)
+        with pytest.raises(EncodingError, match="width"):
+            encoder.inverse_transform(np.zeros((2, 3)))

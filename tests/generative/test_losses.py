@@ -1,0 +1,239 @@
+"""Unit + gradient tests for the M-SWG loss terms."""
+
+import numpy as np
+import pytest
+from scipy.stats import wasserstein_distance
+
+from repro.errors import GenerativeModelError
+from repro.generative.losses import (
+    CoveragePenalty,
+    QuantileMatchingLoss,
+    SlicedMarginalLoss,
+    WeightedQuantileFunction,
+    random_unit_projections,
+    wasserstein_1d,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestWeightedQuantileFunction:
+    def test_unweighted_median(self):
+        qf = WeightedQuantileFunction(np.array([1.0, 2.0, 3.0]))
+        assert qf(np.array([0.5]))[0] == 2.0
+
+    def test_weighted_shifts_quantiles(self):
+        qf = WeightedQuantileFunction(np.array([0.0, 10.0]), np.array([9.0, 1.0]))
+        assert qf(np.array([0.5]))[0] == 0.0
+        assert qf(np.array([0.95]))[0] == 10.0
+
+    def test_extremes(self):
+        qf = WeightedQuantileFunction(np.array([5.0, 1.0, 3.0]))
+        assert qf(np.array([0.0]))[0] == 1.0
+        assert qf(np.array([1.0]))[0] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(GenerativeModelError):
+            WeightedQuantileFunction(np.array([]))
+        with pytest.raises(GenerativeModelError):
+            WeightedQuantileFunction(np.array([1.0]), np.array([-1.0]))
+        with pytest.raises(GenerativeModelError):
+            WeightedQuantileFunction(np.array([1.0]), np.array([0.0]))
+
+
+class TestExactWasserstein:
+    def test_identical_distributions(self, rng):
+        values = rng.normal(size=50)
+        assert wasserstein_1d(values, values) == pytest.approx(0.0, abs=1e-12)
+
+    def test_translation(self):
+        a = np.array([0.0, 1.0, 2.0])
+        assert wasserstein_1d(a, a + 3.0) == pytest.approx(3.0)
+
+    def test_matches_scipy_unweighted(self, rng):
+        u, v = rng.normal(size=40), rng.normal(loc=1.0, size=60)
+        assert wasserstein_1d(u, v) == pytest.approx(wasserstein_distance(u, v), rel=1e-9)
+
+    def test_matches_scipy_weighted(self, rng):
+        u, v = rng.normal(size=30), rng.normal(size=45)
+        uw, vw = rng.random(30) + 0.1, rng.random(45) + 0.1
+        expected = wasserstein_distance(u, v, u_weights=uw, v_weights=vw)
+        assert wasserstein_1d(u, v, uw, vw) == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GenerativeModelError):
+            wasserstein_1d(np.array([]), np.array([1.0]))
+
+
+class TestQuantileMatchingLoss:
+    def test_zero_loss_on_matching_batch(self):
+        target = np.arange(10, dtype=float)
+        loss = QuantileMatchingLoss(target, None, batch_size=10)
+        # Batch equal to the target quantiles at (j-0.5)/10.
+        batch = loss.target_quantiles.copy()
+        value, grad = loss.loss_and_grad(batch)
+        assert value == pytest.approx(0.0)
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        target = rng.normal(size=30)
+        loss = QuantileMatchingLoss(target, None, batch_size=12)
+        x = rng.normal(size=12)
+        _, analytic = loss.loss_and_grad(x)
+        numeric = np.zeros_like(x)
+        eps = 1e-6
+        for i in range(12):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            numeric[i] = (loss.loss_and_grad(xp)[0] - loss.loss_and_grad(xm)[0]) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_descent_reduces_exact_w1(self, rng):
+        """Following the surrogate gradient shrinks the true W1 distance."""
+        target = rng.normal(loc=5.0, size=200)
+        loss = QuantileMatchingLoss(target, None, batch_size=50)
+        x = rng.normal(size=50)
+        before = wasserstein_1d(x, target)
+        # grad = 2*diff/n, so a step of 0.4*n*grad = 0.8*diff contracts the
+        # gap by 0.2 per iteration.
+        for _ in range(200):
+            _, grad = loss.loss_and_grad(x)
+            x = x - 0.4 * grad * 50
+        after = wasserstein_1d(x, target)
+        assert after < before * 0.1
+
+    def test_l1_power(self, rng):
+        target = rng.normal(size=20)
+        loss = QuantileMatchingLoss(target, None, batch_size=8, power=1)
+        x = rng.normal(size=8)
+        value, grad = loss.loss_and_grad(x)
+        assert value >= 0
+        assert set(np.unique(np.sign(grad))) <= {-1.0, 0.0, 1.0}
+
+    def test_weighted_target(self):
+        # Mass concentrated at 0 -> most quantiles are 0.
+        loss = QuantileMatchingLoss(
+            np.array([0.0, 100.0]), np.array([99.0, 1.0]), batch_size=10
+        )
+        assert np.sum(loss.target_quantiles == 0.0) >= 9
+
+    def test_shape_validation(self):
+        loss = QuantileMatchingLoss(np.array([1.0]), None, batch_size=4)
+        with pytest.raises(GenerativeModelError):
+            loss.loss_and_grad(np.zeros(5))
+
+
+class TestRandomProjections:
+    def test_unit_norm(self, rng):
+        proj = random_unit_projections(rng, dim=5, count=64)
+        assert proj.shape == (64, 5)
+        assert np.allclose(np.linalg.norm(proj, axis=1), 1.0)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(GenerativeModelError):
+            random_unit_projections(rng, 0, 5)
+
+
+class TestSlicedMarginalLoss:
+    def make_loss(self, rng, batch=16, cells=25, dim=3, count=32):
+        points = rng.normal(size=(cells, dim))
+        masses = rng.random(cells) + 0.1
+        projections = random_unit_projections(rng, dim, count)
+        return SlicedMarginalLoss(points, masses, projections, batch), points, masses
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss, _, _ = self.make_loss(rng, batch=6, cells=10, dim=2, count=8)
+        x = rng.normal(size=(6, 2))
+        _, analytic = loss.loss_and_grad(x)
+        numeric = np.zeros_like(x)
+        eps = 1e-6
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                xp, xm = x.copy(), x.copy()
+                xp[i, j] += eps
+                xm[i, j] -= eps
+                numeric[i, j] = (
+                    loss.loss_and_grad(xp)[0] - loss.loss_and_grad(xm)[0]
+                ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_descent_moves_towards_target(self, rng):
+        """Gradient steps shrink the sliced distance to the target cloud."""
+        target = rng.normal(loc=[4.0, -2.0], size=(100, 2))
+        projections = random_unit_projections(rng, 2, 64)
+        loss = SlicedMarginalLoss(target, np.ones(100), projections, batch_size=64)
+        x = rng.normal(size=(64, 2))
+        first, _ = loss.loss_and_grad(x)
+        for _ in range(300):
+            value, grad = loss.loss_and_grad(x)
+            x = x - 50.0 * grad
+        last, _ = loss.loss_and_grad(x)
+        assert last < first * 0.05
+        # The generated cloud mean approaches the target mean.
+        assert np.allclose(x.mean(axis=0), [4.0, -2.0], atol=0.5)
+
+    def test_dimension_validation(self, rng):
+        points = rng.normal(size=(5, 3))
+        projections = random_unit_projections(rng, 2, 4)
+        with pytest.raises(GenerativeModelError, match="does not match"):
+            SlicedMarginalLoss(points, np.ones(5), projections, 8)
+
+    def test_block_shape_validation(self, rng):
+        loss, _, _ = self.make_loss(rng, batch=8, dim=3)
+        with pytest.raises(GenerativeModelError):
+            loss.loss_and_grad(np.zeros((8, 2)))
+
+
+class TestCoveragePenalty:
+    def test_zero_on_sample_points(self, rng):
+        sample = rng.normal(size=(50, 3))
+        penalty = CoveragePenalty(sample, lam=1.0)
+        value, grad = penalty.loss_and_grad(sample[:10])
+        assert value == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(grad, 0.0)
+
+    def test_pulls_towards_nearest_sample(self, rng):
+        sample = np.zeros((1, 2))
+        penalty = CoveragePenalty(sample, lam=1.0)
+        x = np.array([[3.0, 4.0]])
+        value, grad = penalty.loss_and_grad(x)
+        assert value == pytest.approx(25.0)  # squared distance
+        # Gradient points away from the sample -> descending moves closer.
+        assert np.allclose(grad, [[6.0, 8.0]])
+
+    def test_norm_variant(self):
+        penalty = CoveragePenalty(np.zeros((1, 2)), lam=2.0, squared=False)
+        value, grad = penalty.loss_and_grad(np.array([[3.0, 4.0]]))
+        assert value == pytest.approx(10.0)  # 2 * ||(3,4)||
+        assert np.allclose(grad, [[2.0 * 3.0 / 5.0, 2.0 * 4.0 / 5.0]])
+
+    def test_lambda_zero_is_free(self, rng):
+        penalty = CoveragePenalty(rng.normal(size=(10, 2)), lam=0.0)
+        value, grad = penalty.loss_and_grad(rng.normal(size=(5, 2)))
+        assert value == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        sample = rng.normal(size=(20, 2))
+        penalty = CoveragePenalty(sample, lam=0.7)
+        x = rng.normal(size=(4, 2)) * 3.0
+        _, analytic = penalty.loss_and_grad(x)
+        numeric = np.zeros_like(x)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(2):
+                xp, xm = x.copy(), x.copy()
+                xp[i, j] += eps
+                xm[i, j] -= eps
+                numeric[i, j] = (
+                    penalty.loss_and_grad(xp)[0] - penalty.loss_and_grad(xm)[0]
+                ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_negative_lambda_rejected(self, rng):
+        with pytest.raises(GenerativeModelError):
+            CoveragePenalty(rng.normal(size=(5, 2)), lam=-1.0)

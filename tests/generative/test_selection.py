@@ -1,0 +1,101 @@
+"""Tests for M-SWG model selection (grid search + restarts)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import Marginal
+from repro.generative.mswg import MSWG, MswgConfig
+from repro.generative.selection import (
+    CandidateScore,
+    paper_grid,
+    score_model,
+    select_model,
+)
+from repro.relational.relation import Relation
+from repro.workloads.queries import random_template_queries
+
+
+def tiny(**overrides):
+    base = dict(
+        hidden_layers=2,
+        hidden_units=16,
+        latent_dim=1,
+        lambda_coverage=0.01,
+        num_projections=8,
+        batch_size=64,
+        epochs=4,
+        steps_per_epoch=3,
+        seed=0,
+    )
+    base.update(overrides)
+    return MswgConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(0)
+    population = Relation.from_dict(
+        {
+            "taxi_out": np.round(rng.gamma(2.0, 6.0, size=3000) + 8),
+            "elapsed_time": np.round(rng.gamma(3.0, 40.0, size=3000) + 40),
+        }
+    )
+    biased = population.filter(population.column("elapsed_time") > 150).head(400)
+    marginals = [
+        Marginal.from_data(population, ["taxi_out"]),
+        Marginal.from_data(population, ["elapsed_time"]),
+    ]
+    queries = random_template_queries(
+        np.random.default_rng(1), 20, attributes=("taxi_out", "elapsed_time")
+    )
+    return population, biased, marginals, queries
+
+
+class TestPaperGrid:
+    def test_grid_size_matches_paper_pruning(self):
+        grid = paper_grid(tiny())
+        # layers x units = {3,5,10} x {50,200} minus (10,200) and (3,50)
+        # leaves 4 combinations, each with two lambdas.
+        assert len(grid) == 8
+        combos = {(c.hidden_layers, c.hidden_units) for c in grid}
+        assert (10, 200) not in combos
+        assert (3, 50) not in combos
+        assert {(5, 50), (5, 200), (3, 200), (10, 50)} == combos
+
+    def test_lambdas(self):
+        lams = {c.lambda_coverage for c in paper_grid(tiny())}
+        assert lams == {1e-6, 1e-7}
+
+
+class TestScoreModel:
+    def test_score_is_finite_for_fitted_model(self, case):
+        population, biased, marginals, queries = case
+        model = MSWG(tiny())
+        model.fit(biased, marginals)
+        score = score_model(
+            model, queries, population, population.num_rows,
+            rng=np.random.default_rng(2),
+        )
+        assert isinstance(score, CandidateScore)
+        assert np.isfinite(score.mean_error)
+        assert score.answered_queries > 0
+        assert "layers=2" in score.describe()
+
+
+class TestSelectModel:
+    def test_returns_best_of_grid(self, case):
+        population, biased, marginals, queries = case
+        grid = [tiny(seed=0), tiny(seed=1, hidden_units=24)]
+        best, scores = select_model(
+            biased, marginals, queries, population, population.num_rows,
+            grid=grid, restarts=2, rng=np.random.default_rng(3),
+        )
+        # grid points + (restarts - 1) reruns of the winner.
+        assert len(scores) == 3
+        best_error = min(s.mean_error for s in scores)
+        fitted_score = score_model(
+            best, queries, population, population.num_rows,
+            rng=np.random.default_rng(3),
+        )
+        assert np.isfinite(fitted_score.mean_error)
+        assert best_error <= min(s.mean_error for s in scores[:2]) + 1e-9

@@ -1,0 +1,103 @@
+"""Unit tests for error metrics and box-plot summaries."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import Marginal
+from repro.errors import MosaicError
+from repro.metrics.distribution import marginal_fit_error, sliced_wasserstein_metric
+from repro.metrics.error import average_percent_difference, percent_difference
+from repro.metrics.summary import boxplot_stats
+from repro.relational.relation import Relation
+
+
+class TestPercentDifference:
+    def test_basic(self):
+        assert percent_difference(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_difference(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_exact(self):
+        assert percent_difference(5.0, 5.0) == 0.0
+
+    def test_zero_truth(self):
+        assert percent_difference(0.0, 0.0) == 0.0
+        assert percent_difference(1.0, 0.0) == float("inf")
+
+    def test_negative_truth(self):
+        assert percent_difference(-90.0, -100.0) == pytest.approx(10.0)
+
+
+class TestAveragePercentDifference:
+    def test_common_policy(self):
+        estimates = {("a",): 110.0, ("b",): 50.0, ("c",): 1.0}
+        truths = {("a",): 100.0, ("b",): 100.0, ("d",): 5.0}
+        # common keys: a (10%), b (50%).
+        assert average_percent_difference(estimates, truths) == pytest.approx(30.0)
+
+    def test_empty_intersection_returns_none(self):
+        assert average_percent_difference({("x",): 1.0}, {("y",): 1.0}) is None
+
+    def test_penalize_missing(self):
+        estimates = {("a",): 100.0, ("fp",): 1.0}
+        truths = {("a",): 100.0, ("fn",): 1.0}
+        out = average_percent_difference(
+            estimates, truths, policy="penalize_missing", missing_penalty=100.0
+        )
+        # a: 0%, fn: 100, fp: 100 -> mean 200/3.
+        assert out == pytest.approx(200.0 / 3.0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(MosaicError):
+            average_percent_difference({}, {}, policy="magic")
+
+    def test_scalar_answers_via_unit_key(self):
+        assert average_percent_difference({(): 105.0}, {(): 100.0}) == pytest.approx(5.0)
+
+
+class TestBoxplotStats:
+    def test_basic_stats(self):
+        stats = boxplot_stats(list(range(101)))
+        assert stats.mean == pytest.approx(50.0)
+        assert stats.median == pytest.approx(50.0)
+        assert stats.p3 == pytest.approx(3.0)
+        assert stats.p97 == pytest.approx(97.0)
+        assert stats.count == 101
+
+    def test_infinities_dropped(self):
+        stats = boxplot_stats([1.0, float("inf"), 3.0])
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_all_infinite_raises(self):
+        with pytest.raises(MosaicError):
+            boxplot_stats([float("inf")])
+
+    def test_as_row(self):
+        row = boxplot_stats([1.0, 2.0]).as_row()
+        assert set(row) == {"mean", "median", "p3", "p25", "p75", "p97", "count"}
+
+
+class TestDistributionMetrics:
+    def test_marginal_fit_perfect(self):
+        rel = Relation.from_dict({"tag": ["a", "a", "b"]})
+        target = Marginal.from_data(rel, ["tag"])
+        assert marginal_fit_error(rel, None, target) == 0.0
+
+    def test_marginal_fit_weighted(self):
+        rel = Relation.from_dict({"tag": ["a", "b"]})
+        target = Marginal(["tag"], {("a",): 3, ("b",): 1})
+        weights = np.array([3.0, 1.0])
+        assert marginal_fit_error(rel, weights, target) == pytest.approx(0.0)
+
+    def test_sliced_w_zero_for_same_cloud(self):
+        rng = np.random.default_rng(0)
+        cloud = rng.normal(size=(200, 2))
+        assert sliced_wasserstein_metric(cloud, cloud, rng) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sliced_w_detects_translation(self):
+        rng = np.random.default_rng(0)
+        cloud = rng.normal(size=(300, 2))
+        shifted = cloud + np.array([2.0, 0.0])
+        distance = sliced_wasserstein_metric(cloud, shifted, rng)
+        # E|<e1, w>| over the unit circle = 2/pi for shift 2.
+        assert distance == pytest.approx(2.0 * 2.0 / np.pi, rel=0.1)

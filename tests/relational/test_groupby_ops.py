@@ -1,0 +1,165 @@
+"""Unit tests for group-by, relational operators, and CSV IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.dtypes import DType
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.groupby import group_rows
+from repro.relational.ops import (
+    distinct,
+    filter_rows,
+    hash_join,
+    limit,
+    project_expressions,
+    union_all,
+)
+from repro.relational.predicates import Comparison
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_dict(
+        {
+            "g": ["a", "b", "a", "b", "c"],
+            "h": [1, 1, 2, 1, 1],
+            "v": [10.0, 20.0, 30.0, 40.0, 50.0],
+        }
+    )
+
+
+class TestGroupRows:
+    def test_single_key(self, rel):
+        groups = dict(
+            (key, idx.tolist()) for key, idx in group_rows(rel, ["g"])
+        )
+        assert groups[("a",)] == [0, 2]
+        assert groups[("b",)] == [1, 3]
+        assert groups[("c",)] == [4]
+
+    def test_multi_key(self, rel):
+        groups = {key: idx.tolist() for key, idx in group_rows(rel, ["g", "h"])}
+        assert groups[("a", 1)] == [0]
+        assert groups[("a", 2)] == [2]
+        assert groups[("b", 1)] == [1, 3]
+
+    def test_no_keys_single_group(self, rel):
+        groups = group_rows(rel, [])
+        assert len(groups) == 1
+        key, idx = groups[0]
+        assert key == ()
+        assert idx.tolist() == [0, 1, 2, 3, 4]
+
+    def test_empty_relation(self):
+        empty = Relation.from_dict({"g": np.array([], dtype=object)})
+        assert group_rows(empty, ["g"]) == []
+
+    def test_keys_are_python_native(self, rel):
+        key, _ = group_rows(rel, ["h"])[0]
+        assert isinstance(key[0], int)
+
+    def test_partition_is_complete_and_disjoint(self, rel):
+        groups = group_rows(rel, ["g"])
+        all_indices = np.concatenate([idx for _, idx in groups])
+        assert sorted(all_indices.tolist()) == [0, 1, 2, 3, 4]
+
+
+class TestOperators:
+    def test_filter_rows(self, rel):
+        out = filter_rows(rel, Comparison(">", ColumnRef("v"), Literal(25)))
+        assert out.column("v").tolist() == [30.0, 40.0, 50.0]
+
+    def test_filter_requires_boolean(self, rel):
+        with pytest.raises(SchemaError, match="boolean"):
+            filter_rows(rel, ColumnRef("v"))
+
+    def test_project_expressions(self, rel):
+        out = project_expressions(rel, [ColumnRef("v"), Literal(1)], ["val", "one"])
+        assert out.column_names == ("val", "one")
+        assert out.column("one").tolist() == [1] * 5
+
+    def test_union_all(self, rel):
+        out = union_all([rel, rel, rel])
+        assert out.num_rows == 15
+
+    def test_union_empty_list_raises(self):
+        with pytest.raises(SchemaError):
+            union_all([])
+
+    def test_distinct(self, rel):
+        out = distinct(rel, ["g"])
+        assert sorted(out.column("g").tolist()) == ["a", "b", "c"]
+
+    def test_distinct_all_columns(self):
+        rel = Relation.from_dict({"a": [1, 1, 2], "b": [1, 1, 3]})
+        assert distinct(rel).num_rows == 2
+
+    def test_limit(self, rel):
+        assert limit(rel, 2).num_rows == 2
+        with pytest.raises(SchemaError):
+            limit(rel, -1)
+
+
+class TestHashJoin:
+    def test_basic_join(self):
+        left = Relation.from_dict({"k": ["a", "b", "c"], "lv": [1, 2, 3]})
+        right = Relation.from_dict({"k2": ["a", "b", "b"], "rv": [10, 20, 30]})
+        out = hash_join(left, right, "k", "k2")
+        assert out.num_rows == 3
+        pairs = sorted(zip(out.column("lv").tolist(), out.column("rv").tolist()))
+        assert pairs == [(1, 10), (2, 20), (2, 30)]
+
+    def test_name_collision_suffix(self):
+        left = Relation.from_dict({"k": ["a"], "v": [1]})
+        right = Relation.from_dict({"k": ["a"], "v": [9]})
+        out = hash_join(left, right, "k", "k")
+        assert set(out.column_names) == {"k", "v", "v_right"}
+
+    def test_no_matches(self):
+        left = Relation.from_dict({"k": ["a"], "v": [1]})
+        right = Relation.from_dict({"k": ["z"], "w": [9]})
+        assert hash_join(left, right, "k", "k").num_rows == 0
+
+    def test_unknown_key_raises(self):
+        left = Relation.from_dict({"k": ["a"]})
+        with pytest.raises(SchemaError):
+            hash_join(left, left, "nope", "k")
+
+
+class TestCsvIo:
+    def test_round_trip(self, rel, tmp_path):
+        path = tmp_path / "rel.csv"
+        write_csv(rel, path)
+        back = read_csv(path, schema=rel.schema)
+        assert back.equals(rel)
+
+    def test_inference_round_trip(self, rel, tmp_path):
+        path = tmp_path / "rel.csv"
+        write_csv(rel, path)
+        back = read_csv(path)
+        assert back.schema.dtype("g") is DType.TEXT
+        assert back.schema.dtype("h") is DType.INT
+        assert back.schema.dtype("v") is DType.FLOAT
+
+    def test_bool_inference(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("flag\ntrue\nfalse\n")
+        back = read_csv(path)
+        assert back.schema.dtype("flag") is DType.BOOL
+        assert back.column("flag").tolist() == [True, False]
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="arity"):
+            read_csv(path)

@@ -1,0 +1,89 @@
+"""Unit tests for known-mechanism inverse-probability reweighting."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import Marginal
+from repro.catalog.sample import SampleRelation
+from repro.errors import ReweightError
+from repro.mechanisms import StratifiedMechanism, UniformMechanism
+from repro.relational.relation import Relation
+from repro.reweight.inverse_probability import (
+    declared_mechanism_weights,
+    mechanism_weights_from_population,
+)
+
+
+@pytest.fixture
+def population():
+    rng = np.random.default_rng(11)
+    return Relation.from_dict(
+        {
+            "stratum": rng.choice(["a", "b"], size=1000, p=[0.9, 0.1]).tolist(),
+            "v": rng.normal(size=1000),
+        }
+    )
+
+
+class TestFromPopulation:
+    def test_uniform(self, population):
+        mech = UniformMechanism(10)
+        idx = mech.draw(population, np.random.default_rng(0))
+        w = mechanism_weights_from_population(mech, population, idx)
+        assert np.allclose(w, 10.0)
+
+    def test_stratified_estimates_population_size(self, population):
+        mech = StratifiedMechanism("stratum", 20)
+        idx = mech.draw(population, np.random.default_rng(0))
+        w = mechanism_weights_from_population(mech, population, idx)
+        assert np.sum(w) == pytest.approx(population.num_rows)
+
+
+class TestDeclaredUniform:
+    def test_weights_are_inverse_percent(self):
+        rel = Relation.from_dict({"x": [1.0, 2.0, 3.0]})
+        sample = SampleRelation("S", rel, "GP", mechanism=UniformMechanism(5))
+        w = declared_mechanism_weights(sample)
+        assert np.allclose(w, 20.0)
+
+    def test_no_mechanism_raises(self):
+        rel = Relation.from_dict({"x": [1.0]})
+        sample = SampleRelation("S", rel, "GP")
+        with pytest.raises(ReweightError, match="no declared"):
+            declared_mechanism_weights(sample)
+
+
+class TestDeclaredStratified:
+    def make_sample(self):
+        rel = Relation.from_dict({"stratum": ["a", "a", "b", "b"], "v": [1.0, 2.0, 3.0, 4.0]})
+        return SampleRelation(
+            "S", rel, "GP", mechanism=StratifiedMechanism("stratum", 40)
+        )
+
+    def test_with_marginal(self):
+        sample = self.make_sample()
+        marginal = Marginal(["stratum"], {("a",): 90, ("b",): 10})
+        w = declared_mechanism_weights(sample, [marginal])
+        assert w[:2].tolist() == [45.0, 45.0]  # N_a/n_a = 90/2
+        assert w[2:].tolist() == [5.0, 5.0]
+        assert np.sum(w) == pytest.approx(100.0)
+
+    def test_projects_two_dimensional_marginal(self):
+        sample = self.make_sample()
+        marginal = Marginal(
+            ["stratum", "other"],
+            {("a", "x"): 50, ("a", "y"): 40, ("b", "x"): 10},
+        )
+        w = declared_mechanism_weights(sample, [marginal])
+        assert np.sum(w) == pytest.approx(100.0)
+
+    def test_without_marginal_raises(self):
+        sample = self.make_sample()
+        with pytest.raises(ReweightError, match="needs a 1-D marginal"):
+            declared_mechanism_weights(sample, [])
+
+    def test_stratum_missing_from_marginal_raises(self):
+        sample = self.make_sample()
+        marginal = Marginal(["stratum"], {("a",): 90})
+        with pytest.raises(ReweightError, match="missing from the marginal"):
+            declared_mechanism_weights(sample, [marginal])

@@ -1,0 +1,169 @@
+"""Unit tests for IPF tuple raking."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.metadata import Marginal
+from repro.errors import ConvergenceError, ReweightError
+from repro.relational.relation import Relation
+from repro.reweight.ipf import fitted_marginal, ipf_reweight
+
+
+@pytest.fixture
+def sample():
+    # Biased sample: country UK over-represented relative to the marginal.
+    return Relation.from_dict(
+        {
+            "country": ["UK"] * 8 + ["FR"] * 2,
+            "email": ["Yahoo"] * 5 + ["AOL"] * 3 + ["Yahoo", "AOL"],
+        }
+    )
+
+
+class TestSingleMarginal:
+    def test_exact_fit(self, sample):
+        marginal = Marginal(["country"], {("UK",): 100, ("FR",): 300})
+        result = ipf_reweight(sample, [marginal])
+        assert result.converged
+        fitted = fitted_marginal(sample, result.weights, marginal)
+        assert fitted.mass(("UK",)) == pytest.approx(100)
+        assert fitted.mass(("FR",)) == pytest.approx(300)
+
+    def test_single_marginal_converges_in_one_iteration(self, sample):
+        marginal = Marginal(["country"], {("UK",): 100, ("FR",): 300})
+        result = ipf_reweight(sample, [marginal])
+        assert result.iterations == 1
+
+    def test_weights_uniform_within_cell(self, sample):
+        marginal = Marginal(["country"], {("UK",): 80, ("FR",): 20})
+        result = ipf_reweight(sample, [marginal])
+        uk_weights = result.weights[:8]
+        assert np.allclose(uk_weights, uk_weights[0])
+        assert uk_weights[0] == pytest.approx(10.0)
+
+    def test_total_weight_matches_marginal_mass(self, sample):
+        marginal = Marginal(["country"], {("UK",): 100, ("FR",): 300})
+        result = ipf_reweight(sample, [marginal])
+        assert result.total_weight == pytest.approx(400.0)
+
+
+class TestTwoMarginals:
+    def test_both_marginals_fit(self, sample):
+        m1 = Marginal(["country"], {("UK",): 60, ("FR",): 40})
+        m2 = Marginal(["email"], {("Yahoo",): 70, ("AOL",): 30})
+        result = ipf_reweight(sample, [m1, m2])
+        assert result.converged
+        f1 = fitted_marginal(sample, result.weights, m1)
+        f2 = fitted_marginal(sample, result.weights, m2)
+        assert f1.mass(("UK",)) == pytest.approx(60, rel=1e-6)
+        assert f2.mass(("Yahoo",)) == pytest.approx(70, rel=1e-6)
+
+    def test_two_dimensional_marginal(self, sample):
+        m = Marginal(
+            ["country", "email"],
+            {("UK", "Yahoo"): 10, ("UK", "AOL"): 30, ("FR", "Yahoo"): 40, ("FR", "AOL"): 20},
+        )
+        result = ipf_reweight(sample, [m])
+        fitted = fitted_marginal(sample, result.weights, m)
+        assert fitted.mass(("UK", "AOL")) == pytest.approx(30)
+
+    def test_initial_weights_respected_within_cells(self, sample):
+        # Within a cell IPF preserves weight ratios.
+        marginal = Marginal(["country"], {("UK",): 80, ("FR",): 20})
+        initial = np.ones(10)
+        initial[0] = 3.0  # first UK tuple three times the others
+        result = ipf_reweight(sample, [marginal], initial_weights=initial)
+        ratio = result.weights[0] / result.weights[1]
+        assert ratio == pytest.approx(3.0)
+
+
+class TestZeroCells:
+    def test_sample_only_value_driven_to_zero(self):
+        rel = Relation.from_dict({"c": ["UK", "FR", "XX"]})
+        marginal = Marginal(["c"], {("UK",): 10, ("FR",): 10})
+        result = ipf_reweight(rel, [marginal])
+        assert result.weights[2] == 0.0
+        assert result.total_weight == pytest.approx(20.0)
+
+    def test_unreachable_mass_reported(self):
+        rel = Relation.from_dict({"c": ["UK", "UK"]})
+        marginal = Marginal(["c"], {("UK",): 10, ("DE",): 5})
+        result = ipf_reweight(rel, [marginal])
+        assert result.unreachable_mass == (5.0,)
+        # The reachable part is fit exactly.
+        assert result.total_weight == pytest.approx(10.0)
+
+    def test_fully_disjoint_sample_raises(self):
+        rel = Relation.from_dict({"c": ["XX", "YY"]})
+        marginal = Marginal(["c"], {("UK",): 10})
+        with pytest.raises(ReweightError, match="disjoint"):
+            ipf_reweight(rel, [marginal])
+
+
+class TestValidation:
+    def test_no_marginals_raises(self, sample):
+        with pytest.raises(ReweightError, match="at least one marginal"):
+            ipf_reweight(sample, [])
+
+    def test_empty_sample_raises(self):
+        empty = Relation.from_dict({"c": np.array([], dtype=object)})
+        with pytest.raises(ReweightError, match="non-empty"):
+            ipf_reweight(empty, [Marginal(["c"], {("UK",): 1})])
+
+    def test_missing_attribute_raises(self, sample):
+        marginal = Marginal(["planet"], {("Earth",): 1})
+        with pytest.raises(ReweightError, match="missing from sample"):
+            ipf_reweight(sample, [marginal])
+
+    def test_bad_initial_weights_length(self, sample):
+        marginal = Marginal(["country"], {("UK",): 1, ("FR",): 1})
+        with pytest.raises(ReweightError, match="length"):
+            ipf_reweight(sample, [marginal], initial_weights=np.ones(3))
+
+    def test_non_convergence_raises_when_asked(self):
+        # Conflicting 2-D marginal structure that raking cannot satisfy
+        # through occupied cells only: needs many iterations; force failure
+        # with max_iterations=0 equivalent (1 iteration, tight tolerance).
+        rel = Relation.from_dict({"a": ["x", "y"], "b": ["1", "2"]})
+        m1 = Marginal(["a"], {("x",): 90, ("y",): 10})
+        m2 = Marginal(["b"], {("1",): 10, ("2",): 90})
+        with pytest.raises(ConvergenceError):
+            ipf_reweight(
+                rel, [m1, m2], max_iterations=1, tolerance=1e-15, raise_on_failure=True
+            )
+
+
+class TestConvergenceBehaviour:
+    def test_diagonal_sample_cannot_fit_conflicting_marginals(self):
+        """Structural zeros can make marginals jointly unsatisfiable."""
+        rel = Relation.from_dict({"a": ["x", "y"], "b": ["1", "2"]})
+        # Sample only has (x,1) and (y,2); marginals demand mass flows that
+        # would need (x,2)/(y,1).
+        m1 = Marginal(["a"], {("x",): 90, ("y",): 10})
+        m2 = Marginal(["b"], {("1",): 10, ("2",): 90})
+        result = ipf_reweight(rel, [m1, m2], max_iterations=50)
+        # Raking oscillates; the last-applied marginal is matched.
+        fitted2 = fitted_marginal(rel, result.weights, m2)
+        assert fitted2.mass(("1",)) == pytest.approx(10, rel=1e-3)
+
+    def test_consistent_marginals_converge_fast(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        rel = Relation.from_dict(
+            {
+                "a": rng.choice(["x", "y", "z"], size=n).tolist(),
+                "b": rng.choice(["1", "2"], size=n).tolist(),
+            }
+        )
+        # Marginals derived from an actual population are always consistent.
+        pop = Relation.from_dict(
+            {
+                "a": rng.choice(["x", "y", "z"], size=5000, p=[0.5, 0.3, 0.2]).tolist(),
+                "b": rng.choice(["1", "2"], size=5000, p=[0.7, 0.3]).tolist(),
+            }
+        )
+        m1 = Marginal.from_data(pop, ["a"])
+        m2 = Marginal.from_data(pop, ["b"])
+        result = ipf_reweight(rel, [m1, m2])
+        assert result.converged
+        assert result.iterations < 50

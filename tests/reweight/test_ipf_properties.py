@@ -1,0 +1,89 @@
+"""Property-based tests for IPF invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.metadata import Marginal
+from repro.relational.relation import Relation
+from repro.reweight.ipf import fitted_marginal, ipf_reweight
+
+values_a = ["x", "y", "z"]
+values_b = ["1", "2"]
+
+
+@st.composite
+def sample_and_marginals(draw):
+    """A random sample over (a, b) plus marginals from a random population.
+
+    Drawing the marginals from an actual population guarantees they are
+    mutually consistent, so IPF should always converge on the occupied
+    cells (possibly leaving unreachable mass aside).
+    """
+    n = draw(st.integers(min_value=5, max_value=80))
+    a = draw(st.lists(st.sampled_from(values_a), min_size=n, max_size=n))
+    b = draw(st.lists(st.sampled_from(values_b), min_size=n, max_size=n))
+    rel = Relation.from_dict({"a": a, "b": b})
+
+    pop_n = draw(st.integers(min_value=50, max_value=200))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    pop = Relation.from_dict(
+        {
+            "a": rng.choice(values_a, size=pop_n).tolist(),
+            "b": rng.choice(values_b, size=pop_n).tolist(),
+        }
+    )
+    m1 = Marginal.from_data(pop, ["a"])
+    m2 = Marginal.from_data(pop, ["b"])
+    return rel, [m1, m2]
+
+
+@given(sample_and_marginals())
+@settings(max_examples=40, deadline=None)
+def test_weights_always_non_negative(case):
+    rel, marginals = case
+    result = ipf_reweight(rel, marginals, max_iterations=100)
+    assert np.all(result.weights >= 0)
+    assert np.all(np.isfinite(result.weights))
+
+
+@given(sample_and_marginals())
+@settings(max_examples=40, deadline=None)
+def test_last_marginal_always_satisfied_on_reachable_cells(case):
+    """After raking, the most recently applied marginal fits exactly
+    (on cells the sample occupies)."""
+    rel, marginals = case
+    result = ipf_reweight(rel, marginals, max_iterations=100)
+    last = marginals[-1]
+    fitted = fitted_marginal(rel, result.weights, last)
+    occupied_keys = set(fitted.keys())
+    for key, mass in last.cells():
+        if key in occupied_keys and mass > 0:
+            assert fitted.mass(key) == pytest.approx(mass, rel=1e-6)
+
+
+@given(sample_and_marginals())
+@settings(max_examples=40, deadline=None)
+def test_total_weight_bounded_by_population(case):
+    """Raked total weight never exceeds the reported population size."""
+    rel, marginals = case
+    result = ipf_reweight(rel, marginals, max_iterations=100)
+    population_size = marginals[0].total_mass
+    assert result.total_weight <= population_size + 1e-6
+
+
+@given(sample_and_marginals(), st.floats(min_value=0.5, max_value=5.0))
+@settings(max_examples=40, deadline=None)
+def test_scale_invariance_in_initial_weights(case, scale):
+    """Scaling all initial weights by a constant does not change the fit."""
+    rel, marginals = case
+    base = ipf_reweight(rel, marginals, max_iterations=100)
+    scaled = ipf_reweight(
+        rel,
+        marginals,
+        initial_weights=np.full(rel.num_rows, scale),
+        max_iterations=100,
+    )
+    assert np.allclose(base.weights, scaled.weights, rtol=1e-6, atol=1e-9)

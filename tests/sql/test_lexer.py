@@ -1,0 +1,116 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("EuropeMigrants yahoo_count")
+        assert [t.value for t in tokens[:-1]] == ["EuropeMigrants", "yahoo_count"]
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+    def test_punctuation(self):
+        assert types("( ) , ; *")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.SEMICOLON,
+            TokenType.STAR,
+        ]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == ["42"]
+
+    def test_float(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_leading_dot(self):
+        assert values(".5") == [".5"]
+
+    def test_scientific(self):
+        assert values("1e-7 2E+3 5e2") == ["1e-7", "2E+3", "5e2"]
+
+    def test_number_then_ident(self):
+        tokens = tokenize("10 PERCENT")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[1].value == "PERCENT"
+
+
+class TestStrings:
+    def test_simple(self):
+        tokens = tokenize("'WN'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "WN"
+
+    def test_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_all_comparison_ops(self):
+        assert values("= != <> < <= > >=") == ["=", "!=", "<>", "<", "<=", ">", ">="]
+
+    def test_arithmetic(self):
+        assert values("+ - / %") == ["+", "-", "/", "%"]
+
+    def test_bang_alone_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("!")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- this is a comment\n x")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_positions(self):
+        tokens = tokenize("SELECT\n  x")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+
+class TestPaperQueries:
+    def test_semi_open_lexes_as_three_tokens(self):
+        tokens = tokenize("SELECT SEMI-OPEN country")
+        assert [t.value for t in tokens[:5]] == ["SELECT", "SEMI", "-", "OPEN", "country"]
+
+    def test_full_create_sample(self):
+        text = (
+            "CREATE SAMPLE YahooMigrants AS (SELECT * FROM EuropeMigrants "
+            "WHERE email = Yahoo)"
+        )
+        tokens = tokenize(text)
+        assert tokens[0].value == "CREATE"
+        assert tokens[-1].type is TokenType.EOF

@@ -1,0 +1,262 @@
+"""Unit tests for the synthetic workloads (spiral, flights, migrants)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MosaicError
+from repro.workloads.flights import (
+    CARRIER_PROFILES,
+    FlightsConfig,
+    bucket_flights,
+    flights_marginals,
+    make_biased_flights_sample,
+    make_flights_population,
+)
+from repro.workloads.migrants import (
+    MigrantsConfig,
+    build_migrants_database,
+    make_migrants_population,
+    migrants_marginals,
+)
+from repro.workloads.queries import (
+    AggregateQuery,
+    paper_flights_queries,
+    random_box_queries,
+    random_template_queries,
+)
+from repro.workloads.spiral import (
+    SpiralConfig,
+    make_biased_spiral_sample,
+    make_spiral_population,
+    spiral_marginals,
+)
+
+
+@pytest.fixture(scope="module")
+def spiral():
+    config = SpiralConfig(population_size=20_000, sample_size=2_000)
+    rng = np.random.default_rng(0)
+    population = make_spiral_population(config, rng)
+    sample, indices = make_biased_spiral_sample(population, config, rng)
+    return config, population, sample, indices
+
+
+@pytest.fixture(scope="module")
+def flights():
+    config = FlightsConfig(rows=20_000)
+    rng = np.random.default_rng(1)
+    population = make_flights_population(config, rng)
+    sample, mechanism, indices = make_biased_flights_sample(population, config, rng)
+    return config, population, sample, mechanism
+
+
+class TestSpiral:
+    def test_population_shape(self, spiral):
+        _, population, _, _ = spiral
+        assert population.num_rows == 20_000
+        assert population.column_names == ("x", "y")
+        # Roughly the Fig. 5 window.
+        assert -0.3 < population.column("y").min() < 1.2
+        assert -0.2 < population.column("x").min() < 1.2
+
+    def test_sample_is_biased_outward(self, spiral):
+        _, population, sample, _ = spiral
+        from repro.workloads.spiral import spiral_parameter
+
+        pop_radius = spiral_parameter(population).mean()
+        sample_radius = spiral_parameter(sample).mean()
+        assert sample_radius > pop_radius * 1.1  # clearly outward-biased
+
+    def test_sample_size(self, spiral):
+        _, _, sample, _ = spiral
+        assert sample.num_rows == 2_000
+
+    def test_marginals_cover_population_mass(self, spiral):
+        config, population, _, _ = spiral
+        marginals = spiral_marginals(population, config)
+        assert len(marginals) == 2
+        for marginal in marginals:
+            assert marginal.total_mass == population.num_rows
+
+    def test_deterministic(self):
+        config = SpiralConfig(population_size=100)
+        a = make_spiral_population(config, np.random.default_rng(7))
+        b = make_spiral_population(config, np.random.default_rng(7))
+        assert a.equals(b)
+
+
+class TestFlights:
+    def test_schema_and_types(self, flights):
+        _, population, _, _ = flights
+        assert population.column_names == (
+            "carrier", "taxi_out", "taxi_in", "elapsed_time", "distance",
+        )
+        assert population.column("distance").dtype == np.int64
+
+    def test_fourteen_carriers(self, flights):
+        _, population, _, _ = flights
+        assert len(CARRIER_PROFILES) == 14  # Table 1: C has M-SWG dim 14
+        assert set(population.column("carrier")) <= set(CARRIER_PROFILES)
+
+    def test_carrier_skew(self, flights):
+        _, population, _, _ = flights
+        carriers = population.column("carrier")
+        share = lambda c: np.mean([v == c for v in carriers])
+        assert share("WN") > 0.15
+        assert share("US") < 0.04  # light hitter (paper query 8)
+        assert share("F9") < 0.03
+
+    def test_distance_elapsed_correlated(self, flights):
+        _, population, _, _ = flights
+        correlation = np.corrcoef(
+            population.column("distance").astype(float),
+            population.column("elapsed_time").astype(float),
+        )[0, 1]
+        assert correlation > 0.95  # physical model: E ~ f(D) + taxi + noise
+
+    def test_sample_bias_95_percent_long(self, flights):
+        config, _, sample, _ = flights
+        long_share = np.mean(sample.column("elapsed_time") > config.long_flight_minutes)
+        assert long_share == pytest.approx(0.95, abs=0.01)
+
+    def test_sample_is_5_percent(self, flights):
+        config, population, sample, _ = flights
+        assert sample.num_rows == pytest.approx(population.num_rows * 0.05, rel=0.01)
+
+    def test_marginals_are_the_four_pairs(self, flights):
+        config, population, _, _ = flights
+        marginals = flights_marginals(population, config)
+        pairs = [m.attributes for m in marginals]
+        assert pairs == [
+            ("carrier", "elapsed_time"),
+            ("taxi_out", "elapsed_time"),
+            ("taxi_in", "elapsed_time"),
+            ("distance", "elapsed_time"),
+        ]
+        for marginal in marginals:
+            assert marginal.total_mass == population.num_rows
+
+    def test_bucketing_snaps_values(self, flights):
+        config, population, _, _ = flights
+        bucketed = bucket_flights(population, config)
+        elapsed = bucketed.column("elapsed_time")
+        assert np.all(elapsed % config.elapsed_bucket == 0)
+
+    def test_paper_scale_config(self):
+        assert FlightsConfig.paper_scale().rows == 426_411
+
+
+class TestMigrants:
+    def test_population_counts(self):
+        config = MigrantsConfig()
+        population = make_migrants_population(config, np.random.default_rng(0))
+        assert population.num_rows == sum(config.country_counts.values())
+
+    def test_affinity_shifts_provider_mix(self):
+        config = MigrantsConfig()
+        population = make_migrants_population(config, np.random.default_rng(0))
+        de_mask = np.asarray([c == "DE" for c in population.column("country")])
+        uk_mask = np.asarray([c == "UK" for c in population.column("country")])
+        emails = population.column("email")
+        gmx = lambda mask: np.mean([e == "GMX" for e, m in zip(emails, mask) if m])
+        assert gmx(de_mask) > gmx(uk_mask) * 2
+
+    def test_marginals(self):
+        config = MigrantsConfig()
+        population = make_migrants_population(config, np.random.default_rng(0))
+        m_country, m_email = migrants_marginals(population)
+        assert m_country.mass(("UK",)) == config.country_counts["UK"]
+        assert m_email.total_mass == population.num_rows
+
+    def test_build_database_sample_is_yahoo_only(self):
+        db, population = build_migrants_database(seed=0)
+        sample = db.catalog.sample("YahooMigrants")
+        assert set(sample.relation.column("email")) == {"Yahoo"}
+        assert sample.num_rows > 0
+
+
+class TestPaperQueries:
+    def test_eight_queries(self):
+        queries = paper_flights_queries()
+        assert [q.query_id for q in queries] == [str(i) for i in range(1, 9)]
+        assert queries[7].group_values == ("US", "F9")
+
+    def test_sql_rendering_parses(self):
+        from repro.sql.parser import parse_statement
+
+        for query in paper_flights_queries():
+            parsed = parse_statement(query.to_sql())
+            assert parsed.table == "F"
+
+    def test_structured_matches_sql_engine(self, flights):
+        """The fast structured evaluation agrees with the SQL executor."""
+        from repro.engine.executor import execute_select
+        from repro.sql.parser import parse_statement
+
+        _, population, _, _ = flights
+        for query in paper_flights_queries():
+            structured = query.evaluate(population)
+            sql_result = execute_select(parse_statement(query.to_sql()), population)
+            sql_rows = sql_result.to_pylist()
+            if query.group_by is None:
+                assert len(sql_rows) == 1
+                (value,) = structured.values()
+                assert value == pytest.approx(list(sql_rows[0].values())[0], rel=1e-9)
+            else:
+                for row in sql_rows:
+                    key = (row[query.group_by],)
+                    agg_value = [v for k, v in row.items() if k != query.group_by][0]
+                    assert structured[key] == pytest.approx(agg_value, rel=1e-9)
+
+    def test_weighted_evaluation(self, flights):
+        _, population, _, _ = flights
+        query = paper_flights_queries()[0]
+        unweighted = query.evaluate(population)[()]
+        weighted = query.evaluate(population, np.full(population.num_rows, 3.0))[()]
+        assert weighted == pytest.approx(unweighted)  # AVG scale-invariant
+
+    def test_empty_answer_when_no_weight_survives(self, flights):
+        _, population, _, _ = flights
+        query = paper_flights_queries()[0]
+        assert query.evaluate(population, np.zeros(population.num_rows)) == {}
+
+
+class TestRandomWorkloads:
+    def test_template_queries(self):
+        queries = random_template_queries(np.random.default_rng(0), 50)
+        assert len(queries) == 50
+        for query in queries:
+            assert query.target != query.filter_attribute
+            assert query.aggregate == "AVG"
+
+    def test_box_queries_within_bounds(self, spiral):
+        _, population, _, _ = spiral
+        boxes = random_box_queries(np.random.default_rng(0), population, 0.4, 20)
+        x = population.column("x")
+        for box in boxes:
+            assert box.x_low >= x.min() - 1e-9
+            assert box.x_high <= x.max() + 1e-9
+            assert box.x_high - box.x_low == pytest.approx(0.4 * (x.max() - x.min()))
+
+    def test_box_count_weighted(self, spiral):
+        _, population, _, _ = spiral
+        box = random_box_queries(np.random.default_rng(1), population, 0.5, 1)[0]
+        unweighted = box.count(population)
+        weighted = box.count(population, np.full(population.num_rows, 2.0))
+        assert weighted == pytest.approx(2.0 * unweighted)
+
+    def test_bad_coverage_rejected(self, spiral):
+        _, population, _, _ = spiral
+        with pytest.raises(MosaicError):
+            random_box_queries(np.random.default_rng(0), population, 1.5, 1)
+
+    def test_box_sql_round_trip(self, spiral):
+        from repro.engine.executor import execute_select
+        from repro.sql.parser import parse_statement
+
+        _, population, _, _ = spiral
+        box = random_box_queries(np.random.default_rng(2), population, 0.3, 1)[0]
+        sql_count = execute_select(
+            parse_statement(box.to_sql()), population
+        ).to_pylist()[0]["COUNT(*)"]
+        assert box.count(population) == pytest.approx(sql_count)
