@@ -24,6 +24,14 @@ class Catalog:
         self._samples: dict[str, SampleRelation] = {}
         self._metadata_owner: dict[str, str] = {}  # metadata name -> population name
         self._global_population: str | None = None
+        #: Monotonically increasing DDL counter: bumps on every create/drop/
+        #: register operation (not on DML like INSERT, which bumps only the
+        #: touched sample's version).  Cache layers use it for statistics and
+        #: coarse "has the schema landscape changed" checks.
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
 
     # ------------------------------------------------------------------ #
     # Name management
@@ -53,6 +61,7 @@ class Catalog:
     def create_auxiliary(self, name: str, relation: Relation) -> None:
         self._assert_fresh(name)
         self._auxiliary[name] = relation
+        self._bump()
 
     def replace_auxiliary(self, name: str, relation: Relation) -> None:
         if name not in self._auxiliary:
@@ -95,6 +104,7 @@ class Catalog:
                     f"population, but {source!r} is not global"
                 )
         self._populations[population.name] = population
+        self._bump()
 
     def population(self, name: str) -> PopulationRelation:
         population = self._populations.get(name)
@@ -130,6 +140,7 @@ class Catalog:
                 f"{sample.population!r}"
             )
         self._samples[sample.name] = sample
+        self._bump()
 
     def sample(self, name: str) -> SampleRelation:
         sample = self._samples.get(name)
@@ -157,6 +168,7 @@ class Catalog:
         population = self.population(population_name)
         population.add_marginal(metadata_name, marginal)
         self._metadata_owner[metadata_name] = population_name
+        self._bump()
 
     def metadata_population(self, metadata_name: str) -> str:
         owner = self._metadata_owner.get(metadata_name)
@@ -200,6 +212,7 @@ class Catalog:
             if name not in self._auxiliary:
                 raise UnknownRelationError(name)
             del self._auxiliary[name]
+            self._bump()
             return
         if kind == "POPULATION":
             if name not in self._populations:
@@ -223,11 +236,13 @@ class Catalog:
             if self._global_population == name:
                 self._global_population = None
             del self._populations[name]
+            self._bump()
             return
         if kind == "SAMPLE":
             if name not in self._samples:
                 raise UnknownRelationError(name)
             del self._samples[name]
+            self._bump()
             return
         if kind == "METADATA":
             owner = self._metadata_owner.get(name)
@@ -235,6 +250,7 @@ class Catalog:
                 raise UnknownRelationError(name)
             self._populations[owner].drop_marginal(name)
             del self._metadata_owner[name]
+            self._bump()
             return
         raise CatalogError(f"unknown DROP kind: {kind!r}")
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 from repro.catalog.metadata import Marginal
 from repro.errors import CatalogError
 from repro.relational.expressions import Expr
@@ -17,7 +19,15 @@ class PopulationRelation:
 
     Marginal metadata attached to a population (``CREATE METADATA``) is the
     ground truth the engine fits reweighting and generation against.
+
+    ``uid`` is process-unique; ``metadata_version`` increases monotonically
+    whenever a marginal is added or dropped.  Caches of artifacts fitted
+    against this population's metadata (IPF reweights, OPEN generators)
+    stamp their entries with the version, so metadata changes invalidate
+    exactly the artifacts derived from this population and nothing else.
     """
+
+    _uid_counter = itertools.count()
 
     def __init__(
         self,
@@ -37,6 +47,8 @@ class PopulationRelation:
         self.is_global = is_global
         self.source_population = source_population
         self.defining_predicate = defining_predicate
+        self.uid = next(PopulationRelation._uid_counter)
+        self.metadata_version = 0
         self._marginals: dict[str, Marginal] = {}
 
     # ------------------------------------------------------------------ #
@@ -53,11 +65,13 @@ class PopulationRelation:
                     f"attribute of population {self.name!r}"
                 )
         self._marginals[name] = marginal
+        self.metadata_version += 1
 
     def drop_marginal(self, name: str) -> None:
         if name not in self._marginals:
             raise CatalogError(f"no metadata {name!r} on population {self.name!r}")
         del self._marginals[name]
+        self.metadata_version += 1
 
     @property
     def marginals(self) -> dict[str, Marginal]:

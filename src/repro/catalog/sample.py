@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.errors import CatalogError, SchemaError
@@ -17,7 +19,17 @@ class SampleRelation:
     (initialised to one, per Sec. 3.2), the population the sample was drawn
     from, the predicate that restricted it (``WHERE email = 'Yahoo'``), and
     — when declared — the sampling mechanism.
+
+    Every sample carries a process-unique ``uid`` and a monotonically
+    increasing ``version`` that bumps on every data/weight mutation.  The
+    pair is the engine's cache-invalidation contract: anything derived from
+    this sample (reweights, fitted generators) is cached under the uid and
+    stamped with the version, so mutating one sample never evicts artifacts
+    of another, and a dropped-and-recreated sample (fresh uid) can never be
+    served a predecessor's artifacts.
     """
+
+    _uid_counter = itertools.count()
 
     def __init__(
         self,
@@ -33,6 +45,8 @@ class SampleRelation:
         self.population = population
         self.defining_predicate = defining_predicate
         self.mechanism = mechanism
+        self.uid = next(SampleRelation._uid_counter)
+        self.version = 0
         if initial_weights is None:
             weights = np.ones(relation.num_rows, dtype=np.float64)
         else:
@@ -68,14 +82,28 @@ class SampleRelation:
     def num_rows(self) -> int:
         return self.relation.num_rows
 
+    def bump_version(self) -> None:
+        """Mark the sample's data/weights as changed (invalidates caches)."""
+        self.version += 1
+
+    def replace_data(self, relation: Relation, weights: np.ndarray) -> None:
+        """Swap in new tuples and weights atomically (validated first)."""
+        weights = np.asarray(weights, dtype=np.float64).copy()
+        self._validate_weights(weights, relation.num_rows)
+        self.relation = relation
+        self._weights = weights
+        self.bump_version()
+
     def set_weights(self, weights: np.ndarray) -> None:
         weights = np.asarray(weights, dtype=np.float64).copy()
         self._validate_weights(weights, self.relation.num_rows)
         self._weights = weights
+        self.bump_version()
 
     def reset_weights(self) -> None:
         """Back to the all-ones initialisation."""
         self._weights = np.ones(self.relation.num_rows, dtype=np.float64)
+        self.bump_version()
 
     def scale_weights_to_total(self, target_total: float) -> None:
         """Rescale so weights sum to ``target_total`` (population size)."""
@@ -83,6 +111,7 @@ class SampleRelation:
         if current <= 0:
             raise CatalogError(f"sample {self.name!r} has zero total weight")
         self._weights = self._weights * (target_total / current)
+        self.bump_version()
 
     def effective_sample_size(self) -> float:
         """Kish's effective sample size ``(Σw)² / Σw²``.

@@ -1,0 +1,96 @@
+"""Cache primitives for the compiled query pipeline.
+
+Two small building blocks:
+
+- :class:`LRUCache` — a plain bounded least-recently-used map, used for the
+  parsed-statement cache and the logical-plan cache (whose keys already
+  embed everything the value depends on: SQL text, relation kind, schema
+  fingerprint, weightedness).
+- :class:`VersionedLRUCache` — an LRU whose entries carry a *version stamp*.
+  A lookup presents the stamp it expects (derived from the monotonically
+  increasing versions on :class:`~repro.catalog.sample.SampleRelation`,
+  population metadata, and session config); a stored entry with any other
+  stamp is stale and treated as a miss.  This is what lets an INSERT into
+  one sample invalidate exactly that sample's reweights/generators while
+  every other cached artifact survives — the per-key replacement for the
+  old clear-everything ``_invalidate_model_caches()``.
+
+A ``capacity`` of zero (or less) disables a cache: every lookup misses and
+nothing is stored.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LRUCache:
+    """A bounded least-recently-used key/value cache with hit statistics."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.stats()})"
+
+
+class VersionedLRUCache(LRUCache):
+    """An LRU whose entries are only valid under a matching version stamp.
+
+    ``stamp`` is any hashable value encoding the versions of everything the
+    cached artifact was derived from.  A stale entry (stored under an older
+    stamp) is dropped on lookup, so at most one artifact per key is ever
+    retained.
+    """
+
+    def get(self, key: Hashable, stamp: Hashable = None) -> Any | None:  # type: ignore[override]
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_stamp, value = entry
+        if stored_stamp != stamp:
+            del self._entries[key]  # stale: superseded by a newer version
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, stamp: Hashable, value: Any = None) -> None:  # type: ignore[override]
+        super().put(key, (stamp, value))

@@ -28,14 +28,17 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.metadata import Marginal
 from repro.catalog.population import PopulationRelation
 from repro.catalog.sample import SampleRelation
+from repro.core.caches import LRUCache, VersionedLRUCache
 from repro.core.result import QueryResult
 from repro.core.session import SessionConfig
 from repro.core.visibility import Visibility
 from repro.engine.closed import evaluate_closed
+from repro.engine.compiler import compile_select, execute_plan
 from repro.engine.executor import execute_select
 from repro.engine.open_world import OpenGenerator, OpenQueryConfig, evaluate_open
+from repro.engine.plan import LogicalPlan
 from repro.engine.planner import PlannedSource, choose_sample
-from repro.engine.semi_open import evaluate_semi_open
+from repro.engine.semi_open import evaluate_semi_open, reweighted_sample
 from repro.errors import (
     CatalogError,
     SqlCompileError,
@@ -81,7 +84,18 @@ class MosaicDB:
             self.config.open_config = open_config
         self.catalog = Catalog()
         self.rng = np.random.default_rng(seed)
-        self._open_generators: dict[tuple[str, str], OpenGenerator] = {}
+        # Compiled-pipeline caches (see ARCHITECTURE.md). Statement/plan
+        # caches key on immutable inputs (SQL text, relation kind, schema
+        # fingerprint, weightedness) and never need invalidation; model
+        # caches key on catalog uids and validate per-entry version stamps.
+        self._statement_cache: LRUCache = LRUCache(self.config.statement_cache_size)
+        self._plan_cache: LRUCache = LRUCache(self.config.plan_cache_size)
+        self._reweight_cache: VersionedLRUCache = VersionedLRUCache(
+            self.config.reweight_cache_size
+        )
+        self._open_generators: VersionedLRUCache = VersionedLRUCache(
+            self.config.generator_cache_size
+        )
 
     # ------------------------------------------------------------------ #
     # SQL entry points
@@ -89,11 +103,27 @@ class MosaicDB:
 
     def execute(self, sql: str) -> QueryResult:
         """Parse and run one statement; DDL returns an empty status result."""
-        return self._run(parse_statement(sql))
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            self._statement_cache.put(sql, statement)
+        return self._run(statement, sql_text=sql)
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Run a ``;``-separated script, returning one result per statement."""
-        return [self._run(statement) for statement in parse_script(sql)]
+        # Scripts cache like single statements: the parsed list under a
+        # ("script", text) key, and each statement's plan under a synthetic
+        # per-position text (NUL never occurs in real SQL, so these keys
+        # cannot collide with execute()'s).
+        key = ("script", sql)
+        statements = self._statement_cache.get(key)
+        if statements is None:
+            statements = parse_script(sql)
+            self._statement_cache.put(key, statements)
+        return [
+            self._run(statement, sql_text=f"{sql}\x00{position}")
+            for position, statement in enumerate(statements)
+        ]
 
     def query(self, sql: str) -> QueryResult:
         """Alias of :meth:`execute` for read-only callers."""
@@ -103,9 +133,9 @@ class MosaicDB:
     # Statement dispatch
     # ------------------------------------------------------------------ #
 
-    def _run(self, statement: Statement) -> QueryResult:
+    def _run(self, statement: Statement, sql_text: str | None = None) -> QueryResult:
         if isinstance(statement, SelectQuery):
-            return self._run_select(statement)
+            return self._run_select(statement, sql_text)
         if isinstance(statement, CreateTable):
             return self._run_create_table(statement)
         if isinstance(statement, Insert):
@@ -119,7 +149,9 @@ class MosaicDB:
         if isinstance(statement, UpdateWeights):
             return self._run_update_weights(statement)
         if isinstance(statement, Drop):
-            self._invalidate_model_caches()
+            # No cache clearing: dropped objects' uids never recur, and the
+            # schema fingerprint in the plan-cache key distinguishes any
+            # same-named successor with a different shape.
             self.catalog.drop(statement.kind, statement.name)
             return _status(f"dropped {statement.kind.lower()} {statement.name}")
         raise SqlCompileError(f"unsupported statement type {type(statement).__name__}")
@@ -234,8 +266,9 @@ class MosaicDB:
         population_name = self.catalog.resolve_metadata_population(
             statement.name, statement.for_population
         )
+        # register_metadata bumps the population's metadata_version, which
+        # invalidates exactly the reweights/generators fitted against it.
         self.catalog.register_metadata(statement.name, population_name, marginal)
-        self._invalidate_model_caches()
         return _status(
             f"registered metadata {statement.name} on population {population_name} "
             f"({marginal.num_cells} cells over {marginal.attributes})"
@@ -275,31 +308,33 @@ class MosaicDB:
         new_weights = np.concatenate(
             [sample.weights, np.ones(appended.num_rows)]
         )
-        sample.relation = new_relation
-        sample.set_weights(new_weights)
-        self._invalidate_model_caches()
+        # replace_data validates before swapping and bumps sample.version,
+        # which invalidates exactly this sample's cached reweights/generators.
+        sample.replace_data(new_relation, new_weights)
 
     def _run_update_weights(self, statement: UpdateWeights) -> QueryResult:
         sample = self.catalog.sample(statement.sample)
         weighted = sample.weighted_relation()
         expr = bind_expression(statement.expr, weighted.schema, allow_barewords=False)
         values = np.asarray(expr.evaluate(weighted), dtype=np.float64)
-        weights = sample.weights
         if statement.where is None:
-            weights = values
+            new_weights = values
         else:
             predicate = bind_expression(statement.where, weighted.schema)
             mask = np.asarray(predicate.evaluate(weighted), dtype=bool)
-            weights[mask] = values[mask]
-        sample.set_weights(weights)
-        self._invalidate_model_caches()
+            # Build the candidate vector without touching the stored array:
+            # if set_weights rejects it (negative/non-finite values), the
+            # sample keeps its previous weights instead of ending up
+            # half-updated.
+            new_weights = np.where(mask, values, sample.weights)
+        sample.set_weights(new_weights)
         return _status(f"updated weights of sample {statement.sample}")
 
     # ------------------------------------------------------------------ #
     # SELECT routing
     # ------------------------------------------------------------------ #
 
-    def _run_select(self, query: SelectQuery) -> QueryResult:
+    def _run_select(self, query: SelectQuery, sql_text: str | None = None) -> QueryResult:
         kind = self.catalog.kind_of(query.table)
         if kind == "auxiliary":
             if query.visibility not in (None, Visibility.CLOSED):
@@ -307,13 +342,19 @@ class MosaicDB:
                     "visibility keywords only apply to populations and samples; "
                     f"{query.table!r} is an auxiliary table"
                 )
-            relation = execute_select(query, self.catalog.auxiliary(query.table))
-            return QueryResult(relation, visibility=str(Visibility.CLOSED))
+            auxiliary = self.catalog.auxiliary(query.table)
+            plan, plan_note = self._compiled_plan(
+                query, sql_text, kind, auxiliary.schema, weighted=False
+            )
+            relation = execute_plan(plan, auxiliary)
+            return QueryResult(
+                relation, visibility=str(Visibility.CLOSED), notes=(plan_note,)
+            )
         if kind == "sample":
-            return self._select_from_sample(query)
-        return self._select_from_population(query)
+            return self._select_from_sample(query, sql_text)
+        return self._select_from_population(query, sql_text)
 
-    def _select_from_sample(self, query: SelectQuery) -> QueryResult:
+    def _select_from_sample(self, query: SelectQuery, sql_text: str | None) -> QueryResult:
         sample = self.catalog.sample(query.table)
         visibility = query.visibility or Visibility.CLOSED
         if visibility is Visibility.OPEN:
@@ -322,7 +363,10 @@ class MosaicDB:
                 f"population {sample.population!r} instead"
             )
         weights = sample.weights if visibility is Visibility.SEMI_OPEN else None
-        relation = execute_select(query, sample.relation, weights=weights)
+        plan, plan_note = self._compiled_plan(
+            query, sql_text, "sample", sample.relation.schema, weighted=weights is not None
+        )
+        relation = execute_plan(plan, sample.relation, weights)
         return QueryResult(
             relation,
             visibility=str(visibility),
@@ -331,22 +375,35 @@ class MosaicDB:
                 "sample queried directly with its stored weights"
                 if weights is not None
                 else "sample queried directly, unweighted",
+                plan_note,
             ),
         )
 
-    def _select_from_population(self, query: SelectQuery) -> QueryResult:
+    def _select_from_population(
+        self, query: SelectQuery, sql_text: str | None
+    ) -> QueryResult:
         population = self.catalog.population(query.table)
         visibility = query.visibility or self.config.default_visibility
         source = choose_sample(
             self.catalog, population, combine_samples=self.config.combine_samples
         )
+        weighted = visibility is Visibility.SEMI_OPEN or (
+            visibility is Visibility.OPEN
+            and bool(query.has_aggregates or query.group_by)
+        )
+        plan, plan_note = self._compiled_plan(
+            query, sql_text, "population", source.sample.relation.schema, weighted
+        )
 
         if visibility is Visibility.CLOSED:
-            relation, notes = evaluate_closed(query, source)
+            relation, notes = evaluate_closed(query, source, plan)
         elif visibility is Visibility.SEMI_OPEN:
-            relation, notes = evaluate_semi_open(query, source, self.catalog)
+            relation, notes = evaluate_semi_open(
+                query, source, self.catalog, plan, self._cached_reweight(source)
+            )
         else:
-            relation, notes = self._evaluate_open(query, source)
+            relation, notes = self._evaluate_open(query, source, plan)
+        notes.append(plan_note)
 
         return QueryResult(
             relation,
@@ -355,11 +412,71 @@ class MosaicDB:
             notes=tuple(notes),
         )
 
-    def _evaluate_open(self, query: SelectQuery, source: PlannedSource):
-        population = source.population
+    def _compiled_plan(
+        self,
+        query: SelectQuery,
+        sql_text: str | None,
+        kind: str,
+        schema: Schema,
+        weighted: bool,
+    ) -> tuple[LogicalPlan, str]:
+        """The logical plan for ``query`` over ``schema``, LRU-cached.
+
+        The cache key is ``(sql_text, kind, schema fingerprint, weighted)``
+        — everything a compiled plan depends on — so entries never go stale:
+        a same-named relation recreated with a different schema simply maps
+        to a different key.  Statements without SQL text (programmatic ASTs)
+        are compiled fresh each time.
+        """
+        if sql_text is None:
+            return (
+                compile_select(query, schema, weighted=weighted),
+                "plan: compiled (programmatic statement, not cached)",
+            )
+        key = (sql_text, kind, schema, weighted)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan, f"plan: cache hit, parse/bind/compile skipped ({plan.describe()})"
+        plan = compile_select(query, schema, weighted=weighted)
+        self._plan_cache.put(key, plan)
+        return plan, f"plan: compiled and cached ({plan.describe()})"
+
+    def _cached_reweight(self, source: PlannedSource):
+        """SEMI-OPEN debiased weights for ``source``, version-stamp cached."""
+        key = source.cache_identity()
+        if key is None:
+            relation, weights, notes = reweighted_sample(source, self.catalog)
+            notes.append("reweight cache: skipped (synthetic sample union)")
+            return relation, weights, notes
+        stamp = source.version_stamp(self.catalog)
+        entry = self._reweight_cache.get(key, stamp)
+        if entry is not None:
+            relation, weights, notes = entry
+            return relation, weights, [
+                *notes,
+                f"SEMI-OPEN: reweight cache hit (sample {source.sample.name!r} "
+                f"v{source.sample.version})",
+            ]
+        relation, weights, notes = reweighted_sample(source, self.catalog)
+        self._reweight_cache.put(key, stamp, (relation, weights, list(notes)))
+        return relation, weights, notes
+
+    def _evaluate_open(
+        self, query: SelectQuery, source: PlannedSource, plan: LogicalPlan | None = None
+    ):
         marginals, size, fit_relation, scope_note = self._open_fit_inputs(source)
-        key = (population.name, source.sample.name)
-        generator = self._open_generators.get(key)
+        key = source.cache_identity()
+        stamp = None
+        generator = None
+        if key is not None:
+            # The factory is part of the stamp so set_open_generator swaps
+            # retrain even without an explicit invalidation.
+            stamp = (
+                *source.version_stamp(self.catalog),
+                self.config.open_config.generator_factory,
+            )
+            generator = self._open_generators.get(key, stamp)
+        cache_note = None
         if generator is None:
             factory = self.config.open_config.generator_factory
             generator = factory() if callable(factory) else factory
@@ -368,7 +485,13 @@ class MosaicDB:
                 marginals,
                 categorical_columns=self.config.open_config.categorical_columns,
             )
-            self._open_generators[key] = generator
+            if key is not None:
+                self._open_generators.put(key, stamp, generator)
+        else:
+            cache_note = (
+                f"OPEN: generator cache hit (sample {source.sample.name!r} "
+                f"v{source.sample.version})"
+            )
         relation, notes = evaluate_open(
             query,
             source,
@@ -376,7 +499,10 @@ class MosaicDB:
             self.config.open_config,
             population_size=size,
             rng=self.rng,
+            plan=plan,
         )
+        if cache_note is not None:
+            notes.insert(0, cache_note)
         notes.insert(0, scope_note)
         return relation, notes
 
@@ -415,7 +541,38 @@ class MosaicDB:
         )
 
     def _invalidate_model_caches(self) -> None:
+        """Drop every fitted artifact (generator factory or config changed).
+
+        Routine DML/DDL no longer calls this: version-stamped cache entries
+        invalidate themselves per key (see ARCHITECTURE.md).
+        """
         self._open_generators.clear()
+        self._reweight_cache.clear()
+
+    def clear_caches(self) -> None:
+        """Empty all pipeline caches (plans, statements, reweights, models).
+
+        Useful for cold-path benchmarking and tests; never required for
+        correctness.
+        """
+        self._statement_cache.clear()
+        self._plan_cache.clear()
+        self._invalidate_model_caches()
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size counters for every pipeline cache.
+
+        ``catalog_version`` is the DDL counter: comparing two snapshots
+        tells an operator whether the schema landscape changed between them
+        (fine-grained invalidation itself runs on per-object versions).
+        """
+        return {
+            "statements": self._statement_cache.stats(),
+            "plans": self._plan_cache.stats(),
+            "reweights": self._reweight_cache.stats(),
+            "generators": self._open_generators.stats(),
+            "catalog": {"catalog_version": self.catalog.version},
+        }
 
     # ------------------------------------------------------------------ #
     # Programmatic API (used by experiments and examples)
@@ -432,9 +589,8 @@ class MosaicDB:
         if kind == "sample":
             sample = self.catalog.sample(name)
             if sample.num_rows == 0:
-                sample.relation = relation.project(list(sample.relation.column_names))
-                sample.set_weights(np.ones(relation.num_rows))
-                self._invalidate_model_caches()
+                projected = relation.project(list(sample.relation.column_names))
+                sample.replace_data(projected, np.ones(projected.num_rows))
             else:
                 self._append_to_sample(
                     sample, relation.project(list(sample.relation.column_names))
@@ -473,7 +629,6 @@ class MosaicDB:
             mechanism=mechanism,
         )
         self.catalog.create_sample(sample)
-        self._invalidate_model_caches()
         return sample
 
     def register_marginal(
@@ -481,7 +636,6 @@ class MosaicDB:
     ) -> None:
         """Attach a precomputed marginal to a population."""
         self.catalog.register_metadata(metadata_name, population_name, marginal)
-        self._invalidate_model_caches()
 
     def set_open_generator(self, factory) -> None:
         """Replace the OPEN generator factory (e.g. swap in BayesNetGenerator)."""

@@ -51,6 +51,16 @@ class QueryResult:
     def to_pylist(self) -> list[dict[str, Any]]:
         return self._relation.to_pylist()
 
+    def has_note(self, substring: str) -> bool:
+        """Whether any engine note contains ``substring``.
+
+        Notes carry the execution trail — reweighting decisions, plan
+        compilation vs. plan-cache hits, reweight/generator cache hits — so
+        this is how callers observe pipeline behaviour (e.g.
+        ``result.has_note("plan: cache hit")``).
+        """
+        return any(substring in note for note in self.notes)
+
     def scalar(self) -> Any:
         """The single value of a 1x1 result (e.g. ``SELECT COUNT(*) ...``)."""
         if self.num_rows != 1 or len(self.columns) != 1:

@@ -19,9 +19,19 @@ class SessionConfig:
     ``combine_samples`` enables the Sec. 7 "Multiple Samples" extension:
     union all schema-compatible samples of a population before reweighting
     instead of picking the single largest.
+
+    The ``*_cache_size`` fields bound the compiled-pipeline caches (see
+    ``ARCHITECTURE.md``): parsed statements and logical plans per SQL text,
+    debiased SEMI-OPEN weight vectors per (population, sample), and fitted
+    OPEN generators per (population, sample).  Set a size to 0 to disable
+    that cache (every query recomputes from scratch).
     """
 
     seed: int = 0
     default_visibility: Visibility = Visibility.SEMI_OPEN
     combine_samples: bool = False
     open_config: OpenQueryConfig = field(default_factory=OpenQueryConfig)
+    statement_cache_size: int = 256
+    plan_cache_size: int = 256
+    reweight_cache_size: int = 64
+    generator_cache_size: int = 32

@@ -1,11 +1,16 @@
 """Query evaluation per visibility level (paper Sec. 4, Fig. 2/3).
 
-- :mod:`repro.engine.executor` — evaluates a bound SELECT over a
-  (optionally weighted) relation: filter, group-by, weighted aggregates
-  (``COUNT(*) → SUM(weight)`` et al.), order, limit.
+- :mod:`repro.engine.plan` — the logical-plan node algebra
+  (Scan → Filter → Project/Aggregate → Sort → Limit).
+- :mod:`repro.engine.compiler` — compiles a SELECT against an input schema
+  into a :class:`~repro.engine.plan.LogicalPlan` (all binding/validation
+  done once) and executes plans with vectorized kernels.
+- :mod:`repro.engine.executor` — convenience compile-and-run wrapper for a
+  one-off SELECT over a (optionally weighted) relation.
 - :mod:`repro.engine.planner` — picks the "single, optimal sample" for a
   population query (assumption 2 of Sec. 4) or unions compatible samples
-  (the Sec. 7 "Multiple Samples" extension).
+  (the Sec. 7 "Multiple Samples" extension), and defines the per-source
+  cache identity/version stamps.
 - :mod:`repro.engine.closed` — CLOSED: the sample as-is (LAV-view style).
 - :mod:`repro.engine.semi_open` — SEMI-OPEN: inverse-probability weights
   when the mechanism is known, IPF against query-population or global
@@ -15,6 +20,7 @@
   intersection + aggregate averaging (Sec. 5.3).
 """
 
+from repro.engine.compiler import compile_select, execute_plan
 from repro.engine.executor import execute_select
 from repro.engine.open_world import (
     BayesNetGenerator,
@@ -22,9 +28,13 @@ from repro.engine.open_world import (
     MswgGenerator,
     OpenQueryConfig,
 )
+from repro.engine.plan import LogicalPlan
 
 __all__ = [
     "execute_select",
+    "compile_select",
+    "execute_plan",
+    "LogicalPlan",
     "OpenQueryConfig",
     "MswgGenerator",
     "BayesNetGenerator",

@@ -1,0 +1,200 @@
+"""Compile bound SELECT statements into logical plans, and execute plans.
+
+:func:`compile_select` does every piece of work that depends only on the
+query text and the input schema — name resolution, bareword binding, type
+validation, aggregate classification, output-schema computation — exactly
+once.  :func:`execute_plan` then runs the plan over any relation with that
+schema: the raw sample (CLOSED), the reweighted sample (SEMI-OPEN), or each
+generated sample (OPEN).
+
+``weights`` threads through execution with the paper's reweighting
+semantics: filters subset the weight vector alongside the rows, projections
+drop zero-weight rows ("a reweighted tuple with zero weight does not
+exist"), and aggregation consumes the weights via the vectorized kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.plan import (
+    AggregateNode,
+    FilterNode,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    SortNode,
+)
+from repro.errors import SchemaError, SqlCompileError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.dtypes import DType
+from repro.relational.expressions import ColumnRef, Expr, validate_expression
+from repro.relational.kernels import grouped_aggregate
+from repro.relational.ops import distinct as distinct_op
+from repro.relational.ops import project_expressions
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.sql.ast_nodes import SelectItem, SelectQuery
+from repro.sql.binder import bind_expression, require_column
+
+
+def compile_select(
+    query: SelectQuery, schema: Schema, weighted: bool = False
+) -> LogicalPlan:
+    """Bind and validate ``query`` against ``schema``, producing a plan.
+
+    ``weighted`` declares whether execution will supply a weight vector —
+    it changes aggregate output dtypes (weighted COUNT/SUM are FLOAT,
+    fractional weights) and therefore the plan's output schema, so it is
+    part of the plan-cache key.
+    """
+    nodes: list = []
+
+    if query.where is not None:
+        predicate = bind_expression(query.where, schema)
+        if validate_expression(predicate, schema) is not DType.BOOL:
+            raise SqlCompileError("WHERE predicate must be boolean")
+        nodes.append(FilterNode(predicate))
+
+    if query.has_aggregates or query.group_by:
+        body = _compile_aggregate(query, schema, weighted)
+    else:
+        body = _compile_projection(query, schema)
+    nodes.append(body)
+    current = body.schema
+
+    if query.order_by:
+        columns = tuple(require_column(key.column, current) for key in query.order_by)
+        nodes.append(SortNode(columns, tuple(key.ascending for key in query.order_by)))
+    if query.limit is not None:
+        nodes.append(LimitNode(query.limit))
+
+    return LogicalPlan(
+        source_schema=schema,
+        nodes=tuple(nodes),
+        output_schema=current,
+        weighted=weighted,
+    )
+
+
+def _compile_projection(query: SelectQuery, schema: Schema) -> ProjectNode:
+    exprs: list[Expr] = []
+    aliases: list[str] = []
+    for item in query.items:
+        if item.is_star:
+            for name in schema.names:
+                exprs.append(ColumnRef(name))
+                aliases.append(name)
+            continue
+        assert item.expr is not None
+        exprs.append(bind_expression(item.expr, schema))
+        aliases.append(item.alias or item.default_alias())
+    fields = [
+        Field(alias, validate_expression(expr, schema))
+        for expr, alias in zip(exprs, aliases)
+    ]
+    return ProjectNode(
+        exprs=tuple(exprs),
+        aliases=tuple(aliases),
+        schema=Schema(fields),
+        distinct=query.distinct,
+    )
+
+
+def _compile_aggregate(
+    query: SelectQuery, schema: Schema, weighted: bool
+) -> AggregateNode:
+    group_keys = [require_column(name, schema) for name in query.group_by]
+
+    key_items: list[tuple[SelectItem, str]] = []
+    agg_items: list[tuple[SelectItem, AggregateSpec]] = []
+    for item in query.items:
+        if item.is_star:
+            raise SqlCompileError("SELECT * cannot be combined with aggregates")
+        if item.is_aggregate:
+            assert item.func is not None
+            expr = None if item.expr is None else bind_expression(item.expr, schema)
+            spec = AggregateSpec(item.func, expr, item.alias or item.default_alias())
+            agg_items.append((item, spec))
+        else:
+            column = _as_group_column(item, group_keys, schema)
+            key_items.append((item, column))
+
+    fields = [Field(item.alias or column, schema.dtype(column)) for item, column in key_items]
+    for item, spec in agg_items:
+        fields.append(Field(spec.alias, spec.output_dtype(schema, weighted)))
+
+    return AggregateNode(
+        group_keys=tuple(group_keys),
+        key_columns=tuple(column for _, column in key_items),
+        specs=tuple(spec for _, spec in agg_items),
+        schema=Schema(fields),
+    )
+
+
+def _as_group_column(item: SelectItem, group_keys: list[str], schema: Schema) -> str:
+    if not isinstance(item.expr, (ColumnRef,)) and not hasattr(item.expr, "name"):
+        raise SqlCompileError(
+            "non-aggregate SELECT items in an aggregate query must be "
+            f"plain GROUP BY columns, got {item.default_alias()!r}"
+        )
+    name = item.expr.name  # ColumnRef or Identifier both expose .name
+    column = require_column(name, schema)
+    if column not in group_keys:
+        raise SqlCompileError(
+            f"column {column!r} appears in SELECT but not in GROUP BY"
+        )
+    return column
+
+
+def execute_plan(
+    plan: LogicalPlan,
+    relation: Relation,
+    weights: np.ndarray | None = None,
+) -> Relation:
+    """Run ``plan`` over ``relation`` (the implicit Scan input).
+
+    The relation's schema must equal the schema the plan was compiled
+    against — the invariant that makes cached plans safe to reuse.
+    """
+    if relation.schema != plan.source_schema:
+        raise SchemaError(
+            f"plan compiled against {plan.source_schema!r} cannot run over "
+            f"{relation.schema!r}"
+        )
+    if (weights is not None) != plan.weighted:
+        raise SchemaError(
+            "plan weightedness mismatch: compiled "
+            f"{'weighted' if plan.weighted else 'unweighted'} but executed "
+            f"{'with' if weights is not None else 'without'} weights"
+        )
+    for node in plan.nodes:
+        if isinstance(node, FilterNode):
+            mask = np.asarray(node.predicate.evaluate(relation), dtype=bool)
+            relation = relation.filter(mask)
+            if weights is not None:
+                weights = weights[mask]
+        elif isinstance(node, ProjectNode):
+            if weights is not None:
+                relation = relation.filter(weights > 0.0)
+                weights = None
+            relation = project_expressions(relation, node.exprs, node.aliases)
+            if node.distinct:
+                relation = distinct_op(relation)
+        elif isinstance(node, AggregateNode):
+            relation = grouped_aggregate(
+                relation,
+                node.group_keys,
+                node.key_columns,
+                node.specs,
+                node.schema,
+                weights,
+            )
+            weights = None
+        elif isinstance(node, SortNode):
+            relation = relation.sort_by(list(node.columns), list(node.ascending))
+        elif isinstance(node, LimitNode):
+            relation = relation.head(node.count)
+        else:  # pragma: no cover - exhaustive over PlanNode
+            raise SqlCompileError(f"unknown plan node {type(node).__name__}")
+    return relation

@@ -4,23 +4,24 @@ This is the bottom of every visibility path: once CLOSED/SEMI-OPEN/OPEN
 processing has produced tuples and weights, the executor applies the
 user's WHERE / GROUP BY / aggregates / ORDER BY / LIMIT with the paper's
 weighted-aggregate rewrite.
+
+Since the compiled-pipeline refactor this module is a thin convenience
+wrapper: :func:`execute_select` compiles a fresh
+:class:`~repro.engine.plan.LogicalPlan` and runs it.  Callers that execute
+the same SQL repeatedly (:class:`~repro.core.database.MosaicDB`) compile
+once via :func:`~repro.engine.compiler.compile_select`, cache the plan, and
+call :func:`~repro.engine.compiler.execute_plan` directly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import SqlCompileError
-from repro.relational.aggregates import AggregateSpec, compute_aggregate
-from repro.relational.dtypes import DType
-from repro.relational.expressions import ColumnRef, Expr, validate_expression
-from repro.relational.groupby import group_rows
-from repro.relational.ops import distinct as distinct_op
-from repro.relational.ops import project_expressions
+from repro.engine.compiler import compile_select, execute_plan
 from repro.relational.relation import Relation
-from repro.relational.schema import Field, Schema
-from repro.sql.ast_nodes import SelectItem, SelectQuery
-from repro.sql.binder import bind_expression, require_column
+from repro.sql.ast_nodes import SelectQuery
+
+__all__ = ["execute_select", "compile_select", "execute_plan"]
 
 
 def execute_select(
@@ -34,110 +35,5 @@ def execute_select(
     excluded from non-aggregate output (a reweighted tuple with zero weight
     "does not exist").
     """
-    schema = relation.schema
-    if query.where is not None:
-        predicate = bind_expression(query.where, schema)
-        if validate_expression(predicate, schema) is not DType.BOOL:
-            raise SqlCompileError("WHERE predicate must be boolean")
-        mask = np.asarray(predicate.evaluate(relation), dtype=bool)
-        relation = relation.filter(mask)
-        if weights is not None:
-            weights = weights[mask]
-
-    if query.has_aggregates or query.group_by:
-        result = _execute_aggregate(query, relation, weights)
-    else:
-        result = _execute_projection(query, relation, weights)
-
-    if query.order_by:
-        names = [require_column(key.column, result.schema) for key in query.order_by]
-        result = result.sort_by(names, [key.ascending for key in query.order_by])
-    if query.limit is not None:
-        result = result.head(query.limit)
-    return result
-
-
-def _execute_projection(
-    query: SelectQuery, relation: Relation, weights: np.ndarray | None
-) -> Relation:
-    if weights is not None:
-        alive = weights > 0.0
-        relation = relation.filter(alive)
-
-    exprs: list[Expr] = []
-    aliases: list[str] = []
-    for item in query.items:
-        if item.is_star:
-            for name in relation.column_names:
-                exprs.append(ColumnRef(name))
-                aliases.append(name)
-            continue
-        assert item.expr is not None
-        exprs.append(bind_expression(item.expr, relation.schema))
-        aliases.append(item.alias or item.default_alias())
-    result = project_expressions(relation, exprs, aliases)
-    if query.distinct:
-        result = distinct_op(result)
-    return result
-
-
-def _execute_aggregate(
-    query: SelectQuery, relation: Relation, weights: np.ndarray | None
-) -> Relation:
-    schema = relation.schema
-    group_keys = [require_column(name, schema) for name in query.group_by]
-
-    key_items: list[tuple[SelectItem, str]] = []
-    agg_items: list[tuple[SelectItem, AggregateSpec]] = []
-    for item in query.items:
-        if item.is_star:
-            raise SqlCompileError("SELECT * cannot be combined with aggregates")
-        if item.is_aggregate:
-            assert item.func is not None
-            expr = (
-                None if item.expr is None else bind_expression(item.expr, schema)
-            )
-            spec = AggregateSpec(item.func, expr, item.alias or item.default_alias())
-            agg_items.append((item, spec))
-        else:
-            column = _as_group_column(item, group_keys, schema)
-            key_items.append((item, column))
-
-    weighted = weights is not None
-    fields = []
-    for item, column in key_items:
-        fields.append(Field(item.alias or column, schema.dtype(column)))
-    for item, spec in agg_items:
-        fields.append(Field(spec.alias, spec.output_dtype(schema, weighted)))
-    out_schema = Schema(fields)
-
-    rows: list[tuple] = []
-    for key, indices in group_rows(relation, group_keys):
-        group_weights = None if weights is None else weights[indices]
-        if group_weights is not None and not np.any(group_weights > 0):
-            continue  # a reweighted-away group does not exist
-        group_relation = relation.take(indices)
-        row: list = []
-        key_by_column = dict(zip(group_keys, key))
-        for item, column in key_items:
-            row.append(key_by_column[column])
-        for item, spec in agg_items:
-            row.append(compute_aggregate(spec, group_relation, group_weights))
-        rows.append(tuple(row))
-
-    return Relation.from_rows(out_schema, rows)
-
-
-def _as_group_column(item: SelectItem, group_keys: list[str], schema) -> str:
-    if not isinstance(item.expr, (ColumnRef,)) and not hasattr(item.expr, "name"):
-        raise SqlCompileError(
-            "non-aggregate SELECT items in an aggregate query must be "
-            f"plain GROUP BY columns, got {item.default_alias()!r}"
-        )
-    name = item.expr.name  # ColumnRef or Identifier both expose .name
-    column = require_column(name, schema)
-    if column not in group_keys:
-        raise SqlCompileError(
-            f"column {column!r} appears in SELECT but not in GROUP BY"
-        )
-    return column
+    plan = compile_select(query, relation.schema, weighted=weights is not None)
+    return execute_plan(plan, relation, weights)

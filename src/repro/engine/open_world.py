@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.bayesnet.model import BayesianNetworkModel
 from repro.catalog.metadata import Marginal
-from repro.engine.executor import execute_select
+from repro.engine.compiler import compile_select, execute_plan
+from repro.engine.plan import LogicalPlan
 from repro.engine.planner import PlannedSource
 from repro.errors import GenerativeModelError, VisibilityError
 from repro.generative.mswg import MSWG, MswgConfig
@@ -220,15 +221,23 @@ def evaluate_open(
     config: OpenQueryConfig,
     population_size: float,
     rng: np.random.Generator,
+    plan: LogicalPlan | None = None,
 ) -> tuple[Relation, list[str]]:
     """Answer ``query`` from generated population samples.
 
     ``generator`` must already be fitted; ``population_size`` scales the
-    uniform weights of each generated sample.
+    uniform weights of each generated sample.  ``plan`` is the compiled form
+    of ``query`` over the sample's schema (generated tuples share it) —
+    supplied by :class:`~repro.core.database.MosaicDB` on plan-cache hits,
+    compiled here otherwise.
     """
     generator_name = getattr(generator, "name", type(generator).__name__)
     rows = config.rows_per_generation or source.sample.num_rows
     predicate = source.population.defining_predicate
+    schema = source.sample.relation.schema
+    weighted = bool(query.has_aggregates or query.group_by)
+    if plan is None:
+        plan = compile_select(query, schema, weighted=weighted)
 
     inferred = _try_count_inference(query, source, generator)
     if inferred is not None:
@@ -247,7 +256,7 @@ def evaluate_open(
             f"non-aggregate OPEN query: materialised one generated sample of "
             f"{rows} row(s)"
         )
-        return execute_select(query, generated), notes
+        return execute_plan(plan, generated), notes
 
     answers: list[Relation] = []
     for _ in range(config.repetitions):
@@ -259,7 +268,7 @@ def evaluate_open(
         # tuples ("uniformly reweight the generated sample to match the size
         # of the population", Sec. 5.3); the view filter keeps that scale.
         weights = np.full(generated.num_rows, population_size / rows)
-        answers.append(execute_select(query, generated, weights=weights))
+        answers.append(execute_plan(plan, generated, weights))
     if not answers:
         raise VisibilityError(
             "every generated sample was empty after the population view "

@@ -1,0 +1,124 @@
+"""Logical query plans: the compiled, schema-bound form of a SELECT.
+
+A :class:`LogicalPlan` is what :func:`repro.engine.compiler.compile_select`
+produces once per ``(sql, input schema)`` and what every visibility path
+executes — parse/bind/validate work happens at compile time, leaving plan
+execution as pure vectorized data movement.
+
+The node algebra is deliberately small (the Mosaic dialect is single-table):
+
+    Scan -> [Filter] -> (Project | Aggregate) -> [Sort] -> [Limit]
+
+``Scan`` is implicit — the input relation handed to
+:func:`repro.engine.compiler.execute_plan` — so the node tuple starts at the
+optional filter.  Plans are immutable and contain only bound expressions,
+making them safe to share across repeated executions and cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import Expr
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True, eq=False)
+class FilterNode:
+    """WHERE: keep rows satisfying a bound boolean predicate."""
+
+    predicate: Expr
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class ProjectNode:
+    """SELECT list of scalar expressions (with optional DISTINCT)."""
+
+    exprs: tuple[Expr, ...]
+    aliases: tuple[str, ...]
+    schema: Schema
+    distinct: bool = False
+
+    def describe(self) -> str:
+        head = "Distinct+Project" if self.distinct else "Project"
+        return f"{head}({', '.join(self.aliases)})"
+
+
+@dataclass(frozen=True, eq=False)
+class AggregateNode:
+    """GROUP BY + aggregate list, executed by the vectorized kernels.
+
+    ``group_keys`` are the canonical grouping columns; ``key_columns`` the
+    source column behind each leading output field (the SELECTed keys, in
+    SELECT order); ``specs`` the bound aggregates for the remaining fields.
+    """
+
+    group_keys: tuple[str, ...]
+    key_columns: tuple[str, ...]
+    specs: tuple[AggregateSpec, ...]
+    schema: Schema
+
+    def describe(self) -> str:
+        aggs = ", ".join(spec.to_sql() for spec in self.specs)
+        if self.group_keys:
+            return f"Aggregate[{', '.join(self.group_keys)}]({aggs})"
+        return f"Aggregate({aggs})"
+
+
+@dataclass(frozen=True, eq=False)
+class SortNode:
+    """ORDER BY over output columns (aggregate aliases included)."""
+
+    columns: tuple[str, ...]
+    ascending: tuple[bool, ...]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{column}{'' if asc else ' DESC'}"
+            for column, asc in zip(self.columns, self.ascending)
+        )
+        return f"Sort({keys})"
+
+
+@dataclass(frozen=True, eq=False)
+class LimitNode:
+    """LIMIT: keep the first ``count`` rows."""
+
+    count: int
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+PlanNode = Union[FilterNode, ProjectNode, AggregateNode, SortNode, LimitNode]
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalPlan:
+    """A compiled SELECT: bound nodes plus the schemas on either end.
+
+    ``source_schema`` is the schema the plan was compiled (bound) against;
+    execution rejects relations with any other schema, which is what makes
+    schema fingerprints a sound plan-cache key.  ``weighted`` records
+    whether the plan was compiled for weighted execution (it changes
+    aggregate output dtypes), and execution enforces it.
+    """
+
+    source_schema: Schema
+    nodes: tuple[PlanNode, ...]
+    output_schema: Schema
+    weighted: bool = False
+
+    def describe(self) -> str:
+        steps = ["Scan", *(node.describe() for node in self.nodes)]
+        if self.weighted:
+            steps[0] = "Scan[weighted]"
+        return " -> ".join(steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalPlan({self.describe()})"

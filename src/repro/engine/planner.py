@@ -33,6 +33,34 @@ class PlannedSource:
     population: PopulationRelation
     combined: bool = False
 
+    def cache_identity(self) -> tuple[int, int] | None:
+        """Stable key for per-source artifact caches (reweights, generators).
+
+        ``None`` for synthetic sample unions: they are rebuilt per query, so
+        caching under their (ephemeral) uid would never hit and a name-based
+        key could alias distinct constituents.
+        """
+        if self.combined:
+            return None
+        return (self.population.uid, self.sample.uid)
+
+    def version_stamp(self, catalog: Catalog) -> tuple:
+        """Versions of everything a reweight/generator fit depends on.
+
+        Covers the sample's data+weights, the query population's metadata,
+        and the global population's identity+metadata (both IPF fallback and
+        declared-mechanism weights consult GP marginals).  Any mutation of
+        these bumps a component, so a cached artifact stored under an older
+        stamp is detected as stale on lookup — mutations elsewhere in the
+        catalog leave the stamp (and thus the cached artifact) intact.
+        """
+        gp = catalog.global_population
+        return (
+            self.sample.version,
+            self.population.metadata_version,
+            None if gp is None else (gp.uid, gp.metadata_version),
+        )
+
 
 def choose_sample(
     catalog: Catalog,

@@ -22,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.catalog.catalog import Catalog
-from repro.engine.executor import execute_select
+from repro.engine.compiler import compile_select, execute_plan
+from repro.engine.plan import LogicalPlan
 from repro.engine.planner import PlannedSource
 from repro.errors import ReweightError, VisibilityError
 from repro.relational.relation import Relation
@@ -36,10 +37,22 @@ def evaluate_semi_open(
     query: SelectQuery,
     source: PlannedSource,
     catalog: Catalog,
+    plan: LogicalPlan | None = None,
+    reweighted: tuple[Relation, np.ndarray, list[str]] | None = None,
 ) -> tuple[Relation, list[str]]:
-    """Answer ``query`` from the reweighted sample."""
-    relation, weights, notes = reweighted_sample(source, catalog)
-    return execute_select(query, relation, weights=weights), notes
+    """Answer ``query`` from the reweighted sample.
+
+    ``plan`` is the compiled form of ``query`` over the sample's schema and
+    ``reweighted`` a precomputed ``(relation, weights, notes)`` triple —
+    both supplied by :class:`~repro.core.database.MosaicDB` on cache hits,
+    recomputed here otherwise.
+    """
+    if reweighted is None:
+        reweighted = reweighted_sample(source, catalog)
+    relation, weights, notes = reweighted
+    if plan is None:
+        plan = compile_select(query, relation.schema, weighted=True)
+    return execute_plan(plan, relation, weights), list(notes)
 
 
 def reweighted_sample(

@@ -91,6 +91,10 @@ class DType(enum.Enum):
                 out[:] = [str(v) for v in arr]
                 return out
             if self is DType.INT:
+                if np.issubdtype(arr.dtype, np.integer):
+                    # Already integral: no float64 round-trip, which would
+                    # silently truncate magnitudes beyond 2**53.
+                    return arr.astype(np.int64)
                 as_float = arr.astype(np.float64)
                 as_int = as_float.astype(np.int64)
                 if not np.all(as_float == as_int):

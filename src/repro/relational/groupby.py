@@ -1,4 +1,4 @@
-"""Group-by machinery: partition a relation's rows by key columns."""
+"""Group-by machinery: dense group codes and row partitions by key columns."""
 
 from __future__ import annotations
 
@@ -7,6 +7,74 @@ from typing import Sequence
 import numpy as np
 
 from repro.relational.relation import Relation
+
+
+def group_codes(
+    relation: Relation, keys: Sequence[str]
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Dense per-row group codes over the distinct values of ``keys``.
+
+    Returns ``(codes, num_groups, first_indices)``:
+
+    - ``codes[i]`` is the group id of row ``i``; ids run ``0..num_groups-1``
+      in key-sorted order (per-column ``np.unique`` order, the same order
+      :func:`group_rows` yields),
+    - ``first_indices[g]`` is the first row (in row order) of group ``g``,
+      usable as a representative for reading key values.
+
+    With no key columns every row belongs to a single group 0 — even for an
+    empty relation, where the one group has zero member rows.  This makes
+    ungrouped aggregation a special case of grouped aggregation.
+    """
+    n = relation.num_rows
+    if not keys:
+        return (
+            np.zeros(n, dtype=np.int64),
+            1,
+            np.zeros(1 if n else 0, dtype=np.int64),
+        )
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64)
+
+    if len(keys) == 1:
+        uniques, codes = relation.dictionary(keys[0])
+        return codes, len(uniques), _first_occurrences(codes, len(uniques))
+
+    combined = np.zeros(n, dtype=np.int64)
+    cross_product = 1
+    for name in keys:
+        uniques, codes = relation.dictionary(name)
+        combined = combined * len(uniques) + codes
+        cross_product *= len(uniques)
+
+    # Multi-key combination leaves gaps (absent value pairs); re-densify.
+    if cross_product <= max(4 * n, 1024):
+        # Small key domain: presence mask + remap, no O(n log n) sort.
+        present = np.flatnonzero(np.bincount(combined, minlength=cross_product))
+        remap = np.empty(cross_product, dtype=np.int64)
+        remap[present] = np.arange(len(present))
+        codes = remap[combined]
+        return codes, len(present), _first_occurrences(codes, len(present))
+    uniques, first_indices, codes = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return (
+        codes.astype(np.int64, copy=False),
+        len(uniques),
+        first_indices.astype(np.int64, copy=False),
+    )
+
+
+def _first_occurrences(codes: np.ndarray, num_groups: int) -> np.ndarray:
+    """First row index of each group, without sorting.
+
+    Fancy assignment with duplicate indices keeps the last write; writing
+    row indices in reverse row order therefore leaves each group's minimum.
+    """
+    n = codes.shape[0]
+    first = np.empty(num_groups, dtype=np.int64)
+    first[codes[::-1]] = np.arange(n - 1, -1, -1)
+    return first
 
 
 def group_rows(
@@ -22,44 +90,34 @@ def group_rows(
     empty key tuple — this makes ungrouped aggregation a special case of
     grouped aggregation.
     """
-    n = relation.num_rows
     if not keys:
-        return [((), np.arange(n))]
-    if n == 0:
+        return [((), np.arange(relation.num_rows))]
+
+    codes, num_groups, first_indices = group_codes(relation, keys)
+    if num_groups == 0:
         return []
 
-    per_column_codes = []
-    per_column_values = []
-    for name in keys:
-        column = relation.column(name)
-        uniques, codes = np.unique(column, return_inverse=True)
-        per_column_codes.append(codes)
-        per_column_values.append(uniques)
-
-    combined = per_column_codes[0].astype(np.int64)
-    for codes, uniques in zip(per_column_codes[1:], per_column_values[1:]):
-        combined = combined * len(uniques) + codes
-
-    order = np.argsort(combined, kind="stable")
-    sorted_codes = combined[order]
-    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    order = np.argsort(codes, kind="stable")
+    boundaries = np.flatnonzero(np.diff(codes[order])) + 1
     groups = np.split(order, boundaries)
 
+    key_columns = [relation.column(name) for name in keys]
     result: list[tuple[tuple, np.ndarray]] = []
-    for indices in groups:
-        first = indices[0]
-        key = tuple(
-            _to_python(relation.column(name)[first]) for name in keys
-        )
+    for group_id, indices in enumerate(groups):
+        representative = first_indices[group_id]
+        key = tuple(_to_python(column[representative]) for column in key_columns)
         result.append((key, indices))
     return result
 
 
 def distinct_indices(relation: Relation, keys: Sequence[str]) -> np.ndarray:
-    """Row indices of the first occurrence of each distinct key combination."""
-    return np.asarray(
-        [indices[0] for _, indices in group_rows(relation, keys)], dtype=np.int64
-    )
+    """Row indices of the first occurrence of each distinct key combination.
+
+    Computed directly from the combined group codes — no per-group
+    partitioning.
+    """
+    _, _, first_indices = group_codes(relation, keys)
+    return first_indices
 
 
 def _to_python(value):

@@ -1,0 +1,143 @@
+"""Vectorized grouped-aggregation kernels (segment reductions over group codes).
+
+These kernels replace the per-group ``relation.take`` + Python-row loop that
+used to sit at the bottom of every visibility path.  All groups are reduced
+at once:
+
+- COUNT / SUM / AVG use ``np.bincount`` over the dense group codes produced
+  by :func:`repro.relational.groupby.group_codes` (weighted variants bincount
+  ``w`` and ``w * value``),
+- MIN / MAX sort rows by group code once and apply ``ufunc.reduceat`` at the
+  segment starts,
+
+and the result relation is assembled column-wise via
+:meth:`Relation.from_groups` — no intermediate Python row tuples.
+
+Weighted semantics mirror :func:`repro.relational.aggregates.compute_aggregate`
+exactly: a group whose rows all carry zero weight "does not exist" and is
+dropped from the output; MIN/MAX ignore zero-weight rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.groupby import group_codes
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def grouped_aggregate(
+    relation: Relation,
+    group_keys: Sequence[str],
+    key_columns: Sequence[str],
+    specs: Sequence[AggregateSpec],
+    out_schema: Schema,
+    weights: np.ndarray | None = None,
+) -> Relation:
+    """Aggregate ``relation`` grouped by ``group_keys`` in one vectorized pass.
+
+    ``key_columns`` names the source column behind each leading output field
+    (the SELECTed group keys, possibly aliased); ``specs`` hold the bound
+    aggregate expressions for the remaining fields.  ``out_schema`` has one
+    field per key column followed by one per spec.  Groups appear in
+    key-sorted order, matching :func:`~repro.relational.groupby.group_rows`.
+    """
+    n = relation.num_rows
+    codes, num_groups, first_indices = group_codes(relation, group_keys)
+    counts = np.bincount(codes, minlength=num_groups)
+
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape[0] != n:
+            raise SchemaError(
+                f"weight vector length {weights.shape[0]} does not match row count {n}"
+            )
+        alive = weights > 0.0
+        # A group with no positively weighted row was reweighted away.
+        kept = np.bincount(codes[alive], minlength=num_groups) > 0
+    else:
+        alive = None
+        kept = np.ones(num_groups, dtype=bool)
+
+    columns: list[np.ndarray] = [
+        relation.column(name)[first_indices][kept] for name in key_columns
+    ]
+    for spec in specs:
+        columns.append(
+            _aggregate_column(spec, relation, codes, num_groups, counts, weights, alive, kept)
+        )
+    return Relation.from_groups(out_schema, columns)
+
+
+def _aggregate_column(
+    spec: AggregateSpec,
+    relation: Relation,
+    codes: np.ndarray,
+    num_groups: int,
+    counts: np.ndarray,
+    weights: np.ndarray | None,
+    alive: np.ndarray | None,
+    kept: np.ndarray,
+) -> np.ndarray:
+    if spec.func == "COUNT":
+        if weights is None:
+            return counts[kept]
+        return np.bincount(codes, weights=weights, minlength=num_groups)[kept]
+
+    # Only the ungrouped-empty-unweighted case can reach a zero-row group;
+    # weighted zero-mass groups were already dropped via ``kept``.
+    if weights is None and np.any(counts[kept] == 0):
+        raise SchemaError(f"aggregate {spec.to_sql()} over zero rows")
+
+    assert spec.expr is not None
+    values = np.asarray(spec.expr.evaluate(relation))
+    if not np.issubdtype(values.dtype, np.number):
+        raise TypeMismatchError(f"{spec.func} requires a numeric argument")
+
+    if spec.func == "SUM":
+        if weights is None:
+            if np.issubdtype(values.dtype, np.integer):
+                # Exact int64 accumulation (bincount sums in float64, which
+                # truncates beyond 2**53).
+                sums = np.zeros(num_groups, dtype=np.int64)
+                np.add.at(sums, codes, values)
+            else:
+                sums = np.bincount(codes, weights=values, minlength=num_groups)
+        else:
+            sums = np.bincount(codes, weights=weights * values, minlength=num_groups)
+        return sums[kept]
+    if spec.func == "AVG":
+        if weights is None:
+            sums = np.bincount(codes, weights=values.astype(np.float64), minlength=num_groups)
+            return sums[kept] / counts[kept]
+        weighted_sums = np.bincount(codes, weights=weights * values, minlength=num_groups)
+        weight_totals = np.bincount(codes, weights=weights, minlength=num_groups)
+        if np.any(weight_totals[kept] <= 0.0):
+            raise SchemaError(f"AVG over zero total weight in {spec.to_sql()}")
+        return weighted_sums[kept] / weight_totals[kept]
+
+    assert spec.func in ("MIN", "MAX")
+    # Zero-weight rows are "not there" under reweighting.
+    if alive is not None:
+        segment_codes = codes[alive]
+        segment_values = values[alive]
+    else:
+        segment_codes = codes
+        segment_values = values
+    if segment_codes.size == 0:
+        return segment_values[:0]
+    order = np.argsort(segment_codes, kind="stable")
+    segment_codes = segment_codes[order]
+    segment_values = segment_values[order]
+    starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(segment_codes)) + 1]
+    ).astype(np.int64)
+    ufunc = np.minimum if spec.func == "MIN" else np.maximum
+    # The groups present among alive rows are exactly the kept groups, in
+    # the same (ascending code) order, so reduceat output aligns with kept.
+    return ufunc.reduceat(segment_values, starts)

@@ -25,7 +25,7 @@ class Relation:
     coerced to the schema's storage dtypes.
     """
 
-    __slots__ = ("_schema", "_columns", "_nrows")
+    __slots__ = ("_schema", "_columns", "_nrows", "_dictionaries")
 
     def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
         if set(columns) != set(schema.names):
@@ -38,6 +38,7 @@ class Relation:
         self._schema = schema
         self._columns = {name: columns[name] for name in schema.names}
         self._nrows = next(iter(lengths)) if lengths else 0
+        self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -73,6 +74,25 @@ class Relation:
         return cls.from_columns(schema, columns)
 
     @classmethod
+    def from_groups(cls, schema: Schema, columns: Sequence[Any]) -> "Relation":
+        """Build a relation column-wise from per-group result arrays.
+
+        ``columns`` holds one array (or array-like) per schema field, in
+        schema order — the shape grouped-aggregation kernels naturally
+        produce.  Unlike :meth:`from_rows` nothing is materialised as Python
+        row tuples; each array is coerced to its field's storage dtype
+        directly.
+        """
+        fields = schema.fields
+        if len(columns) != len(fields):
+            raise SchemaError(
+                f"got {len(columns)} column array(s) for schema arity {len(fields)}"
+            )
+        return cls.from_columns(
+            schema, {field.name: values for field, values in zip(fields, columns)}
+        )
+
+    @classmethod
     def empty(cls, schema: Schema) -> "Relation":
         """A zero-row relation with the given schema."""
         return cls(
@@ -106,6 +126,27 @@ class Relation:
         """The raw storage array for a column. Treat as read-only."""
         self._schema.field(name)
         return self._columns[name]
+
+    def dictionary(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Dictionary encoding of a column: ``(sorted_uniques, codes)``.
+
+        ``codes[i]`` indexes ``sorted_uniques`` (``np.unique`` semantics:
+        codes follow value-sorted order).  Memoized per column — relations
+        are immutable, so the encoding is computed at most once, which makes
+        repeated group-bys / sorts over the same relation nearly free.  TEXT
+        columns use a hash-based factorizer instead of sorting all rows.
+        """
+        cached = self._dictionaries.get(name)
+        if cached is not None:
+            return cached
+        column = self.column(name)
+        if self._schema.dtype(name) is DType.TEXT:
+            uniques, codes = _factorize_object(column)
+        else:
+            uniques, raw = np.unique(column, return_inverse=True)
+            codes = raw.astype(np.int64, copy=False)
+        self._dictionaries[name] = (uniques, codes)
+        return uniques, codes
 
     def rows(self) -> Iterator[tuple]:
         """Iterate rows as Python tuples (TEXT as str, numerics as numpy scalars)."""
@@ -205,7 +246,7 @@ class Relation:
             return self
         keys = []
         for name, asc in zip(names, ascending):
-            codes = _group_codes(self._columns[name])
+            _, codes = self.dictionary(name)
             keys.append(codes if asc else -codes)
         # np.lexsort treats the *last* key as primary, so reverse the list.
         order = np.lexsort(tuple(reversed(keys)))
@@ -225,10 +266,26 @@ class Relation:
         return True
 
 
-def _group_codes(values: np.ndarray) -> np.ndarray:
-    """Dense integer codes per distinct value, in first-appearance order."""
-    _, codes = np.unique(values, return_inverse=True)
-    return codes
+def _factorize_object(column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted uniques + dense codes for an object column, hash-based.
+
+    A dict pass assigns first-appearance codes (no O(n log n) comparison
+    sort over all rows); only the (small) unique set is sorted, and the
+    codes are remapped to that order so the result matches ``np.unique``.
+    """
+    mapping: dict = {}
+    codes = np.empty(column.shape[0], dtype=np.int64)
+    for position, value in enumerate(column):
+        code = mapping.get(value)
+        if code is None:
+            code = mapping[value] = len(mapping)
+        codes[position] = code
+    uniques = np.empty(len(mapping), dtype=object)
+    uniques[:] = list(mapping)
+    order = np.argsort(uniques, kind="stable")
+    remap = np.empty(len(mapping), dtype=np.int64)
+    remap[order] = np.arange(len(mapping))
+    return uniques[order], remap[codes]
 
 
 def _to_python(value: Any) -> Any:

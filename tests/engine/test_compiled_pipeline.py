@@ -1,0 +1,277 @@
+"""The compiled query pipeline: plans, plan cache, and versioned model caches.
+
+Covers the acceptance contract of the compiled-pipeline refactor:
+
+- weighted-aggregate edge cases through the full SQL surface (zero-weight
+  groups, DISTINCT under weights, ORDER BY on an aggregate alias, LIMIT 0),
+- repeat execution of an identical SQL string skipping parse/bind/compile
+  (observable via ``QueryResult.notes``),
+- version-stamped invalidation: a stale plan / reweight / generator is
+  never served after INSERT / UPDATE WEIGHTS / CREATE METADATA / DROP,
+  while mutations of one sample leave unrelated samples' artifacts cached.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MosaicDB
+from repro.catalog.metadata import Marginal
+from repro.engine.compiler import compile_select, execute_plan
+from repro.engine.open_world import IPFSynthesizer, OpenQueryConfig
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    database = MosaicDB(seed=0)
+    database.execute_script(
+        """
+        CREATE GLOBAL POPULATION Pop (region TEXT, brand TEXT);
+        CREATE SAMPLE S AS (SELECT * FROM Pop);
+        """
+    )
+    database.register_marginal(
+        "Pop_M1", "Pop", Marginal(["region"], {("N",): 600, ("S",): 400})
+    )
+    database.ingest_rows("S", [("N", "a")] * 80 + [("S", "a")] * 10 + [("S", "b")] * 10)
+    return database
+
+
+class TestWeightedEdgeCases:
+    def test_all_zero_weight_group_disappears(self, db):
+        db.execute("UPDATE SAMPLE S SET WEIGHT = 0 WHERE brand = 'b'")
+        result = db.execute(
+            "SELECT SEMI-OPEN brand, COUNT(*) AS n FROM S GROUP BY brand"
+        )
+        assert [r["brand"] for r in result.to_pylist()] == ["a"]
+
+    def test_distinct_under_weights_hides_zero_weight_rows(self, db):
+        db.execute("UPDATE SAMPLE S SET WEIGHT = 0 WHERE brand = 'b'")
+        result = db.execute("SELECT SEMI-OPEN DISTINCT brand FROM S")
+        assert [r["brand"] for r in result.to_pylist()] == ["a"]
+        unweighted = db.execute("SELECT DISTINCT brand FROM S")
+        assert sorted(r["brand"] for r in unweighted.to_pylist()) == ["a", "b"]
+
+    def test_order_by_aggregate_alias(self, db):
+        result = db.execute(
+            "SELECT region, COUNT(*) AS n FROM S GROUP BY region ORDER BY n DESC"
+        )
+        counts = [r["n"] for r in result.to_pylist()]
+        assert counts == sorted(counts, reverse=True)
+        assert result.to_pylist()[0]["region"] == "N"
+
+    def test_limit_zero(self, db):
+        result = db.execute("SELECT region FROM S LIMIT 0")
+        assert result.num_rows == 0
+        aggregate = db.execute(
+            "SELECT region, COUNT(*) AS n FROM S GROUP BY region LIMIT 0"
+        )
+        assert aggregate.num_rows == 0
+        assert aggregate.columns == ("region", "n")
+
+    def test_update_weights_failure_leaves_sample_intact(self, db):
+        sample = db.catalog.sample("S")
+        before = sample.weights
+        with pytest.raises(Exception):
+            # -1 is rejected by weight validation; the partial update must
+            # not leak into the stored vector.
+            db.execute("UPDATE SAMPLE S SET WEIGHT = -1 WHERE brand = 'b'")
+        assert np.array_equal(sample.weights, before)
+
+
+class TestPlanCache:
+    def test_repeat_sql_hits_plan_cache(self, db):
+        sql = "SELECT region, COUNT(*) AS n FROM S GROUP BY region"
+        first = db.execute(sql)
+        assert first.has_note("plan: compiled and cached")
+        second = db.execute(sql)
+        assert second.has_note("plan: cache hit")
+        assert second.relation.equals(first.relation)
+
+    def test_programmatic_statements_not_cached(self, db):
+        result = db._run(parse_statement("SELECT COUNT(*) AS n FROM S"))
+        assert result.has_note("plan: compiled (programmatic statement, not cached)")
+
+    def test_visibility_levels_get_distinct_plans(self, db):
+        closed = db.execute("SELECT CLOSED region, COUNT(*) AS n FROM Pop GROUP BY region")
+        semi = db.execute("SELECT SEMI-OPEN region, COUNT(*) AS n FROM Pop GROUP BY region")
+        # Unweighted COUNT is INT, weighted COUNT is FLOAT — the weighted
+        # flag is part of the plan and its cache key.
+        assert isinstance(closed.to_pylist()[0]["n"], int)
+        assert isinstance(semi.to_pylist()[0]["n"], float)
+
+    def test_drop_and_recreate_with_new_schema_recompiles(self, db):
+        db.execute("CREATE TABLE T (x INT)")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        sql = "SELECT * FROM T"
+        assert db.execute(sql).columns == ("x",)
+        db.execute("DROP TABLE T")
+        db.execute("CREATE TABLE T (x INT, y TEXT)")
+        db.execute("INSERT INTO T VALUES (3, 'a')")
+        # Same SQL text, new schema: the fingerprint in the key forces a
+        # fresh compile; the stale plan is never served.
+        result = db.execute(sql)
+        assert result.columns == ("x", "y")
+        assert result.has_note("plan: compiled and cached")
+
+    def test_plan_rejects_mismatched_schema(self, db):
+        plan = compile_select(
+            parse_statement("SELECT region FROM S"), db.catalog.sample("S").relation.schema
+        )
+        other = Relation.from_dict({"unrelated": [1]})
+        with pytest.raises(SchemaError, match="cannot run over"):
+            execute_plan(plan, other)
+
+    def test_clear_caches_forces_recompile(self, db):
+        sql = "SELECT COUNT(*) AS n FROM S"
+        db.execute(sql)
+        db.clear_caches()
+        assert db.execute(sql).has_note("plan: compiled and cached")
+
+    def test_cache_stats_exposed(self, db):
+        sql = "SELECT COUNT(*) AS n FROM S"
+        db.execute(sql)
+        db.execute(sql)
+        stats = db.cache_stats()
+        assert stats["plans"]["hits"] >= 1
+        assert stats["statements"]["hits"] >= 1
+
+    def test_catalog_version_bumps_on_ddl_not_dml(self, db):
+        before = db.cache_stats()["catalog"]["catalog_version"]
+        db.ingest_rows("S", [("N", "a")])  # DML: sample version, not catalog
+        assert db.cache_stats()["catalog"]["catalog_version"] == before
+        db.execute("CREATE TABLE Aux (x INT)")
+        assert db.cache_stats()["catalog"]["catalog_version"] == before + 1
+
+    def test_execute_script_repeat_hits_plan_cache(self, db):
+        script = (
+            "SELECT region, COUNT(*) AS n FROM S GROUP BY region; "
+            "SELECT COUNT(*) AS n FROM S"
+        )
+        first = db.execute_script(script)
+        assert all(r.has_note("plan: compiled and cached") for r in first)
+        second = db.execute_script(script)
+        assert all(r.has_note("plan: cache hit") for r in second)
+        for a, b in zip(first, second):
+            assert a.relation.equals(b.relation)
+
+
+class TestReweightCache:
+    SQL = "SELECT SEMI-OPEN region, COUNT(*) AS n FROM Pop GROUP BY region"
+
+    def test_repeat_semi_open_hits_reweight_cache(self, db):
+        first = db.execute(self.SQL)
+        assert not first.has_note("reweight cache hit")
+        second = db.execute(self.SQL)
+        assert second.has_note("reweight cache hit")
+        assert second.relation.equals(first.relation)
+
+    def test_insert_invalidates_reweight(self, db):
+        db.execute(self.SQL)
+        db.execute(self.SQL)
+        db.ingest_rows("S", [("N", "b")] * 10)
+        result = db.execute(self.SQL)
+        assert not result.has_note("reweight cache hit")
+        # Debiased totals still rake to the metadata's population size.
+        assert sum(r["n"] for r in result.to_pylist()) == pytest.approx(1000)
+
+    def test_update_weights_invalidates_reweight(self, db):
+        db.execute(self.SQL)
+        db.execute("UPDATE SAMPLE S SET WEIGHT = 2")
+        assert not db.execute(self.SQL).has_note("reweight cache hit")
+
+    def test_create_metadata_invalidates_reweight(self, db):
+        db.execute(self.SQL)
+        db.register_marginal(
+            "Pop_M2", "Pop", Marginal(["brand"], {("a",): 500, ("b",): 500})
+        )
+        result = db.execute(self.SQL)
+        assert not result.has_note("reweight cache hit")
+        assert result.has_note("2 marginal(s)")
+
+    def test_drop_metadata_invalidates_reweight(self, db):
+        db.execute(self.SQL)
+        db.execute("DROP METADATA Pop_M1")
+        # Now no metadata and no declared mechanism: serving the cached
+        # reweight would silently mask the error.
+        from repro.errors import VisibilityError
+
+        with pytest.raises(VisibilityError):
+            db.execute(self.SQL)
+
+
+def two_population_db():
+    """A GP with metadata plus two view populations, each with its own sample."""
+    database = MosaicDB(
+        seed=0,
+        open_config=OpenQueryConfig(generator_factory=IPFSynthesizer, repetitions=2),
+    )
+    database.execute_script(
+        """
+        CREATE GLOBAL POPULATION GP (region TEXT, brand TEXT);
+        CREATE POPULATION North AS (SELECT * FROM GP WHERE region = 'N');
+        CREATE POPULATION South AS (SELECT * FROM GP WHERE region = 'S');
+        CREATE SAMPLE SN AS (SELECT * FROM North);
+        CREATE SAMPLE SS AS (SELECT * FROM South);
+        """
+    )
+    database.register_marginal(
+        "GP_M1", "GP", Marginal(["region"], {("N",): 600, ("S",): 400})
+    )
+    database.register_marginal(
+        "North_M1", "North", Marginal(["region"], {("N",): 600})
+    )
+    database.register_marginal(
+        "South_M1", "South", Marginal(["region"], {("S",): 400})
+    )
+    database.ingest_rows("SN", [("N", "a")] * 30 + [("N", "b")] * 30)
+    database.ingest_rows("SS", [("S", "a")] * 40 + [("S", "b")] * 20)
+    return database
+
+
+class TestPerKeyInvalidation:
+    """INSERT into one sample must not evict unrelated samples' artifacts."""
+
+    OPEN_NORTH = "SELECT OPEN brand, COUNT(*) AS n FROM North GROUP BY brand"
+    OPEN_SOUTH = "SELECT OPEN brand, COUNT(*) AS n FROM South GROUP BY brand"
+    SEMI_NORTH = "SELECT SEMI-OPEN brand, COUNT(*) AS n FROM North GROUP BY brand"
+    SEMI_SOUTH = "SELECT SEMI-OPEN brand, COUNT(*) AS n FROM South GROUP BY brand"
+
+    def test_generator_cache_survives_unrelated_insert(self):
+        db = two_population_db()
+        db.execute(self.OPEN_NORTH)
+        db.execute(self.OPEN_SOUTH)
+        db.ingest_rows("SN", [("N", "b")] * 5)
+        south = db.execute(self.OPEN_SOUTH)
+        assert south.has_note("generator cache hit")
+        north = db.execute(self.OPEN_NORTH)
+        assert not north.has_note("generator cache hit")
+
+    def test_reweight_cache_survives_unrelated_insert(self):
+        db = two_population_db()
+        db.execute(self.SEMI_NORTH)
+        db.execute(self.SEMI_SOUTH)
+        db.ingest_rows("SN", [("N", "b")] * 5)
+        assert db.execute(self.SEMI_SOUTH).has_note("reweight cache hit")
+        assert not db.execute(self.SEMI_NORTH).has_note("reweight cache hit")
+
+    def test_metadata_on_one_population_spares_the_other(self):
+        db = two_population_db()
+        db.execute(self.SEMI_NORTH)
+        db.execute(self.SEMI_SOUTH)
+        db.register_marginal("North_M2", "North", Marginal(["brand"], {("a",): 300, ("b",): 300}))
+        assert db.execute(self.SEMI_SOUTH).has_note("reweight cache hit")
+        assert not db.execute(self.SEMI_NORTH).has_note("reweight cache hit")
+
+    def test_dropped_and_recreated_sample_never_served_stale(self):
+        db = two_population_db()
+        before = db.execute(self.SEMI_NORTH)
+        db.execute("DROP SAMPLE SN")
+        db.execute("CREATE SAMPLE SN AS (SELECT * FROM North)")
+        db.ingest_rows("SN", [("N", "a")] * 10)
+        after = db.execute(self.SEMI_NORTH)
+        # Fresh sample uid: the predecessor's cached reweight is unreachable.
+        assert not after.has_note("reweight cache hit")
+        assert not after.relation.equals(before.relation)

@@ -248,18 +248,28 @@ class TestOpenQueries:
         database = build_migrants_db(
             open_config=OpenQueryConfig(generator_factory=IPFSynthesizer, repetitions=2)
         )
-        database.execute("SELECT OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country")
-        cached = dict(database._open_generators)
-        database.execute("SELECT OPEN email, COUNT(*) FROM EuropeMigrants GROUP BY email")
-        assert dict(database._open_generators) == cached
+        first = database.execute(
+            "SELECT OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country"
+        )
+        assert not first.has_note("generator cache hit")
+        second = database.execute(
+            "SELECT OPEN email, COUNT(*) FROM EuropeMigrants GROUP BY email"
+        )
+        assert second.has_note("generator cache hit")
 
     def test_ingestion_invalidates_generator_cache(self):
         database = build_migrants_db(
             open_config=OpenQueryConfig(generator_factory=IPFSynthesizer, repetitions=2)
         )
-        database.execute("SELECT OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country")
+        sql = "SELECT OPEN country, COUNT(*) FROM EuropeMigrants GROUP BY country"
+        database.execute(sql)
         database.ingest_rows("YahooMigrants", [("UK", "Yahoo")])
-        assert not database._open_generators
+        # The stale entry is superseded by version stamp: the next query
+        # refits instead of serving the pre-ingest generator.
+        result = database.execute(sql)
+        assert not result.has_note("generator cache hit")
+        again = database.execute(sql)
+        assert again.has_note("generator cache hit")
 
 
 class TestVisibilityTradeoffTable:
