@@ -1,0 +1,39 @@
+"""Repo-level pytest configuration: a deadlock watchdog for the test run.
+
+The engine's readers-writer lock means a locking bug shows up as a *hang*,
+not a failure.  When ``MOSAIC_TEST_TIMEOUT`` is set (CI sets 120), a
+``faulthandler.dump_traceback_later`` watchdog is re-armed at the start of
+every test: a test exceeding the timeout dumps every thread's traceback to
+stderr and hard-exits the process, so CI fails with a stack dump instead
+of hanging until the job limit.  (``pytest-timeout`` would do the same;
+this avoids the extra dependency.)
+
+Local runs are unaffected unless the variable is exported.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+_TIMEOUT_ENV = "MOSAIC_TEST_TIMEOUT"
+
+
+def _watchdog_seconds() -> float:
+    try:
+        return float(os.environ.get(_TIMEOUT_ENV, "0") or 0)
+    except ValueError:
+        return 0.0
+
+
+def pytest_runtest_protocol(item, nextitem):
+    timeout = _watchdog_seconds()
+    if timeout > 0:
+        # Re-arming replaces the previous timer, so the budget is per test.
+        faulthandler.dump_traceback_later(timeout, exit=True)
+    return None  # run the default protocol
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _watchdog_seconds() > 0:
+        faulthandler.cancel_dump_traceback_later()

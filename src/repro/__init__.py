@@ -27,10 +27,20 @@ from repro.errors import MosaicError
 
 __version__ = "1.0.0"
 
-__all__ = ["MosaicDB", "QueryResult", "Visibility", "MosaicError", "__version__"]
+__all__ = [
+    "MosaicDB",
+    "Engine",
+    "Session",
+    "QueryResult",
+    "Visibility",
+    "MosaicError",
+    "__version__",
+]
 
 _LAZY_EXPORTS = {
     "MosaicDB": ("repro.core.database", "MosaicDB"),
+    "Engine": ("repro.core.engine", "Engine"),
+    "Session": ("repro.core.session", "Session"),
     "QueryResult": ("repro.core.result", "QueryResult"),
     "Visibility": ("repro.core.visibility", "Visibility"),
 }

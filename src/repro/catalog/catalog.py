@@ -16,6 +16,15 @@ class Catalog:
     Names share one namespace (as in the paper's examples, where
     populations and samples are queried with identical syntax), so a lookup
     by name can always be disambiguated.
+
+    **Locking contract** (see ``ARCHITECTURE.md``): the catalog has no
+    locks of its own.  The owning :class:`~repro.core.engine.Engine`
+    serializes every mutation (create/drop/register, sample data and
+    weight swaps) under the write side of its readers-writer lock and runs
+    SELECTs under the read side, so within a query the registry and every
+    object's ``uid`` / ``version`` / ``metadata_version`` are frozen —
+    version stamps read under the read lock are consistent with the data
+    they describe.  Callers outside an engine get no thread safety.
     """
 
     def __init__(self) -> None:

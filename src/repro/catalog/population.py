@@ -25,6 +25,10 @@ class PopulationRelation:
     against this population's metadata (IPF reweights, OPEN generators)
     stamp their entries with the version, so metadata changes invalidate
     exactly the artifacts derived from this population and nothing else.
+
+    Marginal mutation (``add_marginal`` / ``drop_marginal``) happens only
+    under the engine's write lock; queries holding the read lock see
+    ``metadata_version`` and the marginal dict in lockstep.
     """
 
     _uid_counter = itertools.count()

@@ -27,6 +27,12 @@ class SampleRelation:
     stamped with the version, so mutating one sample never evicts artifacts
     of another, and a dropped-and-recreated sample (fresh uid) can never be
     served a predecessor's artifacts.
+
+    Mutators (:meth:`replace_data`, :meth:`set_weights`, …) run only under
+    the engine's write lock; readers under the read lock therefore always
+    observe ``relation``, ``_weights`` and ``version`` consistently — the
+    exclusion is what makes the multi-step swap (validate, assign tuples,
+    assign weights, bump version) appear atomic to every query.
     """
 
     _uid_counter = itertools.count()

@@ -1,4 +1,8 @@
-"""Public facade: the :class:`MosaicDB` database object and query results."""
+"""Public facade: ``MosaicDB``, the Engine / Session split, query results.
+
+Import heavyweight members from their modules (or via the lazy
+``repro.MosaicDB`` export) — this package init stays import-light.
+"""
 
 from repro.core.visibility import Visibility
 

@@ -2,7 +2,7 @@
 
 Two small building blocks:
 
-- :class:`LRUCache` — a plain bounded least-recently-used map, used for the
+- :class:`LRUCache` — a bounded least-recently-used map, used for the
   parsed-statement cache and the logical-plan cache (whose keys already
   embed everything the value depends on: SQL text, relation kind, schema
   fingerprint, weightedness).
@@ -15,55 +15,69 @@ Two small building blocks:
   every other cached artifact survives — the per-key replacement for the
   old clear-everything ``_invalidate_model_caches()``.
 
+Both caches are **internally thread-safe**: every operation holds a
+private mutex, so concurrent sessions can share them without holding the
+engine's readers-writer lock (SELECTs populate the plan and model caches
+while holding only the *read* side — see ``ARCHITECTURE.md``).  The mutex
+guards the cache structure only; cached values are published as-built and
+must themselves be immutable or internally synchronized.
+
 A ``capacity`` of zero (or less) disables a cache: every lookup misses and
 nothing is stored.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
 
 class LRUCache:
-    """A bounded least-recently-used key/value cache with hit statistics."""
+    """A bounded, thread-safe least-recently-used cache with hit statistics."""
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def get(self, key: Hashable) -> Any | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity <= 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._mutex:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.stats()})"
@@ -79,18 +93,19 @@ class VersionedLRUCache(LRUCache):
     """
 
     def get(self, key: Hashable, stamp: Hashable = None) -> Any | None:  # type: ignore[override]
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        stored_stamp, value = entry
-        if stored_stamp != stamp:
-            del self._entries[key]  # stale: superseded by a newer version
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_stamp, value = entry
+            if stored_stamp != stamp:
+                del self._entries[key]  # stale: superseded by a newer version
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, stamp: Hashable, value: Any = None) -> None:  # type: ignore[override]
         super().put(key, (stamp, value))

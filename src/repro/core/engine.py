@@ -1,0 +1,753 @@
+"""The shared :class:`Engine`: catalog + caches behind a readers-writer lock.
+
+The engine is the process-wide half of the Engine / Session split (see
+``ARCHITECTURE.md``).  It owns everything shared between connections:
+
+- the :class:`~repro.catalog.catalog.Catalog` of populations, samples,
+  auxiliary tables and metadata,
+- the four pipeline caches (parsed statements, logical plans, SEMI-OPEN
+  reweights, fitted OPEN generators),
+- the :class:`~repro.core.locks.ReadWriteLock` that serializes catalog
+  mutation against concurrent reads.
+
+Per-connection state — default visibility, OPEN configuration, the
+session RNG — lives in :class:`~repro.core.session.Session`; every
+statement entry point here takes the calling session as an argument.
+
+Locking contract
+----------------
+SELECT statements run under the **read** lock: any number execute
+concurrently, and the catalog objects they read (sample tuples/weights,
+population metadata, uids and versions) cannot change underneath them.
+DDL, INSERT, and UPDATE WEIGHTS run under the **write** lock, fully
+exclusive.  The caches are internally thread-safe, so read-side execution
+may populate them without upgrading the lock.  All lock acquisition
+happens in :meth:`_execute_statement`; every ``_run_*`` helper below runs
+lock-free under the caller's hold and must never re-enter ``execute``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.metadata import Marginal
+from repro.catalog.population import PopulationRelation
+from repro.catalog.sample import SampleRelation
+from repro.core.caches import LRUCache, VersionedLRUCache
+from repro.core.locks import ReadWriteLock
+from repro.core.result import QueryResult
+from repro.core.visibility import Visibility
+from repro.engine.closed import evaluate_closed
+from repro.engine.compiler import compile_select, execute_plan
+from repro.engine.executor import execute_select
+from repro.engine.open_world import evaluate_open
+from repro.engine.plan import LogicalPlan
+from repro.engine.planner import PlannedSource, choose_sample
+from repro.engine.semi_open import evaluate_semi_open, reweighted_sample
+from repro.errors import (
+    CatalogError,
+    SqlCompileError,
+    VisibilityError,
+)
+from repro.mechanisms import StratifiedMechanism, UniformMechanism
+from repro.mechanisms.base import SamplingMechanism
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.sql.ast_nodes import (
+    CreateMetadata,
+    CreatePopulation,
+    CreateSample,
+    CreateTable,
+    Drop,
+    Insert,
+    MechanismSpec,
+    SelectQuery,
+    Statement,
+    UpdateWeights,
+)
+from repro.sql.binder import bind_expression, require_column
+from repro.sql.parser import parse_script, parse_statement
+
+if TYPE_CHECKING:  # circular at runtime: session imports engine for typing only
+    from repro.core.session import Session, SessionConfig
+
+
+class Engine:
+    """The shared, thread-safe core a set of sessions executes against."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        statement_cache_size: int = 256,
+        plan_cache_size: int = 256,
+        reweight_cache_size: int = 64,
+        generator_cache_size: int = 32,
+    ):
+        self.catalog = Catalog()
+        self._lock = ReadWriteLock()
+        # Deterministic session spawning: session k (in connect order) draws
+        # its RNG from child k of this root SeedSequence, so a fixed engine
+        # seed plus a fixed connection order reproduces every session's
+        # random stream exactly (np.random.SeedSequence spawn semantics).
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self._spawned_sessions = itertools.count()
+        self._spawn_mutex = threading.Lock()
+        # Pipeline caches (see ARCHITECTURE.md).  Statement/plan caches key
+        # on immutable inputs (SQL text, relation kind, schema fingerprint,
+        # weightedness) and never need invalidation; model caches key on
+        # catalog uids (+ generator factory) and validate per-entry version
+        # stamps.  All four are internally thread-safe.
+        self._statement_cache: LRUCache = LRUCache(statement_cache_size)
+        self._plan_cache: LRUCache = LRUCache(plan_cache_size)
+        self._reweight_cache: VersionedLRUCache = VersionedLRUCache(reweight_cache_size)
+        self._open_generators: VersionedLRUCache = VersionedLRUCache(
+            generator_cache_size
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+
+    def connect(self, config: "SessionConfig | None" = None) -> "Session":
+        """Open a new session over this engine.
+
+        Each session gets an independent deterministic RNG stream: child
+        ``k`` of the engine's root :class:`~numpy.random.SeedSequence`,
+        where ``k`` counts connections in order.  ``config.seed`` is
+        ignored for spawned sessions (set an explicit
+        ``np.random.default_rng`` on the session to override).
+        """
+        from repro.core.session import Session, SessionConfig
+
+        with self._spawn_mutex:
+            index = next(self._spawned_sessions)
+            child = self._seed_sequence.spawn(1)[0]
+            assert child.spawn_key[-1] == index  # spawn order == connect order
+        return Session(
+            engine=self,
+            config=config if config is not None else SessionConfig(),
+            rng=np.random.default_rng(child),
+        )
+
+    def root_session(self, config: "SessionConfig") -> "Session":
+        """The facade's default session: RNG seeded exactly like the
+        pre-split ``MosaicDB`` (``np.random.default_rng(config.seed)``),
+        preserving bit-for-bit reproducibility of existing seeds."""
+        from repro.core.session import Session
+
+        return Session(
+            engine=self,
+            config=config,
+            rng=np.random.default_rng(config.seed),
+        )
+
+    # ------------------------------------------------------------------ #
+    # SQL entry points
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql: str, session: "Session") -> QueryResult:
+        """Parse and run one statement; DDL returns an empty status result."""
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            self._statement_cache.put(sql, statement)
+        return self._execute_statement(statement, session, sql_text=sql)
+
+    def execute_script(self, sql: str, session: "Session") -> list[QueryResult]:
+        """Run a ``;``-separated script, returning one result per statement."""
+        # Scripts cache like single statements: the parsed list under a
+        # ("script", text) key, and each statement's plan under a synthetic
+        # per-position text (NUL never occurs in real SQL, so these keys
+        # cannot collide with execute()'s).
+        key = ("script", sql)
+        statements = self._statement_cache.get(key)
+        if statements is None:
+            statements = parse_script(sql)
+            self._statement_cache.put(key, statements)
+        return [
+            self._execute_statement(
+                statement, session, sql_text=f"{sql}\x00{position}"
+            )
+            for position, statement in enumerate(statements)
+        ]
+
+    def execute_statement(
+        self, statement: Statement, session: "Session", sql_text: str | None = None
+    ) -> QueryResult:
+        """Run an already-parsed (programmatic) statement AST.
+
+        Without ``sql_text`` the plan cache is bypassed — a programmatic
+        AST has no stable text to key on.
+        """
+        return self._execute_statement(statement, session, sql_text=sql_text)
+
+    # ------------------------------------------------------------------ #
+    # Statement dispatch (the only place the RW lock is taken)
+    # ------------------------------------------------------------------ #
+
+    def _execute_statement(
+        self, statement: Statement, session: "Session", sql_text: str | None = None
+    ) -> QueryResult:
+        if isinstance(statement, SelectQuery):
+            with self._lock.read_locked():
+                return self._run_select(statement, session, sql_text)
+        with self._lock.write_locked():
+            return self._run_write_statement(statement)
+
+    def _run_write_statement(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, CreateTable):
+            return self._run_create_table(statement)
+        if isinstance(statement, Insert):
+            return self._run_insert(statement)
+        if isinstance(statement, CreatePopulation):
+            return self._run_create_population(statement)
+        if isinstance(statement, CreateSample):
+            return self._run_create_sample(statement)
+        if isinstance(statement, CreateMetadata):
+            return self._run_create_metadata(statement)
+        if isinstance(statement, UpdateWeights):
+            return self._run_update_weights(statement)
+        if isinstance(statement, Drop):
+            # No cache clearing: dropped objects' uids never recur, and the
+            # schema fingerprint in the plan-cache key distinguishes any
+            # same-named successor with a different shape.
+            self.catalog.drop(statement.kind, statement.name)
+            return _status(f"dropped {statement.kind.lower()} {statement.name}")
+        raise SqlCompileError(f"unsupported statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # DDL (write lock held)
+    # ------------------------------------------------------------------ #
+
+    def _run_create_table(self, statement: CreateTable) -> QueryResult:
+        if not statement.columns:
+            raise SqlCompileError(
+                f"CREATE TABLE {statement.name} needs column definitions"
+            )
+        schema = Schema(Field(c.name, c.dtype) for c in statement.columns)
+        self.catalog.create_auxiliary(statement.name, Relation.empty(schema))
+        return _status(f"created table {statement.name}")
+
+    def _run_create_population(self, statement: CreatePopulation) -> QueryResult:
+        if statement.is_global:
+            if not statement.columns:
+                raise SqlCompileError(
+                    "a GLOBAL POPULATION needs explicit column definitions "
+                    "(the paper's example elides them 'for space')"
+                )
+            schema = Schema(Field(c.name, c.dtype) for c in statement.columns)
+            population = PopulationRelation(statement.name, schema, is_global=True)
+        else:
+            if statement.source is None:
+                raise SqlCompileError(
+                    f"population {statement.name!r} must be GLOBAL or defined "
+                    "AS (SELECT ... FROM <global population> ...)"
+                )
+            gp = self.catalog.population(statement.source.table)
+            schema = self._projected_schema(statement.source, gp.schema)
+            predicate = (
+                None
+                if statement.source.where is None
+                else bind_expression(statement.source.where, gp.schema)
+            )
+            population = PopulationRelation(
+                statement.name,
+                schema,
+                is_global=False,
+                source_population=gp.name,
+                defining_predicate=predicate,
+            )
+        self.catalog.create_population(population)
+        return _status(f"created population {statement.name}")
+
+    def _run_create_sample(self, statement: CreateSample) -> QueryResult:
+        source = statement.source
+        population = self.catalog.population(source.table)
+        schema = self._projected_schema(source, population.schema)
+        predicate = (
+            None
+            if source.where is None
+            else bind_expression(source.where, population.schema)
+        )
+        mechanism = self._build_mechanism(statement.mechanism, population.schema)
+        sample = SampleRelation(
+            name=statement.name,
+            relation=Relation.empty(schema),
+            population=population.name,
+            defining_predicate=predicate,
+            mechanism=mechanism,
+        )
+        self.catalog.create_sample(sample)
+        return _status(
+            f"created sample {statement.name} over population {population.name} "
+            "(ingest tuples with INSERT INTO or MosaicDB.ingest_relation)"
+        )
+
+    @staticmethod
+    def _build_mechanism(
+        spec: MechanismSpec | None, schema: Schema
+    ) -> SamplingMechanism | None:
+        if spec is None:
+            return None
+        if spec.kind == "UNIFORM":
+            return UniformMechanism(spec.percent)
+        assert spec.kind == "STRATIFIED"
+        attribute = require_column(spec.stratify_on, schema)
+        return StratifiedMechanism(attribute, spec.percent)
+
+    @staticmethod
+    def _projected_schema(query: SelectQuery, base: Schema) -> Schema:
+        fields: list[Field] = []
+        for item in query.items:
+            if item.is_star:
+                fields.extend(base.fields)
+            elif item.is_aggregate:
+                raise SqlCompileError(
+                    "aggregates are not allowed in population/sample definitions"
+                )
+            else:
+                name = getattr(item.expr, "name", None)
+                if name is None:
+                    raise SqlCompileError(
+                        "population/sample definitions must project plain columns"
+                    )
+                column = require_column(name, base)
+                fields.append(Field(item.alias or column, base.dtype(column)))
+        return Schema(fields)
+
+    def _run_create_metadata(self, statement: CreateMetadata) -> QueryResult:
+        relation = self.catalog.auxiliary(statement.query.table)
+        result = execute_select(statement.query, relation)
+        attributes, count_column = self._metadata_columns(
+            statement.query, result.schema
+        )
+        marginal = Marginal.from_relation(
+            attributes, result, count_column, name=statement.name
+        )
+        population_name = self.catalog.resolve_metadata_population(
+            statement.name, statement.for_population
+        )
+        # register_metadata bumps the population's metadata_version, which
+        # invalidates exactly the reweights/generators fitted against it.
+        self.catalog.register_metadata(statement.name, population_name, marginal)
+        return _status(
+            f"registered metadata {statement.name} on population {population_name} "
+            f"({marginal.num_cells} cells over {marginal.attributes})"
+        )
+
+    @staticmethod
+    def _metadata_columns(query: SelectQuery, schema: Schema) -> tuple[list[str], str]:
+        names = list(schema.names)
+        if len(names) < 2 or len(names) > 3:
+            raise SqlCompileError(
+                "CREATE METADATA queries must produce 1 or 2 attribute columns "
+                f"plus one count column, got columns {names}"
+            )
+        return names[:-1], names[-1]
+
+    def _run_insert(self, statement: Insert) -> QueryResult:
+        kind = self.catalog.kind_of(statement.table)
+        if kind == "auxiliary":
+            relation = self.catalog.auxiliary(statement.table)
+            appended = Relation.from_rows(relation.schema, statement.rows)
+            self.catalog.replace_auxiliary(statement.table, relation.concat(appended))
+            return _status(
+                f"inserted {len(statement.rows)} row(s) into {statement.table}"
+            )
+        if kind == "sample":
+            sample = self.catalog.sample(statement.table)
+            appended = Relation.from_rows(sample.relation.schema, statement.rows)
+            self._append_to_sample(sample, appended)
+            return _status(
+                f"ingested {len(statement.rows)} row(s) into sample {statement.table}"
+            )
+        raise CatalogError(
+            f"cannot INSERT into {kind} relation {statement.table!r}; populations "
+            "never store tuples"
+        )
+
+    @staticmethod
+    def _append_to_sample(sample: SampleRelation, appended: Relation) -> None:
+        new_relation = sample.relation.concat(appended)
+        new_weights = np.concatenate([sample.weights, np.ones(appended.num_rows)])
+        # replace_data validates before swapping and bumps sample.version,
+        # which invalidates exactly this sample's cached reweights/generators.
+        sample.replace_data(new_relation, new_weights)
+
+    def _run_update_weights(self, statement: UpdateWeights) -> QueryResult:
+        sample = self.catalog.sample(statement.sample)
+        weighted = sample.weighted_relation()
+        expr = bind_expression(statement.expr, weighted.schema, allow_barewords=False)
+        values = np.asarray(expr.evaluate(weighted), dtype=np.float64)
+        if statement.where is None:
+            new_weights = values
+        else:
+            predicate = bind_expression(statement.where, weighted.schema)
+            mask = np.asarray(predicate.evaluate(weighted), dtype=bool)
+            # Build the candidate vector without touching the stored array:
+            # if set_weights rejects it (negative/non-finite values), the
+            # sample keeps its previous weights instead of ending up
+            # half-updated.
+            new_weights = np.where(mask, values, sample.weights)
+        sample.set_weights(new_weights)
+        return _status(f"updated weights of sample {statement.sample}")
+
+    # ------------------------------------------------------------------ #
+    # SELECT routing (read lock held)
+    # ------------------------------------------------------------------ #
+
+    def _run_select(
+        self, query: SelectQuery, session: "Session", sql_text: str | None = None
+    ) -> QueryResult:
+        kind = self.catalog.kind_of(query.table)
+        if kind == "auxiliary":
+            if query.visibility not in (None, Visibility.CLOSED):
+                raise VisibilityError(
+                    "visibility keywords only apply to populations and samples; "
+                    f"{query.table!r} is an auxiliary table"
+                )
+            auxiliary = self.catalog.auxiliary(query.table)
+            plan, plan_note = self._compiled_plan(
+                query, sql_text, kind, auxiliary.schema, weighted=False
+            )
+            relation = execute_plan(plan, auxiliary)
+            return QueryResult(
+                relation, visibility=str(Visibility.CLOSED), notes=(plan_note,)
+            )
+        if kind == "sample":
+            return self._select_from_sample(query, sql_text)
+        return self._select_from_population(query, session, sql_text)
+
+    def _select_from_sample(
+        self, query: SelectQuery, sql_text: str | None
+    ) -> QueryResult:
+        sample = self.catalog.sample(query.table)
+        visibility = query.visibility or Visibility.CLOSED
+        if visibility is Visibility.OPEN:
+            raise VisibilityError(
+                "OPEN queries target populations, not samples; query the "
+                f"population {sample.population!r} instead"
+            )
+        weights = sample.weights if visibility is Visibility.SEMI_OPEN else None
+        plan, plan_note = self._compiled_plan(
+            query,
+            sql_text,
+            "sample",
+            sample.relation.schema,
+            weighted=weights is not None,
+        )
+        relation = execute_plan(plan, sample.relation, weights)
+        return QueryResult(
+            relation,
+            visibility=str(visibility),
+            sample_name=sample.name,
+            notes=(
+                "sample queried directly with its stored weights"
+                if weights is not None
+                else "sample queried directly, unweighted",
+                plan_note,
+            ),
+        )
+
+    def _select_from_population(
+        self, query: SelectQuery, session: "Session", sql_text: str | None
+    ) -> QueryResult:
+        population = self.catalog.population(query.table)
+        visibility = query.visibility or session.config.default_visibility
+        source = choose_sample(
+            self.catalog, population, combine_samples=session.config.combine_samples
+        )
+        weighted = visibility is Visibility.SEMI_OPEN or (
+            visibility is Visibility.OPEN
+            and bool(query.has_aggregates or query.group_by)
+        )
+        plan, plan_note = self._compiled_plan(
+            query, sql_text, "population", source.sample.relation.schema, weighted
+        )
+
+        if visibility is Visibility.CLOSED:
+            relation, notes = evaluate_closed(query, source, plan)
+        elif visibility is Visibility.SEMI_OPEN:
+            relation, notes = evaluate_semi_open(
+                query, source, self.catalog, plan, self._cached_reweight(source)
+            )
+        else:
+            relation, notes = self._evaluate_open(query, source, session, plan)
+        notes.append(plan_note)
+
+        return QueryResult(
+            relation,
+            visibility=str(visibility),
+            sample_name=source.sample.name,
+            notes=tuple(notes),
+        )
+
+    def _compiled_plan(
+        self,
+        query: SelectQuery,
+        sql_text: str | None,
+        kind: str,
+        schema: Schema,
+        weighted: bool,
+    ) -> tuple[LogicalPlan, str]:
+        """The logical plan for ``query`` over ``schema``, LRU-cached.
+
+        The cache key is ``(sql_text, kind, schema fingerprint, weighted)``
+        — everything a compiled plan depends on — so entries never go stale:
+        a same-named relation recreated with a different schema simply maps
+        to a different key.  Statements without SQL text (programmatic ASTs)
+        are compiled fresh each time.
+        """
+        if sql_text is None:
+            return (
+                compile_select(query, schema, weighted=weighted),
+                "plan: compiled (programmatic statement, not cached)",
+            )
+        key = (sql_text, kind, schema, weighted)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            return (
+                plan,
+                f"plan: cache hit, parse/bind/compile skipped ({plan.describe()})",
+            )
+        plan = compile_select(query, schema, weighted=weighted)
+        self._plan_cache.put(key, plan)
+        return plan, f"plan: compiled and cached ({plan.describe()})"
+
+    def _cached_reweight(self, source: PlannedSource):
+        """SEMI-OPEN debiased weights for ``source``, version-stamp cached."""
+        key = source.cache_identity()
+        if key is None:
+            relation, weights, notes = reweighted_sample(source, self.catalog)
+            notes.append("reweight cache: skipped (synthetic sample union)")
+            return relation, weights, notes
+        stamp = source.version_stamp(self.catalog)
+        entry = self._reweight_cache.get(key, stamp)
+        if entry is not None:
+            relation, weights, notes = entry
+            return relation, weights, [
+                *notes,
+                f"SEMI-OPEN: reweight cache hit (sample {source.sample.name!r} "
+                f"v{source.sample.version})",
+            ]
+        relation, weights, notes = reweighted_sample(source, self.catalog)
+        self._reweight_cache.put(key, stamp, (relation, weights, list(notes)))
+        return relation, weights, notes
+
+    def _evaluate_open(
+        self,
+        query: SelectQuery,
+        source: PlannedSource,
+        session: "Session",
+        plan: LogicalPlan | None = None,
+    ):
+        open_config = session.config.open_config
+        # Read the factory exactly once: a concurrent set_open_generator on
+        # this session must not slip a different factory between the cache
+        # key and the construction below.
+        factory = open_config.generator_factory
+        marginals, size, fit_relation, scope_note = self._open_fit_inputs(source)
+        identity = source.cache_identity()
+        key = None
+        stamp = None
+        generator = None
+        if identity is not None:
+            # The factory is part of the *key* (not the stamp): sessions with
+            # different generator factories each keep their own fitted model
+            # warm instead of thrashing a shared slot.
+            key = (*identity, factory)
+            stamp = source.version_stamp(self.catalog)
+            generator = self._open_generators.get(key, stamp)
+        cache_note = None
+        if generator is None:
+            generator = factory() if callable(factory) else factory
+            generator.fit(
+                fit_relation,
+                marginals,
+                categorical_columns=open_config.categorical_columns,
+            )
+            if key is not None:
+                self._open_generators.put(key, stamp, generator)
+        else:
+            cache_note = (
+                f"OPEN: generator cache hit (sample {source.sample.name!r} "
+                f"v{source.sample.version})"
+            )
+        relation, notes = evaluate_open(
+            query,
+            source,
+            generator,
+            open_config,
+            population_size=size,
+            rng=session.rng,
+            plan=plan,
+        )
+        if cache_note is not None:
+            notes.insert(0, cache_note)
+        notes.insert(0, scope_note)
+        return relation, notes
+
+    def _open_fit_inputs(self, source: PlannedSource):
+        """Marginals, population size, and fitting tuples for OPEN queries."""
+        population = source.population
+        gp = self.catalog.global_population
+        if population.has_metadata:
+            marginals = population.marginal_list()
+            size = population.estimated_size()
+            relation = source.sample.relation
+            predicate = population.defining_predicate
+            if predicate is not None:
+                bound = bind_expression(predicate, relation.schema)
+                relation = relation.filter(bound.evaluate(relation))
+            scope = (
+                f"OPEN: generator fit on sample {source.sample.name!r} against "
+                f"population {population.name!r} metadata"
+            )
+            if relation.num_rows == 0:
+                raise VisibilityError(
+                    f"sample {source.sample.name!r} has no tuples inside "
+                    f"population {population.name!r}; cannot fit a generator"
+                )
+            return marginals, float(size), relation, scope
+        if gp is not None and gp.has_metadata:
+            scope = (
+                f"OPEN: generator fit on sample {source.sample.name!r} against "
+                f"global population {gp.name!r} metadata"
+            )
+            return (
+                gp.marginal_list(),
+                float(gp.estimated_size()),
+                source.sample.relation,
+                scope,
+            )
+        raise VisibilityError(
+            f"population {population.name!r} has no marginal metadata (nor does "
+            "the global population); OPEN queries need marginals to train a "
+            "generator (Sec. 5.2)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cache maintenance and observability (no RW lock needed: the caches
+    # are internally synchronized and catalog.version is a single read)
+    # ------------------------------------------------------------------ #
+
+    def invalidate_model_caches(self) -> None:
+        """Drop every fitted artifact (reweights and OPEN generators).
+
+        Routine DML/DDL never needs this: version-stamped cache entries
+        invalidate themselves per key (see ARCHITECTURE.md).
+        """
+        self._open_generators.clear()
+        self._reweight_cache.clear()
+
+    def clear_caches(self) -> None:
+        """Empty all pipeline caches (plans, statements, reweights, models).
+
+        Useful for cold-path benchmarking and tests; never required for
+        correctness.
+        """
+        self._statement_cache.clear()
+        self._plan_cache.clear()
+        self.invalidate_model_caches()
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size counters for every pipeline cache.
+
+        Shared across all sessions of this engine.  ``catalog_version`` is
+        the DDL counter: comparing two snapshots tells an operator whether
+        the schema landscape changed between them (fine-grained
+        invalidation itself runs on per-object versions).
+        """
+        return {
+            "statements": self._statement_cache.stats(),
+            "plans": self._plan_cache.stats(),
+            "reweights": self._reweight_cache.stats(),
+            "generators": self._open_generators.stats(),
+            "catalog": {"catalog_version": self.catalog.version},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Programmatic API (used by sessions, experiments and examples)
+    # ------------------------------------------------------------------ #
+
+    def ingest_relation(self, name: str, relation: Relation) -> None:
+        """Append tuples to a sample or auxiliary table by name."""
+        with self._lock.write_locked():
+            kind = self.catalog.kind_of(name)
+            if kind == "auxiliary":
+                existing = self.catalog.auxiliary(name)
+                merged = (
+                    relation if existing.num_rows == 0 else existing.concat(relation)
+                )
+                self.catalog.replace_auxiliary(name, merged)
+                return
+            if kind == "sample":
+                sample = self.catalog.sample(name)
+                if sample.num_rows == 0:
+                    projected = relation.project(list(sample.relation.column_names))
+                    sample.replace_data(projected, np.ones(projected.num_rows))
+                else:
+                    self._append_to_sample(
+                        sample, relation.project(list(sample.relation.column_names))
+                    )
+                return
+            raise CatalogError(f"cannot ingest into {kind} relation {name!r}")
+
+    def ingest_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        with self._lock.read_locked():
+            kind = self.catalog.kind_of(name)
+            schema = (
+                self.catalog.auxiliary(name).schema
+                if kind == "auxiliary"
+                else self.catalog.sample(name).relation.schema
+            )
+        # Row coercion happens outside the lock; ingest_relation re-resolves
+        # the name under the write lock (a concurrent schema change between
+        # the two acquisitions surfaces as a SchemaError, not a torn write).
+        self.ingest_relation(name, Relation.from_rows(schema, rows))
+
+    def draw_sample(
+        self,
+        name: str,
+        population_name: str,
+        population_data: Relation,
+        mechanism: SamplingMechanism,
+        rng: np.random.Generator,
+    ) -> SampleRelation:
+        """Draw a concrete sample from materialised population data.
+
+        Experiment-harness helper: real Mosaic deployments never hold
+        population tuples, but reproductions do, and need samples whose
+        bias is known exactly.
+        """
+        with self._lock.write_locked():
+            population = self.catalog.population(population_name)
+            indices = mechanism.draw(population_data, rng)
+            sample = SampleRelation(
+                name=name,
+                relation=population_data.take(indices),
+                population=population.name,
+                mechanism=mechanism,
+            )
+            self.catalog.create_sample(sample)
+            return sample
+
+    def register_marginal(
+        self, metadata_name: str, population_name: str, marginal: Marginal
+    ) -> None:
+        """Attach a precomputed marginal to a population."""
+        with self._lock.write_locked():
+            self.catalog.register_metadata(metadata_name, population_name, marginal)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Engine({self.catalog!r})"
+
+
+def _status(message: str) -> QueryResult:
+    relation = Relation.from_dict({"status": [message]})
+    return QueryResult(relation, notes=(message,))

@@ -1,0 +1,89 @@
+"""A writer-preferring readers-writer lock for the shared :class:`Engine`.
+
+The engine's concurrency contract (see ``ARCHITECTURE.md``, "Engine /
+Session split") is coarse and simple: any number of SELECTs may run
+concurrently (read side), while DDL / INSERT / UPDATE WEIGHTS statements
+run exclusively (write side).  Writer preference — a waiting writer blocks
+*new* readers — keeps a steady stream of cheap cached SELECTs from
+starving catalog mutations forever.
+
+The lock is **not reentrant** on either side: engine entry points acquire
+it exactly once and every internal helper runs lock-free under the
+caller's hold.  Acquiring the write side while holding the read side (or
+nesting two write acquisitions on one thread) deadlocks, by design — the
+engine never does either.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Multiple concurrent readers xor one exclusive writer."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            # Writer preference: queue behind any waiting writer so a
+            # SELECT storm cannot starve DDL.
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadWriteLock(readers={self._active_readers}, "
+            f"writer={self._writer_active}, waiting={self._writers_waiting})"
+        )

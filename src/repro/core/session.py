@@ -1,11 +1,32 @@
-"""Session-level defaults for a :class:`~repro.core.database.MosaicDB`."""
+"""Per-connection state: :class:`SessionConfig` defaults and :class:`Session`.
+
+A :class:`Session` is the cheap, per-client half of the Engine / Session
+split (see ``ARCHITECTURE.md``): it carries only the client's tunable
+defaults (:class:`SessionConfig`) and a private deterministic RNG, and
+delegates every statement to the shared thread-safe
+:class:`~repro.core.engine.Engine`.  Sessions are cheap to create
+(``engine.connect()`` / ``MosaicDB.connect()``) and many may execute
+concurrently; one session object is *not* itself a concurrency unit —
+issue concurrent statements from distinct sessions, one per thread.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+import numpy as np
 
 from repro.core.visibility import Visibility
 from repro.engine.open_world import OpenQueryConfig
+
+if TYPE_CHECKING:
+    from repro.catalog.metadata import Marginal
+    from repro.catalog.sample import SampleRelation
+    from repro.core.engine import Engine
+    from repro.core.result import QueryResult
+    from repro.mechanisms.base import SamplingMechanism
+    from repro.relational.relation import Relation
 
 
 @dataclass
@@ -20,11 +41,17 @@ class SessionConfig:
     union all schema-compatible samples of a population before reweighting
     instead of picking the single largest.
 
-    The ``*_cache_size`` fields bound the compiled-pipeline caches (see
-    ``ARCHITECTURE.md``): parsed statements and logical plans per SQL text,
-    debiased SEMI-OPEN weight vectors per (population, sample), and fitted
-    OPEN generators per (population, sample).  Set a size to 0 to disable
-    that cache (every query recomputes from scratch).
+    ``seed`` seeds the facade's root session RNG.  Sessions opened with
+    ``connect()`` ignore it: their RNGs are spawned deterministically from
+    the engine's root ``np.random.SeedSequence`` instead.
+
+    The ``*_cache_size`` fields bound the engine-level compiled-pipeline
+    caches (see ``ARCHITECTURE.md``): parsed statements and logical plans
+    per SQL text, debiased SEMI-OPEN weight vectors per (population,
+    sample), and fitted OPEN generators per (population, sample, factory).
+    They take effect when the *engine* is constructed (``MosaicDB()``
+    reads them from its root config); the caches are shared by every
+    session of that engine.  Set a size to 0 to disable that cache.
     """
 
     seed: int = 0
@@ -35,3 +62,98 @@ class SessionConfig:
     plan_cache_size: int = 256
     reweight_cache_size: int = 64
     generator_cache_size: int = 32
+
+
+class Session:
+    """One client's connection to a shared :class:`Engine`.
+
+    Holds the per-connection defaults and a deterministic private RNG; all
+    catalog state and caches live on the engine.  Created via
+    :meth:`Engine.connect` (RNG spawned from the engine's root
+    ``SeedSequence``) or :meth:`Engine.root_session` (RNG seeded directly,
+    the facade's backward-compatible path).
+    """
+
+    def __init__(
+        self, engine: "Engine", config: SessionConfig, rng: np.random.Generator
+    ):
+        self.engine = engine
+        self.config = config
+        self.rng = rng
+
+    # ------------------------------------------------------------------ #
+    # SQL entry points
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql: str) -> "QueryResult":
+        """Parse and run one statement; DDL returns an empty status result."""
+        return self.engine.execute(sql, self)
+
+    def execute_script(self, sql: str) -> list["QueryResult"]:
+        """Run a ``;``-separated script, returning one result per statement."""
+        return self.engine.execute_script(sql, self)
+
+    def query(self, sql: str) -> "QueryResult":
+        """Alias of :meth:`execute` for read-only callers."""
+        return self.execute(sql)
+
+    def execute_statement(self, statement, sql_text: str | None = None) -> "QueryResult":
+        """Run an already-parsed (programmatic) statement AST."""
+        return self.engine.execute_statement(statement, self, sql_text=sql_text)
+
+    # ------------------------------------------------------------------ #
+    # Programmatic API (delegated; engine handles locking)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def catalog(self):
+        return self.engine.catalog
+
+    def ingest_relation(self, name: str, relation: "Relation") -> None:
+        self.engine.ingest_relation(name, relation)
+
+    def ingest_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        self.engine.ingest_rows(name, rows)
+
+    def draw_sample(
+        self,
+        name: str,
+        population_name: str,
+        population_data: "Relation",
+        mechanism: "SamplingMechanism",
+    ) -> "SampleRelation":
+        """Draw a concrete sample using this session's RNG."""
+        return self.engine.draw_sample(
+            name, population_name, population_data, mechanism, rng=self.rng
+        )
+
+    def register_marginal(
+        self, metadata_name: str, population_name: str, marginal: "Marginal"
+    ) -> None:
+        self.engine.register_marginal(metadata_name, population_name, marginal)
+
+    def set_open_generator(self, factory) -> None:
+        """Replace this session's OPEN generator factory.
+
+        Fitted generators are cached per (population, sample, factory), so
+        no global invalidation is needed: the new factory maps to fresh
+        cache keys, and other sessions' models stay warm.
+        """
+        self.config.open_config.generator_factory = factory
+
+    # ------------------------------------------------------------------ #
+    # Engine observability passthroughs
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Engine-wide cache counters (shared across sessions)."""
+        return self.engine.cache_stats()
+
+    def clear_caches(self) -> None:
+        self.engine.clear_caches()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(default_visibility={self.config.default_visibility}, "
+            f"engine={self.engine!r})"
+        )

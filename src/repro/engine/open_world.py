@@ -20,6 +20,10 @@ keep the groups appearing in *all* answers, and average the aggregates.
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -32,14 +36,26 @@ from repro.engine.plan import LogicalPlan
 from repro.engine.planner import PlannedSource
 from repro.errors import GenerativeModelError, VisibilityError
 from repro.generative.mswg import MSWG, MswgConfig
+from repro.relational.dtypes import DType
+from repro.relational.groupby import group_codes
+from repro.relational.ops import union_all
 from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
 from repro.reweight.cube import cube_ipf
 from repro.sql.ast_nodes import SelectQuery
 from repro.sql.binder import bind_expression
 
 
 class OpenGenerator(Protocol):
-    """What the OPEN path needs from a generative model."""
+    """What the OPEN path needs from a generative model.
+
+    A generator whose ``generate`` only *reads* fitted state (drawing all
+    randomness from the passed ``rng``) may set the class attribute
+    ``thread_safe_generate = True``; the concurrent OPEN executor then
+    calls it from several threads at once.  Without the marker, concurrent
+    rounds serialize generation behind a per-generator lock (execution of
+    the generated samples still overlaps).
+    """
 
     def fit(
         self,
@@ -50,6 +66,29 @@ class OpenGenerator(Protocol):
     ): ...
 
     def generate(self, n: int, rng: np.random.Generator | None = None) -> Relation: ...
+
+
+# Per-generator locks serializing generate() for generators that are not
+# marked thread_safe_generate (e.g. MSWG toggles its network between
+# train/eval around the forward pass).  Keyed weakly so fitted generators
+# evicted from the engine cache do not pin a lock forever.
+_GENERATE_LOCKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_GENERATE_LOCKS_GUARD = threading.Lock()
+_FALLBACK_GENERATE_LOCK = threading.Lock()
+
+
+def _generation_lock(generator) -> threading.Lock | None:
+    """The lock guarding ``generator.generate`` — ``None`` if not needed."""
+    if getattr(generator, "thread_safe_generate", False):
+        return None
+    with _GENERATE_LOCKS_GUARD:
+        try:
+            lock = _GENERATE_LOCKS.get(generator)
+            if lock is None:
+                lock = _GENERATE_LOCKS[generator] = threading.Lock()
+            return lock
+        except TypeError:  # unhashable/unweakrefable generator object
+            return _FALLBACK_GENERATE_LOCK
 
 
 class MswgGenerator:
@@ -77,6 +116,9 @@ class BayesNetGenerator:
     """Explicit-model alternative (Sec. 4.2): Chow-Liu tree + CPTs."""
 
     name = "bayesnet"
+    # Ancestral sampling only reads the fitted CPTs and draws from the rng
+    # argument, so concurrent generate() calls are safe.
+    thread_safe_generate = True
 
     def __init__(self, bins: int = 20, alpha: float = 0.1, seed: int = 0):
         self.model = BayesianNetworkModel(bins=bins, alpha=alpha, seed=seed)
@@ -108,6 +150,9 @@ class IPFSynthesizer:
     """
 
     name = "ipf-synth"
+    # generate() only reads the fitted joint and draws from the rng
+    # argument, so concurrent calls are safe.
+    thread_safe_generate = True
 
     def __init__(self, prior: float = 0.5, max_cells: int = 1_000_000):
         self.prior = prior
@@ -197,12 +242,18 @@ class IPFSynthesizer:
 class OpenQueryConfig:
     """How OPEN queries are answered.
 
-    ``generator_factory`` builds a fresh unfitted generator; the database
-    caches fitted generators per (population, sample).  ``repetitions`` and
-    the per-repetition row count implement Sec. 5.3's variance reduction
-    ("we generate 10 samples with the same number of rows as the original
-    sample ... return the groups appearing in all 10 answers, averaging
-    the aggregate value").
+    ``generator_factory`` builds a fresh unfitted generator; the engine
+    caches fitted generators per (population, sample, factory).
+    ``repetitions`` and the per-repetition row count implement Sec. 5.3's
+    variance reduction ("we generate 10 samples with the same number of
+    rows as the original sample ... return the groups appearing in all 10
+    answers, averaging the aggregate value").
+
+    ``max_workers`` bounds the thread pool the repetitions fan out across;
+    ``None`` sizes it to ``min(repetitions, cpu_count)`` and ``1`` forces
+    the serial loop.  Each repetition draws from its own spawned RNG
+    stream, so concurrent and serial execution produce bit-identical
+    answers.
     """
 
     generator_factory: Callable[[], OpenGenerator] = field(
@@ -212,6 +263,12 @@ class OpenQueryConfig:
     rows_per_generation: int | None = None  # None -> sample size
     max_materialized_rows: int = 50_000
     categorical_columns: set[str] | None = None
+    max_workers: int | None = None
+
+    def resolved_workers(self) -> int:
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, self.repetitions))
+        return max(1, min(self.repetitions, os.cpu_count() or 1))
 
 
 def evaluate_open(
@@ -228,8 +285,14 @@ def evaluate_open(
     ``generator`` must already be fitted; ``population_size`` scales the
     uniform weights of each generated sample.  ``plan`` is the compiled form
     of ``query`` over the sample's schema (generated tuples share it) —
-    supplied by :class:`~repro.core.database.MosaicDB` on plan-cache hits,
+    supplied by :class:`~repro.core.engine.Engine` on plan-cache hits,
     compiled here otherwise.
+
+    The ``repetitions`` generate → execute → combine rounds fan out across
+    a thread pool (``config.max_workers``).  Each round draws from its own
+    RNG stream spawned off a single ``rng`` draw, so the answer is a pure
+    function of the session RNG state regardless of scheduling — serial
+    (``max_workers=1``) and concurrent execution are bit-identical.
     """
     generator_name = getattr(generator, "name", type(generator).__name__)
     rows = config.rows_per_generation or source.sample.num_rows
@@ -247,10 +310,17 @@ def evaluate_open(
         ]
 
     notes = [f"OPEN: {config.repetitions} generated sample(s) from {generator_name}"]
+    generation_lock = _generation_lock(generator)
+
+    def generate_with(stream: np.random.Generator, count: int) -> Relation:
+        if generation_lock is None:
+            return generator.generate(count, rng=stream)
+        with generation_lock:
+            return generator.generate(count, rng=stream)
 
     if not (query.has_aggregates or query.group_by):
         rows = min(int(np.ceil(population_size)), config.max_materialized_rows)
-        generated = generator.generate(rows, rng=rng)
+        generated = generate_with(_repetition_streams(rng, 1)[0], rows)
         generated, _ = _apply_view(generated, predicate)
         notes.append(
             f"non-aggregate OPEN query: materialised one generated sample of "
@@ -258,17 +328,27 @@ def evaluate_open(
         )
         return execute_plan(plan, generated), notes
 
-    answers: list[Relation] = []
-    for _ in range(config.repetitions):
-        generated = generator.generate(rows, rng=rng)
+    streams = _repetition_streams(rng, config.repetitions)
+
+    def one_round(index: int) -> Relation | None:
+        generated = generate_with(streams[index], rows)
         generated, _ = _apply_view(generated, predicate)
         if generated.num_rows == 0:
-            continue
+            return None
         # Each generated tuple stands for population_size / rows population
         # tuples ("uniformly reweight the generated sample to match the size
         # of the population", Sec. 5.3); the view filter keeps that scale.
         weights = np.full(generated.num_rows, population_size / rows)
-        answers.append(execute_plan(plan, generated, weights))
+        return execute_plan(plan, generated, weights)
+
+    workers = config.resolved_workers()
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            rounds = list(pool.map(one_round, range(config.repetitions)))
+        notes.append(f"OPEN: repetitions fanned out over {workers} thread(s)")
+    else:
+        rounds = [one_round(index) for index in range(config.repetitions)]
+    answers = [answer for answer in rounds if answer is not None]
     if not answers:
         raise VisibilityError(
             "every generated sample was empty after the population view "
@@ -348,39 +428,55 @@ def _try_count_inference(
     )
 
 
+def _repetition_streams(
+    rng: np.random.Generator, count: int
+) -> list[np.random.Generator]:
+    """``count`` independent RNG streams from a single draw on ``rng``.
+
+    One ``integers`` draw seeds a root :class:`~numpy.random.SeedSequence`
+    whose spawned children drive the generation rounds.  A round's output
+    therefore depends only on the session RNG state at query start and its
+    own index — never on thread scheduling — which is what makes the
+    concurrent OPEN executor bit-identical to the serial loop.
+    """
+    root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
 def combine_open_answers(answers: list[Relation], key_columns: list[str]) -> Relation:
-    """Group-intersection + aggregate averaging across repeated answers."""
+    """Group-intersection + aggregate averaging across repeated answers.
+
+    Vectorized over dictionary codes: the answers (each with distinct key
+    combinations, as GROUP BY outputs are) are unioned into one relation,
+    :func:`~repro.relational.groupby.group_codes` assigns each key
+    combination a dense id, and a key survives iff its id occurs in every
+    answer — i.e. its occurrence count equals ``len(answers)``.  Aggregates
+    average with one ``np.bincount`` per value column; no per-row Python
+    dict is built.  Output rows are in key-sorted order (``np.unique``
+    semantics per column).
+    """
     first = answers[0]
     value_columns = [c for c in first.column_names if c not in key_columns]
-
-    def answer_map(relation: Relation) -> dict[tuple, tuple]:
-        keys = [relation.column(c) for c in key_columns]
-        values = [relation.column(c) for c in value_columns]
-        out = {}
-        for i in range(relation.num_rows):
-            out[tuple(_native(k[i]) for k in keys)] = tuple(
-                float(v[i]) for v in values
-            )
-        return out
-
-    maps = [answer_map(answer) for answer in answers]
-    common = set(maps[0])
-    for m in maps[1:]:
-        common &= set(m)
-
-    rows = []
-    for key in sorted(common, key=lambda k: tuple(map(str, k))):
-        averaged = tuple(
-            float(np.mean([m[key][i] for m in maps])) for i in range(len(value_columns))
-        )
-        rows.append(key + averaged)
+    repetitions = len(answers)
 
     schema_fields = [first.schema.field(c) for c in key_columns]
-    from repro.relational.dtypes import DType
-    from repro.relational.schema import Field, Schema
-
     schema_fields += [Field(c, DType.FLOAT) for c in value_columns]
-    return Relation.from_rows(Schema(schema_fields), rows)
+    out_schema = Schema(schema_fields)
+
+    combined = union_all(answers)
+    if combined.num_rows == 0:
+        return Relation.empty(out_schema)
+
+    codes, num_groups, first_indices = group_codes(combined, list(key_columns))
+    counts = np.bincount(codes, minlength=num_groups)
+    kept = counts == repetitions
+
+    columns = [combined.column(c)[first_indices][kept] for c in key_columns]
+    for c in value_columns:
+        values = np.asarray(combined.column(c), dtype=np.float64)
+        sums = np.bincount(codes, weights=values, minlength=num_groups)
+        columns.append(sums[kept] / repetitions)
+    return Relation.from_groups(out_schema, columns)
 
 
 def _key_columns(query: SelectQuery, answer: Relation) -> list[str]:

@@ -135,6 +135,12 @@ class Relation:
         are immutable, so the encoding is computed at most once, which makes
         repeated group-bys / sorts over the same relation nearly free.  TEXT
         columns use a hash-based factorizer instead of sorting all rows.
+
+        Race-safe under concurrent readers: the encoding is fully built
+        before publication, and publication is a single atomic
+        ``dict.setdefault`` — two threads may redundantly compute, but the
+        first writer wins and both return that complete entry (a half-built
+        encoding is never observable).
         """
         cached = self._dictionaries.get(name)
         if cached is not None:
@@ -145,8 +151,7 @@ class Relation:
         else:
             uniques, raw = np.unique(column, return_inverse=True)
             codes = raw.astype(np.int64, copy=False)
-        self._dictionaries[name] = (uniques, codes)
-        return uniques, codes
+        return self._dictionaries.setdefault(name, (uniques, codes))
 
     def rows(self) -> Iterator[tuple]:
         """Iterate rows as Python tuples (TEXT as str, numerics as numpy scalars)."""
@@ -193,7 +198,14 @@ class Relation:
     def rename(self, mapping: dict[str, str]) -> "Relation":
         schema = self._schema.rename(mapping)
         columns = {mapping.get(name, name): arr for name, arr in self._columns.items()}
-        return Relation(schema, columns)
+        renamed = Relation(schema, columns)
+        # Column arrays are shared, so memoized dictionary encodings stay
+        # valid — carry them over under their new names (the stale old-name
+        # keys do not leak into the renamed relation).  Snapshot the items:
+        # a concurrent reader may be publishing an encoding right now.
+        for name, entry in list(self._dictionaries.items()):
+            renamed._dictionaries[mapping.get(name, name)] = entry
+        return renamed
 
     def with_column(self, name: str, dtype: DType, values: Any) -> "Relation":
         """Append (or replace) a column."""

@@ -91,7 +91,7 @@ class TestPlanCache:
         assert second.relation.equals(first.relation)
 
     def test_programmatic_statements_not_cached(self, db):
-        result = db._run(parse_statement("SELECT COUNT(*) AS n FROM S"))
+        result = db.execute_statement(parse_statement("SELECT COUNT(*) AS n FROM S"))
         assert result.has_note("plan: compiled (programmatic statement, not cached)")
 
     def test_visibility_levels_get_distinct_plans(self, db):
