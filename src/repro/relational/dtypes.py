@@ -21,6 +21,12 @@ import numpy as np
 
 from repro.errors import TypeMismatchError
 
+#: Storage dtype of dictionary codes.  int32 halves the code-array memory
+#: of int64 and comfortably indexes any realistic vocabulary (2**31 distinct
+#: strings); arithmetic that combines codes (multi-key group ids) upcasts to
+#: int64 automatically.
+CODES_DTYPE = np.dtype(np.int32)
+
 
 class DType(enum.Enum):
     """Logical column type."""

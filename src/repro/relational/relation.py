@@ -4,6 +4,21 @@ A relation is a :class:`~repro.relational.schema.Schema` plus one numpy
 array per column, all of equal length.  Every transformation returns a new
 relation; column arrays are shared where safe (the arrays themselves are
 treated as immutable by convention).
+
+Storage layout for TEXT columns
+-------------------------------
+TEXT columns are *dictionary encoded* as a first-class storage property:
+alongside the object array, the relation carries ``(vocab, codes)`` where
+``vocab`` is a sorted object array of the distinct strings and ``codes`` an
+``int32`` array with ``vocab[codes[i]] == column[i]``.  The encoding is
+built exactly once at ingest (:meth:`from_columns` / :meth:`from_rows` /
+:meth:`from_codes`) and then *sliced* — never recomputed — through
+:meth:`filter`, :meth:`take`, :meth:`project`, :meth:`rename`, and
+:meth:`with_column`; :meth:`concat` merges the two vocabularies and remaps
+codes without decoding.  Scan-level predicates and the group-by kernels
+evaluate against the vocab (k distinct values) and broadcast through the
+codes, so repeated filter + group-by over the same stored tuples never
+touches the object array.
 """
 
 from __future__ import annotations
@@ -13,21 +28,64 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import SchemaError
-from repro.relational.dtypes import DType
+from repro.relational.dtypes import CODES_DTYPE, DType
 from repro.relational.schema import Field, Schema
+
+# Observability counters for the dictionary-encoding layer.  ``builds``
+# counts full encode computations (hash factorization / np.unique over all
+# rows); ``reuse_hits`` counts every time a memoized or propagated encoding
+# was served instead.  Plain int increments under the GIL: concurrent
+# updates may occasionally drop a count, which is acceptable for an
+# approximate observability counter (never consulted for correctness).
+_STATS = {"builds": 0, "reuse_hits": 0}
+
+
+def dictionary_stats() -> dict[str, int]:
+    """Snapshot of the global dictionary-encoding counters."""
+    return dict(_STATS)
+
+
+def compact_codes(
+    codes: np.ndarray, domain_size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact sparse group/dictionary codes to a dense 0..k-1 range.
+
+    Returns ``(dense_codes, present, counts)``: ``present`` flags which of
+    the ``domain_size`` domain entries are referenced by ``codes``,
+    ``counts`` is the per-present-entry occurrence count, and
+    ``dense_codes`` re-indexes ``codes`` into the compacted (order-
+    preserving) domain.  When every entry is referenced the input codes
+    are returned unchanged.
+    """
+    counts = np.bincount(codes, minlength=domain_size)
+    present = counts > 0
+    if counts.all():
+        return codes, present, counts
+    remap = np.cumsum(present) - 1
+    return remap[codes].astype(CODES_DTYPE, copy=False), present, counts[present]
+
+
+def reset_dictionary_stats() -> None:
+    _STATS["builds"] = 0
+    _STATS["reuse_hits"] = 0
 
 
 class Relation:
     """An immutable, schema-typed columnar table.
 
-    Construct with :meth:`from_columns`, :meth:`from_rows`, or
-    :meth:`empty`.  The raw constructor assumes the arrays are already
-    coerced to the schema's storage dtypes.
+    Construct with :meth:`from_columns`, :meth:`from_rows`,
+    :meth:`from_codes`, or :meth:`empty`.  The raw constructor assumes the
+    arrays are already coerced to the schema's storage dtypes.
     """
 
-    __slots__ = ("_schema", "_columns", "_nrows", "_dictionaries")
+    __slots__ = ("_schema", "_columns", "_nrows", "_dictionaries", "_encodings")
 
-    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        encodings: Mapping[str, tuple[np.ndarray, np.ndarray]] | None = None,
+    ):
         if set(columns) != set(schema.names):
             raise SchemaError(
                 f"column set {sorted(columns)} does not match schema {list(schema.names)}"
@@ -39,6 +97,9 @@ class Relation:
         self._columns = {name: columns[name] for name in schema.names}
         self._nrows = next(iter(lengths)) if lengths else 0
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._encodings: dict[str, tuple[np.ndarray, np.ndarray]] = (
+            dict(encodings) if encodings else {}
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -46,11 +107,17 @@ class Relation:
 
     @classmethod
     def from_columns(cls, schema: Schema, columns: Mapping[str, Any]) -> "Relation":
-        """Build a relation, coercing each column to its declared dtype."""
-        coerced = {
-            field.name: field.dtype.coerce_array(columns[field.name]) for field in schema
-        }
-        return cls(schema, coerced)
+        """Build a relation, coercing each column to its declared dtype.
+
+        TEXT columns are dictionary encoded here, in the same pass that
+        coerces their values to ``str`` — the one place an encoding is ever
+        built for ingested data.
+        """
+        coerced: dict[str, np.ndarray] = {}
+        encodings: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for field in schema:
+            _ingest_column(field, columns[field.name], coerced, encodings)
+        return cls(schema, coerced, encodings=encodings)
 
     @classmethod
     def from_dict(cls, columns: Mapping[str, Any]) -> "Relation":
@@ -93,11 +160,69 @@ class Relation:
         )
 
     @classmethod
+    def from_codes(
+        cls,
+        schema: Schema,
+        encoded: Mapping[str, tuple[Any, Any]],
+        plain: Mapping[str, Any] | None = None,
+    ) -> "Relation":
+        """Build a relation from pre-encoded TEXT columns plus plain columns.
+
+        ``encoded`` maps TEXT column names to ``(vocab, codes)``: ``vocab``
+        a strictly increasing array of distinct strings, ``codes`` integers
+        indexing it.  The stored object column is materialised as
+        ``vocab[codes]`` (a C gather that shares the vocab's ``str``
+        objects) and the encoding is installed directly — no
+        re-factorization.  This is how generators hand their fitted output
+        vocabulary straight to the execution pipeline.  Columns not in
+        ``encoded`` are taken from ``plain`` and coerced as in
+        :meth:`from_columns`.
+        """
+        plain = plain or {}
+        columns: dict[str, np.ndarray] = {}
+        encodings: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for field in schema:
+            if field.name in encoded:
+                if field.dtype is not DType.TEXT:
+                    raise SchemaError(
+                        f"from_codes: column {field.name!r} is {field.dtype.value}, "
+                        "only TEXT columns are dictionary encoded"
+                    )
+                raw_vocab, raw_codes = encoded[field.name]
+                vocab = np.empty(len(raw_vocab), dtype=object)
+                vocab[:] = list(raw_vocab)
+                if vocab.size > 1 and not np.all(vocab[:-1] < vocab[1:]):
+                    raise SchemaError(
+                        f"from_codes: vocab for {field.name!r} must be strictly "
+                        "increasing (sorted, distinct)"
+                    )
+                codes = np.asarray(raw_codes, dtype=CODES_DTYPE)
+                if codes.size and (
+                    vocab.size == 0
+                    or codes.min() < 0
+                    or codes.max() >= vocab.size
+                ):
+                    raise SchemaError(
+                        f"from_codes: codes for {field.name!r} fall outside "
+                        f"the vocab range [0, {vocab.size})"
+                    )
+                columns[field.name] = _decode(vocab, codes)
+                encodings[field.name] = (vocab, codes)
+            else:
+                _ingest_column(field, plain[field.name], columns, encodings)
+        return cls(schema, columns, encodings=encodings)
+
+    @classmethod
     def empty(cls, schema: Schema) -> "Relation":
         """A zero-row relation with the given schema."""
         return cls(
             schema,
             {field.name: np.empty(0, dtype=field.dtype.numpy_dtype) for field in schema},
+            encodings={
+                field.name: (np.empty(0, dtype=object), np.empty(0, dtype=CODES_DTYPE))
+                for field in schema
+                if field.dtype is DType.TEXT
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -127,14 +252,31 @@ class Relation:
         self._schema.field(name)
         return self._columns[name]
 
+    def encoding(self, name: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """The first-class ``(vocab, codes)`` encoding of a TEXT column.
+
+        ``vocab`` is sorted and distinct but may be a *superset* of the
+        values present (filtering slices codes and keeps the vocab), so
+        consumers must tolerate unreferenced vocab entries.  ``None`` for
+        columns without a stored encoding (non-TEXT, or relations built by
+        the raw constructor from arbitrary expression output).
+        """
+        entry = self._encodings.get(name)
+        if entry is not None:
+            _STATS["reuse_hits"] += 1
+        return entry
+
     def dictionary(self, name: str) -> tuple[np.ndarray, np.ndarray]:
         """Dictionary encoding of a column: ``(sorted_uniques, codes)``.
 
         ``codes[i]`` indexes ``sorted_uniques`` (``np.unique`` semantics:
-        codes follow value-sorted order).  Memoized per column — relations
-        are immutable, so the encoding is computed at most once, which makes
-        repeated group-bys / sorts over the same relation nearly free.  TEXT
-        columns use a hash-based factorizer instead of sorting all rows.
+        codes follow value-sorted order and every unique is present in the
+        data).  Memoized per column — relations are immutable, so the
+        encoding is computed at most once, which makes repeated group-bys /
+        sorts over the same relation nearly free.  Columns with a
+        first-class storage encoding derive the dense form from it with one
+        vectorized remap (no re-factorization); TEXT columns without one
+        use a hash-based factorizer instead of sorting all rows.
 
         Race-safe under concurrent readers: the encoding is fully built
         before publication, and publication is a single atomic
@@ -144,13 +286,24 @@ class Relation:
         """
         cached = self._dictionaries.get(name)
         if cached is not None:
+            _STATS["reuse_hits"] += 1
             return cached
+        stored = self._encodings.get(name)
+        if stored is not None:
+            # Densify the sliced storage encoding: drop vocab entries no
+            # code references, remap codes to the compacted positions.
+            vocab, codes = stored
+            dense, present, _ = compact_codes(codes, vocab.size)
+            entry = (vocab if present.all() else vocab[present], dense)
+            _STATS["reuse_hits"] += 1
+            return self._dictionaries.setdefault(name, entry)
         column = self.column(name)
         if self._schema.dtype(name) is DType.TEXT:
             uniques, codes = _factorize_object(column)
         else:
             uniques, raw = np.unique(column, return_inverse=True)
             codes = raw.astype(np.int64, copy=False)
+        _STATS["builds"] += 1
         return self._dictionaries.setdefault(name, (uniques, codes))
 
     def rows(self) -> Iterator[tuple]:
@@ -178,13 +331,25 @@ class Relation:
             raise SchemaError(
                 f"mask length {mask.shape[0]} does not match row count {self._nrows}"
             )
-        return Relation(self._schema, {name: arr[mask] for name, arr in self._columns.items()})
+        return Relation(
+            self._schema,
+            {name: arr[mask] for name, arr in self._columns.items()},
+            encodings={
+                name: (vocab, codes[mask])
+                for name, (vocab, codes) in self._encodings.items()
+            },
+        )
 
     def take(self, indices: np.ndarray) -> "Relation":
         """Select rows by integer position (duplicates and reorderings allowed)."""
         indices = np.asarray(indices, dtype=np.int64)
         return Relation(
-            self._schema, {name: arr[indices] for name, arr in self._columns.items()}
+            self._schema,
+            {name: arr[indices] for name, arr in self._columns.items()},
+            encodings={
+                name: (vocab, codes[indices])
+                for name, (vocab, codes) in self._encodings.items()
+            },
         )
 
     def head(self, n: int) -> "Relation":
@@ -193,12 +358,21 @@ class Relation:
     def project(self, names: Sequence[str]) -> "Relation":
         """Keep only the named columns, in the given order."""
         schema = self._schema.project(names)
-        return Relation(schema, {name: self._columns[name] for name in names})
+        return Relation(
+            schema,
+            {name: self._columns[name] for name in names},
+            encodings={
+                name: self._encodings[name] for name in names if name in self._encodings
+            },
+        )
 
     def rename(self, mapping: dict[str, str]) -> "Relation":
         schema = self._schema.rename(mapping)
         columns = {mapping.get(name, name): arr for name, arr in self._columns.items()}
-        renamed = Relation(schema, columns)
+        encodings = {
+            mapping.get(name, name): entry for name, entry in self._encodings.items()
+        }
+        renamed = Relation(schema, columns, encodings=encodings)
         # Column arrays are shared, so memoized dictionary encodings stay
         # valid — carry them over under their new names (the stale old-name
         # keys do not leak into the renamed relation).  Snapshot the items:
@@ -222,7 +396,8 @@ class Relation:
             fields = [*self._schema.fields, Field(name, dtype)]
         columns = dict(self._columns)
         columns[name] = coerced
-        return Relation(Schema(fields), columns)
+        encodings = {k: v for k, v in self._encodings.items() if k != name}
+        return Relation(Schema(fields), columns, encodings=encodings)
 
     def drop_column(self, name: str) -> "Relation":
         remaining = [n for n in self._schema.names if n != name]
@@ -231,7 +406,14 @@ class Relation:
         return self.project(remaining)
 
     def concat(self, other: "Relation") -> "Relation":
-        """Vertical union (schemas must match exactly)."""
+        """Vertical union (schemas must match exactly).
+
+        Dictionary encodings are *merged*, not recomputed: when both sides
+        share the same vocab the codes simply concatenate; otherwise the
+        vocabs union (k log k over the distinct values) and each side's
+        codes remap through a searchsorted lookup — the row data is never
+        decoded.
+        """
         if other.schema != self._schema:
             raise SchemaError(
                 f"cannot concat relations with different schemas: "
@@ -241,7 +423,14 @@ class Relation:
             name: np.concatenate([self._columns[name], other._columns[name]])
             for name in self._schema.names
         }
-        return Relation(self._schema, columns)
+        encodings: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name, (vocab, codes) in self._encodings.items():
+            theirs = other._encodings.get(name)
+            if theirs is None:
+                continue
+            other_vocab, other_codes = theirs
+            encodings[name] = _merge_encodings(vocab, codes, other_vocab, other_codes)
+        return Relation(self._schema, columns, encodings=encodings)
 
     def sort_by(self, names: Sequence[str], ascending: Sequence[bool] | None = None) -> "Relation":
         """Stable multi-key sort.
@@ -278,6 +467,78 @@ class Relation:
         return True
 
 
+def _ingest_column(
+    field: Field,
+    values: Any,
+    columns: dict[str, np.ndarray],
+    encodings: dict[str, tuple[np.ndarray, np.ndarray]],
+) -> None:
+    """Coerce one ingested column into ``columns``, encoding TEXT fields."""
+    if field.dtype is DType.TEXT:
+        vocab, codes = _factorize_text(values)
+        columns[field.name] = _decode(vocab, codes)
+        encodings[field.name] = (vocab, codes)
+    else:
+        columns[field.name] = field.dtype.coerce_array(values)
+
+
+def _decode(vocab: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Materialise the object column for an encoding (C gather, shared strs)."""
+    if vocab.size == 0:
+        return np.empty(codes.shape[0], dtype=object)
+    return vocab[codes]
+
+
+def _merge_encodings(
+    left_vocab: np.ndarray,
+    left_codes: np.ndarray,
+    right_vocab: np.ndarray,
+    right_codes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Union two sorted vocabs and remap both code arrays into the union."""
+    if left_vocab is right_vocab or (
+        left_vocab.size == right_vocab.size
+        and bool(np.all(left_vocab == right_vocab))
+    ):
+        return left_vocab, np.concatenate([left_codes, right_codes])
+    if left_vocab.size == 0:
+        return right_vocab, np.concatenate(
+            [left_codes.astype(CODES_DTYPE, copy=False), right_codes]
+        )
+    if right_vocab.size == 0:
+        return left_vocab, np.concatenate(
+            [left_codes, right_codes.astype(CODES_DTYPE, copy=False)]
+        )
+    merged = np.unique(np.concatenate([left_vocab, right_vocab]))
+    left_remap = np.searchsorted(merged, left_vocab)
+    right_remap = np.searchsorted(merged, right_vocab)
+    codes = np.concatenate([left_remap[left_codes], right_remap[right_codes]])
+    return merged, codes.astype(CODES_DTYPE, copy=False)
+
+
+def _factorize_text(values: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce + factorize raw TEXT input in one pass.
+
+    Applies ``str()`` to every value while assigning first-appearance codes
+    (the same hash-based scheme as :func:`_factorize_object`, fused with the
+    coercion loop so ingest walks the Python values exactly once), then
+    sorts the unique set and remaps.
+    """
+    arr = np.asarray(values, dtype=object)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    mapping: dict[str, int] = {}
+    codes = np.empty(arr.shape[0], dtype=CODES_DTYPE)
+    for position, value in enumerate(arr):
+        text = value if type(value) is str else str(value)
+        code = mapping.get(text)
+        if code is None:
+            code = mapping[text] = len(mapping)
+        codes[position] = code
+    _STATS["builds"] += 1
+    return _sort_and_remap(mapping, codes)
+
+
 def _factorize_object(column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Sorted uniques + dense codes for an object column, hash-based.
 
@@ -286,17 +547,21 @@ def _factorize_object(column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     codes are remapped to that order so the result matches ``np.unique``.
     """
     mapping: dict = {}
-    codes = np.empty(column.shape[0], dtype=np.int64)
+    codes = np.empty(column.shape[0], dtype=CODES_DTYPE)
     for position, value in enumerate(column):
         code = mapping.get(value)
         if code is None:
             code = mapping[value] = len(mapping)
         codes[position] = code
+    return _sort_and_remap(mapping, codes)
+
+
+def _sort_and_remap(mapping: dict, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     uniques = np.empty(len(mapping), dtype=object)
     uniques[:] = list(mapping)
     order = np.argsort(uniques, kind="stable")
-    remap = np.empty(len(mapping), dtype=np.int64)
-    remap[order] = np.arange(len(mapping))
+    remap = np.empty(len(mapping), dtype=CODES_DTYPE)
+    remap[order] = np.arange(len(mapping), dtype=CODES_DTYPE)
     return uniques[order], remap[codes]
 
 
