@@ -9,7 +9,7 @@ synthesizer) get this fast path for queries of the shape::
     SELECT OPEN COUNT(*) FROM <population> [WHERE <conjunctive predicate>]
 
 The WHERE clause must decompose into per-attribute constraints (a
-conjunction of single-column comparisons / IN / BETWEEN); anything richer
+conjunction of single-column comparisons / IN / BETWEEN / LIKE); anything richer
 falls back to the materialisation path.
 """
 
@@ -23,6 +23,7 @@ from repro.relational.predicates import (
     Between,
     Comparison,
     InList,
+    Like,
     TruePredicate,
 )
 from repro.sql.ast_nodes import SelectQuery
@@ -100,6 +101,15 @@ def _collect(expr: Expr, out: list[tuple[str, Callable[[object], bool]]]) -> boo
                 expr.operand.name,
                 lambda v: (_comparable(v) in values) != negated,
             )
+        )
+        return True
+    if isinstance(expr, Like):
+        if not isinstance(expr.operand, ColumnRef):
+            return False
+        matches = expr.matches
+        negated = expr.negated
+        out.append(
+            (expr.operand.name, lambda v: matches(v) != negated)
         )
         return True
     if isinstance(expr, Between):

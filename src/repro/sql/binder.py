@@ -17,7 +17,16 @@ from __future__ import annotations
 
 from repro.errors import SqlCompileError
 from repro.relational.expressions import Arithmetic, ColumnRef, Expr, Literal, Negate
-from repro.relational.predicates import And, Between, Comparison, InList, Not, Or, TruePredicate
+from repro.relational.predicates import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Like,
+    Not,
+    Or,
+    TruePredicate,
+)
 from repro.relational.schema import Schema
 from repro.sql.ast_nodes import Identifier
 
@@ -57,6 +66,12 @@ def bind_expression(expr: Expr, schema: Schema, allow_barewords: bool = True) ->
             bind_expression(expr.operand, schema, allow_barewords),
             bind_expression(expr.low, schema, allow_barewords),
             bind_expression(expr.high, schema, allow_barewords),
+            negated=expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(
+            bind_expression(expr.operand, schema, allow_barewords),
+            expr.pattern,
             negated=expr.negated,
         )
     if isinstance(expr, And):

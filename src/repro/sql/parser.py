@@ -17,7 +17,7 @@ from repro.core.visibility import Visibility
 from repro.errors import SqlSyntaxError
 from repro.relational.dtypes import DType
 from repro.relational.expressions import Arithmetic, Expr, Literal, Negate
-from repro.relational.predicates import And, Between, Comparison, InList, Not, Or
+from repro.relational.predicates import And, Between, Comparison, InList, Like, Not, Or
 from repro.sql.ast_nodes import (
     ColumnDef,
     CreateMetadata,
@@ -450,9 +450,9 @@ class _Parser:
 
         negated = False
         if self.at_keyword("NOT"):
-            # Only consume NOT when it introduces IN/BETWEEN.
+            # Only consume NOT when it introduces IN/BETWEEN/LIKE.
             next_token = self._tokens[self._pos + 1]
-            if next_token.matches_keyword("IN", "BETWEEN"):
+            if next_token.matches_keyword("IN", "BETWEEN", "LIKE"):
                 self.advance()
                 negated = True
 
@@ -469,6 +469,15 @@ class _Parser:
             self.expect_keyword("AND")
             high = self._parse_additive()
             return Between(left, low, high, negated=negated)
+
+        if self.accept_keyword("LIKE"):
+            token = self.current
+            if token.type is not TokenType.STRING:
+                raise SqlSyntaxError(
+                    f"LIKE expects a string pattern, found {token.value or 'end of input'!r}"
+                )
+            self.advance()
+            return Like(left, token.value, negated=negated)
 
         if self.at(TokenType.OPERATOR) and self.current.value in (
             "=", "!=", "<>", "<", "<=", ">", ">=",

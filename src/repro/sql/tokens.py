@@ -24,7 +24,7 @@ class TokenType(enum.Enum):
 KEYWORDS = frozenset(
     [
         "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AS",
-        "AND", "OR", "NOT", "IN", "BETWEEN", "ASC", "DESC",
+        "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "ASC", "DESC",
         "CREATE", "TABLE", "TEMPORARY", "INSERT", "INTO", "VALUES",
         "POPULATION", "GLOBAL", "SAMPLE", "METADATA", "FOR",
         "USING", "MECHANISM", "PERCENT", "UNIFORM", "STRATIFIED", "ON",

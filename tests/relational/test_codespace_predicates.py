@@ -1,0 +1,209 @@
+"""Code-space predicate evaluation must be bit-identical to naive evaluation.
+
+Property-style equivalence: every operator (`=`, `!=`, `<`..`>=`
+lexicographic, `IN`/`NOT IN`, `BETWEEN`/`NOT BETWEEN`, `LIKE`/`NOT LIKE`)
+is evaluated three ways —
+
+- over a dictionary-encoded relation (the vocab-broadcast fast path),
+- over a raw-constructed relation with no encoding (the vectorized
+  fallback), and
+- by a per-row pure-Python reference —
+
+and all three must agree element-wise, including vocab-miss constants
+(below, between, and above every stored value), empty relations, sliced
+encodings whose vocab is a superset of the present values, and
+all-filtered masks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.dtypes import DType
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.predicates import Between, Comparison, InList, Like
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+OPS = ["=", "!=", "<", "<=", ">", ">="]
+_PY_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+VOCAB = ["", "AA", "B6", "DL", "NK", "UA", "WN", "aa", "~zz"]
+# In-vocab hits plus misses below, between, and above every stored value.
+CONSTANTS = ["AA", "NK", "~zz", "", " ", "AB", "Dl", "z", "\x7f\x7f"]
+
+
+def encoded_relation(values):
+    """Built through from_columns: carries a first-class encoding."""
+    schema = Schema([Field("c", DType.TEXT), Field("v", DType.INT)])
+    relation = Relation.from_columns(
+        schema, {"c": values, "v": list(range(len(values)))}
+    )
+    assert relation.encoding("c") is not None
+    return relation
+
+def raw_relation(values):
+    """Built through the raw constructor: no encoding (fallback path)."""
+    schema = Schema([Field("c", DType.TEXT), Field("v", DType.INT)])
+    column = np.empty(len(values), dtype=object)
+    column[:] = [str(v) for v in values]
+    return Relation(
+        schema, {"c": column, "v": np.arange(len(values), dtype=np.int64)}
+    )
+
+
+def sliced_relation(values):
+    """Filtered so the carried vocab is a strict superset of present values."""
+    base_values = [*values, "__only_in_vocab__"]
+    base = encoded_relation(base_values)
+    mask = np.ones(len(base_values), dtype=bool)
+    mask[-1] = False
+    sliced = base.filter(mask)
+    vocab, _ = sliced.encoding("c")
+    assert "__only_in_vocab__" in set(vocab)
+    return sliced
+
+
+def relation_variants(values):
+    return [encoded_relation(values), raw_relation(values), sliced_relation(values)]
+
+
+def sample_values(rng, n):
+    return [str(v) for v in rng.choice(VOCAB, size=n)]
+
+
+@pytest.mark.parametrize("op", OPS)
+@pytest.mark.parametrize("n", [0, 1, 257])
+def test_comparison_equivalence(op, n):
+    rng = np.random.default_rng(OPS.index(op) * 1000 + n)
+    values = sample_values(rng, n)
+    for constant in CONSTANTS:
+        reference = np.asarray(
+            [_PY_OPS[op](v, constant) for v in values], dtype=bool
+        )
+        for relation in relation_variants(values):
+            mask = Comparison(op, ColumnRef("c"), Literal(constant)).evaluate(relation)
+            assert mask.dtype == np.bool_
+            np.testing.assert_array_equal(mask, reference)
+            # Literal on the left: op flips, result must not.
+            flipped_reference = np.asarray(
+                [_PY_OPS[op](constant, v) for v in values], dtype=bool
+            )
+            flipped = Comparison(op, Literal(constant), ColumnRef("c")).evaluate(relation)
+            np.testing.assert_array_equal(flipped, flipped_reference)
+
+
+@pytest.mark.parametrize("negated", [False, True])
+@pytest.mark.parametrize(
+    "in_values",
+    [(), ("AA",), ("AA", "NK", "~zz"), ("miss", "also-miss"), ("AA", "miss", "")],
+)
+def test_in_list_equivalence(negated, in_values):
+    rng = np.random.default_rng(5)
+    for n in (0, 1, 257):
+        values = sample_values(rng, n)
+        reference = np.asarray(
+            [(v in set(in_values)) != negated for v in values], dtype=bool
+        )
+        for relation in relation_variants(values):
+            mask = InList(ColumnRef("c"), in_values, negated=negated).evaluate(relation)
+            np.testing.assert_array_equal(mask, reference)
+
+
+@pytest.mark.parametrize("negated", [False, True])
+@pytest.mark.parametrize(
+    "bounds",
+    [("AA", "NK"), ("", "~zz"), ("A", "Az"), ("miss", "miss"), ("z", "a"), ("NK", "NK")],
+)
+def test_between_equivalence(negated, bounds):
+    low, high = bounds
+    rng = np.random.default_rng(11)
+    for n in (0, 1, 257):
+        values = sample_values(rng, n)
+        reference = np.asarray(
+            [(low <= v <= high) != negated for v in values], dtype=bool
+        )
+        for relation in relation_variants(values):
+            mask = Between(
+                ColumnRef("c"), Literal(low), Literal(high), negated=negated
+            ).evaluate(relation)
+            np.testing.assert_array_equal(mask, reference)
+
+
+@pytest.mark.parametrize("negated", [False, True])
+@pytest.mark.parametrize("pattern", ["%", "A%", "%z", "_A", "A_", "", "AA", "%.%"])
+def test_like_equivalence(negated, pattern):
+    import re
+
+    regex = re.compile(
+        "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern
+        ),
+        re.DOTALL,
+    )
+    rng = np.random.default_rng(13)
+    for n in (0, 1, 257):
+        values = sample_values(rng, n)
+        reference = np.asarray(
+            [(regex.fullmatch(v) is not None) != negated for v in values], dtype=bool
+        )
+        for relation in relation_variants(values):
+            mask = Like(ColumnRef("c"), pattern, negated=negated).evaluate(relation)
+            np.testing.assert_array_equal(mask, reference)
+
+
+def test_all_filtered_mask_keeps_equivalence():
+    """Predicates over a fully filtered (zero-row, superset-vocab) relation."""
+    base = encoded_relation(["AA", "DL", "WN"])
+    empty = base.filter(np.zeros(3, dtype=bool))
+    assert empty.num_rows == 0
+    vocab, codes = empty.encoding("c")
+    assert vocab.size == 3 and codes.size == 0
+    for predicate in (
+        Comparison("=", ColumnRef("c"), Literal("AA")),
+        Comparison("<", ColumnRef("c"), Literal("ZZ")),
+        InList(ColumnRef("c"), ("AA", "DL")),
+        Between(ColumnRef("c"), Literal("A"), Literal("Z")),
+        Like(ColumnRef("c"), "A%"),
+    ):
+        mask = predicate.evaluate(empty)
+        assert mask.shape == (0,) and mask.dtype == np.bool_
+
+
+def test_comparison_text_vs_non_text_raises_on_encoded_columns():
+    relation = encoded_relation(["AA", "DL"])
+    with pytest.raises(TypeMismatchError):
+        Comparison("=", ColumnRef("c"), Literal(3)).evaluate(relation)
+    with pytest.raises(TypeMismatchError):
+        Comparison("<", Literal(1.5), ColumnRef("c")).evaluate(relation)
+
+
+def test_in_list_mixed_type_numeric_operand_raises():
+    relation = encoded_relation(["AA", "DL"])  # has INT column v
+    with pytest.raises(TypeMismatchError):
+        InList(ColumnRef("v"), (1, "a")).evaluate(relation)
+    with pytest.raises(TypeMismatchError):
+        InList(ColumnRef("v"), ("1", "2")).evaluate(relation)
+    # All-numeric lists (mixed int/float widths) stay fine.
+    mask = InList(ColumnRef("v"), (0, 1.0)).evaluate(relation)
+    np.testing.assert_array_equal(mask, [True, True])
+    # Empty lists match nothing rather than raising.
+    np.testing.assert_array_equal(
+        InList(ColumnRef("v"), ()).evaluate(relation), [False, False]
+    )
+
+
+def test_like_requires_text_operand():
+    relation = encoded_relation(["AA", "DL"])
+    with pytest.raises(TypeMismatchError):
+        Like(ColumnRef("v"), "1%").evaluate(relation)
+    with pytest.raises(TypeMismatchError):
+        Like(ColumnRef("v"), "1%").output_dtype(relation.schema)

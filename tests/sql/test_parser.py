@@ -6,7 +6,7 @@ from repro.core.visibility import Visibility
 from repro.errors import SqlSyntaxError
 from repro.relational.dtypes import DType
 from repro.relational.expressions import Arithmetic, Literal, Negate
-from repro.relational.predicates import And, Between, Comparison, InList, Not, Or
+from repro.relational.predicates import And, Between, Comparison, InList, Like, Not, Or
 from repro.sql.ast_nodes import (
     CreateMetadata,
     CreatePopulation,
@@ -291,6 +291,23 @@ class TestScripts:
         for text in queries:
             query = parse_statement(text)
             assert isinstance(query, SelectQuery)
+
+    def test_like_parses(self):
+        query = parse_statement("SELECT * FROM t WHERE name LIKE 'A%'")
+        assert isinstance(query.where, Like)
+        assert query.where.pattern == "A%"
+        assert not query.where.negated
+
+    def test_not_like_parses(self):
+        query = parse_statement("SELECT * FROM t WHERE name NOT LIKE '_b%' AND x = 1")
+        like = query.where.left
+        assert isinstance(like, Like)
+        assert like.pattern == "_b%"
+        assert like.negated
+
+    def test_like_requires_string_pattern(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT * FROM t WHERE name LIKE 42")
 
     def test_empty_script(self):
         assert parse_script("  -- nothing here\n") == []
