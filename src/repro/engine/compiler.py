@@ -32,6 +32,7 @@ from repro.relational.expressions import ColumnRef, Expr, validate_expression
 from repro.relational.kernels import grouped_aggregate
 from repro.relational.ops import distinct as distinct_op
 from repro.relational.ops import project_expressions
+from repro.relational.predicates import And
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
 from repro.sql.ast_nodes import SelectItem, SelectQuery
@@ -54,7 +55,11 @@ def compile_select(
         predicate = bind_expression(query.where, schema)
         if validate_expression(predicate, schema) is not DType.BOOL:
             raise SqlCompileError("WHERE predicate must be boolean")
-        nodes.append(FilterNode(predicate))
+        # Top-level AND conjuncts compile to one FilterNode each; execution
+        # ANDs their masks into a single selection vector, so the split
+        # costs nothing and keeps plan displays / future per-conjunct
+        # optimisations (reordering, short-circuiting) tractable.
+        nodes.extend(FilterNode(conjunct) for conjunct in _conjuncts(predicate))
 
     if query.has_aggregates or query.group_by:
         body = _compile_aggregate(query, schema, weighted)
@@ -75,6 +80,13 @@ def compile_select(
         output_schema=current,
         weighted=weighted,
     )
+
+
+def _conjuncts(predicate) -> list:
+    """Flatten top-level ANDs into a list of conjunct predicates."""
+    if isinstance(predicate, And):
+        return [*_conjuncts(predicate.left), *_conjuncts(predicate.right)]
+    return [predicate]
 
 
 def _compile_projection(query: SelectQuery, schema: Schema) -> ProjectNode:
@@ -168,16 +180,28 @@ def execute_plan(
             f"{'weighted' if plan.weighted else 'unweighted'} but executed "
             f"{'with' if weights is not None else 'without'} weights"
         )
+    # Filters never materialise: each FilterNode evaluates to a boolean
+    # mask that ANDs into a single selection vector.  The selection is
+    # consumed exactly once — Project materialises the surviving rows (one
+    # copy, with dictionary encodings sliced along), while Aggregate hands
+    # it straight to the grouped kernels, which slice the scan relation's
+    # memoized group codes instead of re-encoding filtered columns.
+    selection: np.ndarray | None = None
     for node in plan.nodes:
         if isinstance(node, FilterNode):
             mask = np.asarray(node.predicate.evaluate(relation), dtype=bool)
-            relation = relation.filter(mask)
-            if weights is not None:
-                weights = weights[mask]
+            selection = mask if selection is None else selection & mask
         elif isinstance(node, ProjectNode):
             if weights is not None:
-                relation = relation.filter(weights > 0.0)
+                # A reweighted tuple with zero weight "does not exist".
+                zero_alive = weights > 0.0
+                selection = (
+                    zero_alive if selection is None else selection & zero_alive
+                )
                 weights = None
+            if selection is not None:
+                relation = relation.filter(selection)
+                selection = None
             relation = project_expressions(relation, node.exprs, node.aliases)
             if node.distinct:
                 relation = distinct_op(relation)
@@ -189,8 +213,10 @@ def execute_plan(
                 node.specs,
                 node.schema,
                 weights,
+                selection,
             )
             weights = None
+            selection = None
         elif isinstance(node, SortNode):
             relation = relation.sort_by(list(node.columns), list(node.ascending))
         elif isinstance(node, LimitNode):

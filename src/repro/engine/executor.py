@@ -7,7 +7,8 @@ weighted-aggregate rewrite.
 
 Since the compiled-pipeline refactor this module is a thin convenience
 wrapper: :func:`execute_select` compiles a fresh
-:class:`~repro.engine.plan.LogicalPlan` and runs it.  Callers that execute
+:class:`~repro.engine.plan.LogicalPlan` and runs it (WHERE clauses execute
+as selection vectors over the scan — see ``repro.engine.plan``).  Callers that execute
 the same SQL repeatedly (:class:`~repro.core.database.MosaicDB`) compile
 once via :func:`~repro.engine.compiler.compile_select`, cache the plan, and
 call :func:`~repro.engine.compiler.execute_plan` directly.

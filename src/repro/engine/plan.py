@@ -7,12 +7,17 @@ execution as pure vectorized data movement.
 
 The node algebra is deliberately small (the Mosaic dialect is single-table):
 
-    Scan -> [Filter] -> (Project | Aggregate) -> [Sort] -> [Limit]
+    Scan -> [Filter]* -> (Project | Aggregate) -> [Sort] -> [Limit]
 
 ``Scan`` is implicit — the input relation handed to
 :func:`repro.engine.compiler.execute_plan` — so the node tuple starts at the
-optional filter.  Plans are immutable and contain only bound expressions,
-making them safe to share across repeated executions and cache entries.
+optional filters.  A WHERE clause compiles to one :class:`FilterNode` per
+top-level AND conjunct; at execution the filters only accumulate a
+*selection vector* (a boolean mask over the scan), which is materialised
+exactly once at Project or consumed directly by the Aggregate kernels —
+no per-predicate row copies.  Plans are immutable and contain only bound
+expressions, making them safe to share across repeated executions and
+cache entries.
 """
 
 from __future__ import annotations
@@ -27,7 +32,11 @@ from repro.relational.schema import Schema
 
 @dataclass(frozen=True, eq=False)
 class FilterNode:
-    """WHERE: keep rows satisfying a bound boolean predicate."""
+    """WHERE conjunct: AND this predicate's mask into the selection vector.
+
+    Execution never materialises rows here — the mask combines with any
+    previous filters' and rides to the next Project/Aggregate node.
+    """
 
     predicate: Expr
 

@@ -26,8 +26,9 @@ import numpy as np
 
 from repro.errors import SchemaError, TypeMismatchError
 from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import ColumnRef
 from repro.relational.groupby import group_codes
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, compact_codes
 from repro.relational.schema import Schema
 
 
@@ -38,6 +39,7 @@ def grouped_aggregate(
     specs: Sequence[AggregateSpec],
     out_schema: Schema,
     weights: np.ndarray | None = None,
+    selection: np.ndarray | None = None,
 ) -> Relation:
     """Aggregate ``relation`` grouped by ``group_keys`` in one vectorized pass.
 
@@ -46,10 +48,19 @@ def grouped_aggregate(
     aggregate expressions for the remaining fields.  ``out_schema`` has one
     field per key column followed by one per spec.  Groups appear in
     key-sorted order, matching :func:`~repro.relational.groupby.group_rows`.
+
+    ``selection`` is an optional boolean mask over ``relation``'s rows (the
+    WHERE clause's selection vector): only selected rows aggregate, exactly
+    as if ``relation.filter(selection)`` ran first — but nothing is
+    materialised.  Group codes come from the *unfiltered* relation's
+    memoized dictionary encodings and are sliced, so a filtered group-by
+    never re-encodes its key columns; groups with no selected row are
+    dropped (except the single implicit group of an ungrouped aggregate,
+    which always exists).  ``weights`` stays aligned with the unfiltered
+    relation and is sliced alongside the codes.
     """
     n = relation.num_rows
     codes, num_groups, first_indices = group_codes(relation, group_keys)
-    counts = np.bincount(codes, minlength=num_groups)
 
     if weights is not None:
         weights = np.asarray(weights, dtype=np.float64)
@@ -57,6 +68,31 @@ def grouped_aggregate(
             raise SchemaError(
                 f"weight vector length {weights.shape[0]} does not match row count {n}"
             )
+
+    sel: np.ndarray | None = None
+    if selection is not None:
+        selection = np.asarray(selection, dtype=bool)
+        if selection.shape[0] != n:
+            raise SchemaError(
+                f"selection length {selection.shape[0]} does not match row count {n}"
+            )
+        sel = np.flatnonzero(selection)
+        codes = codes[sel]
+        if group_keys:
+            # Groups with no selected row "do not exist": compact the code
+            # space to the present groups (key representatives keep their
+            # original row indices — any member row carries the key values).
+            codes, present, counts = compact_codes(codes, num_groups)
+            first_indices = first_indices[present]
+            num_groups = int(present.sum())
+        else:
+            counts = np.bincount(codes, minlength=num_groups)
+        if weights is not None:
+            weights = weights[sel]
+    else:
+        counts = np.bincount(codes, minlength=num_groups)
+
+    if weights is not None:
         alive = weights > 0.0
         # A group with no positively weighted row was reweighted away.
         kept = np.bincount(codes[alive], minlength=num_groups) > 0
@@ -69,9 +105,35 @@ def grouped_aggregate(
     ]
     for spec in specs:
         columns.append(
-            _aggregate_column(spec, relation, codes, num_groups, counts, weights, alive, kept)
+            _aggregate_column(
+                spec, relation, codes, num_groups, counts, weights, alive, kept, sel
+            )
         )
     return Relation.from_groups(out_schema, columns)
+
+
+def _argument_values(
+    spec: AggregateSpec, relation: Relation, sel: np.ndarray | None
+) -> np.ndarray:
+    """The aggregate argument evaluated over exactly the selected rows.
+
+    Plain column references read the stored array and slice (no copy
+    beyond the gather).  Compound expressions must *not* see filtered-out
+    rows — ``AVG(a / b) ... WHERE b != 0`` relies on the filter to guard
+    the division — so they evaluate over a minimal relation of just their
+    referenced columns, taken at the selection.
+    """
+    assert spec.expr is not None
+    if sel is None:
+        return np.asarray(spec.expr.evaluate(relation))
+    if isinstance(spec.expr, ColumnRef):
+        return np.asarray(relation.column(spec.expr.name))[sel]
+    referenced = sorted(spec.expr.referenced_columns())
+    if not referenced:
+        # Constant expression: evaluating over all rows is side-effect-free.
+        return np.asarray(spec.expr.evaluate(relation))[sel]
+    restricted = relation.project(referenced).take(sel)
+    return np.asarray(spec.expr.evaluate(restricted))
 
 
 def _aggregate_column(
@@ -83,6 +145,7 @@ def _aggregate_column(
     weights: np.ndarray | None,
     alive: np.ndarray | None,
     kept: np.ndarray,
+    sel: np.ndarray | None = None,
 ) -> np.ndarray:
     if spec.func == "COUNT":
         if weights is None:
@@ -95,7 +158,7 @@ def _aggregate_column(
         raise SchemaError(f"aggregate {spec.to_sql()} over zero rows")
 
     assert spec.expr is not None
-    values = np.asarray(spec.expr.evaluate(relation))
+    values = _argument_values(spec, relation, sel)
     if not np.issubdtype(values.dtype, np.number):
         raise TypeMismatchError(f"{spec.func} requires a numeric argument")
 

@@ -1,0 +1,151 @@
+"""Selection-vector plan execution: end-to-end equivalence and plan shape.
+
+WHERE clauses now execute as selection vectors (no materialisation at
+Filter nodes) and conjunctions compile to one FilterNode per conjunct.
+These tests pin the observable contract: results are identical to the
+materialise-at-every-filter semantics, weighted execution included, and
+the fast paths never change what a query returns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.compiler import compile_select, execute_plan
+from repro.engine.executor import execute_select
+from repro.engine.plan import FilterNode
+from repro.errors import TypeMismatchError
+from repro.relational.relation import Relation
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture()
+def relation():
+    rng = np.random.default_rng(3)
+    n = 500
+    return Relation.from_dict(
+        {
+            "carrier": [str(c) for c in rng.choice(["AA", "DL", "UA", "WN"], size=n)],
+            "distance": rng.integers(50, 3000, size=n),
+            "elapsed": rng.integers(20, 500, size=n),
+        }
+    )
+
+
+def reference(query, relation, weights=None):
+    """Materialise-at-every-filter semantics, built from public pieces."""
+    plan = compile_select(query, relation.schema, weighted=weights is not None)
+    filters = [n for n in plan.nodes if isinstance(n, FilterNode)]
+    for node in filters:
+        mask = np.asarray(node.predicate.evaluate(relation), dtype=bool)
+        relation = relation.filter(mask)
+        if weights is not None:
+            weights = weights[mask]
+    rest = tuple(n for n in plan.nodes if not isinstance(n, FilterNode))
+    stripped = type(plan)(
+        source_schema=relation.schema,
+        nodes=rest,
+        output_schema=plan.output_schema,
+        weighted=plan.weighted,
+    )
+    return execute_plan(stripped, relation, weights)
+
+
+QUERIES = [
+    "SELECT carrier, AVG(distance) AS d, COUNT(*) AS n FROM F "
+    "WHERE carrier != 'WN' AND carrier IN ('AA', 'DL') GROUP BY carrier",
+    "SELECT carrier, MIN(distance) AS lo, MAX(distance) AS hi FROM F "
+    "WHERE elapsed BETWEEN 100 AND 300 AND carrier LIKE '%A%' GROUP BY carrier",
+    "SELECT COUNT(*) AS n FROM F WHERE carrier = 'AA' AND distance > 500",
+    "SELECT carrier, distance FROM F WHERE distance > 2500 AND carrier < 'UA' "
+    "ORDER BY distance LIMIT 7",
+    "SELECT DISTINCT carrier FROM F WHERE elapsed > 400 ORDER BY carrier",
+    "SELECT SUM(distance) AS s FROM F WHERE carrier NOT IN ('WN', 'UA') "
+    "AND elapsed NOT BETWEEN 50 AND 90",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_selection_execution_matches_materialized(sql, relation):
+    query = parse_statement(sql)
+    out = execute_select(query, relation)
+    ref = reference(query, relation)
+    assert out.schema == ref.schema
+    for name in out.column_names:
+        np.testing.assert_array_equal(out.column(name), ref.column(name), err_msg=name)
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT carrier, AVG(distance) AS d FROM F "
+        "WHERE carrier != 'WN' AND elapsed > 100 GROUP BY carrier",
+        "SELECT carrier, distance FROM F WHERE distance > 1500 AND carrier = 'AA'",
+    ],
+)
+def test_weighted_selection_matches_materialized(sql, relation):
+    rng = np.random.default_rng(9)
+    weights = rng.random(relation.num_rows) * (rng.random(relation.num_rows) < 0.8)
+    query = parse_statement(sql)
+    out = execute_select(query, relation, weights)
+    ref = reference(query, relation, weights)
+    assert out.schema == ref.schema
+    for name in out.column_names:
+        np.testing.assert_array_equal(out.column(name), ref.column(name), err_msg=name)
+
+
+def test_conjunction_compiles_to_one_filter_node_per_conjunct(relation):
+    query = parse_statement(
+        "SELECT COUNT(*) AS n FROM F "
+        "WHERE carrier != 'WN' AND distance > 100 AND elapsed < 400"
+    )
+    plan = compile_select(query, relation.schema)
+    filters = [n for n in plan.nodes if isinstance(n, FilterNode)]
+    assert len(filters) == 3
+    # OR trees stay a single node.
+    query = parse_statement(
+        "SELECT COUNT(*) AS n FROM F WHERE carrier = 'WN' OR distance > 100"
+    )
+    plan = compile_select(query, relation.schema)
+    assert len([n for n in plan.nodes if isinstance(n, FilterNode)]) == 1
+
+
+def test_like_end_to_end(relation):
+    query = parse_statement(
+        "SELECT carrier, COUNT(*) AS n FROM F WHERE carrier LIKE '_A' GROUP BY carrier"
+    )
+    out = execute_select(query, relation)
+    assert [row["carrier"] for row in out.to_pylist()] == ["AA", "UA"]
+    query = parse_statement(
+        "SELECT COUNT(*) AS n FROM F WHERE carrier NOT LIKE '%A%' AND distance > 0"
+    )
+    out = execute_select(query, relation)
+    carriers = relation.column("carrier")
+    expected = sum(1 for c in carriers if "A" not in str(c))
+    assert out.to_pylist() == [{"n": expected}]
+
+
+def test_filter_guards_aggregate_argument_expressions():
+    """WHERE must shield aggregate arguments from excluded rows.
+
+    ``AVG(a / b) ... WHERE b != 0`` relies on the filter to guard the
+    division; evaluating the argument over unfiltered rows would emit a
+    divide-by-zero RuntimeWarning (an error under CI's warning policy).
+    """
+    import warnings
+
+    relation = Relation.from_dict(
+        {"k": ["x", "x", "y"], "a": [10, 20, 30], "b": [2, 0, 5]}
+    )
+    query = parse_statement(
+        "SELECT k, AVG(a / b) AS r FROM F WHERE b != 0 GROUP BY k"
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = execute_select(query, relation)
+    assert out.to_pylist() == [{"k": "x", "r": 5.0}, {"k": "y", "r": 6.0}]
+
+
+def test_like_on_numeric_column_raises(relation):
+    query = parse_statement("SELECT COUNT(*) AS n FROM F WHERE distance LIKE '1%'")
+    with pytest.raises(TypeMismatchError):
+        execute_select(query, relation)

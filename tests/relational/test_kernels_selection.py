@@ -1,0 +1,133 @@
+"""Selection-vector aggregation must equal materialize-then-aggregate.
+
+``grouped_aggregate(relation, ..., selection=mask)`` is the fused form of
+``grouped_aggregate(relation.filter(mask), ...)``.  The two must produce
+bit-identical relations for every aggregate function, weighted and
+unweighted, across single-key, multi-key, and ungrouped shapes — including
+selections that empty out some groups, empty the whole relation, or keep
+everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.dtypes import DType
+from repro.relational.expressions import ColumnRef
+from repro.relational.kernels import grouped_aggregate
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+
+def make_relation(rng, n):
+    return Relation.from_dict(
+        {
+            "a": [str(v) for v in rng.choice(["x", "y", "z", "w"], size=n)],
+            "b": rng.integers(0, 3, size=n),
+            "v": rng.integers(-50, 50, size=n),
+            "f": rng.normal(size=n),
+        }
+    )
+
+
+def specs_and_schema(keys, relation, weighted):
+    specs = [
+        AggregateSpec("COUNT", None, "n"),
+        AggregateSpec("SUM", ColumnRef("v"), "s"),
+        AggregateSpec("AVG", ColumnRef("f"), "m"),
+        AggregateSpec("MIN", ColumnRef("v"), "lo"),
+        AggregateSpec("MAX", ColumnRef("f"), "hi"),
+    ]
+    fields = [Field(k, relation.schema.dtype(k)) for k in keys]
+    fields += [Field(s.alias, s.output_dtype(relation.schema, weighted)) for s in specs]
+    return specs, Schema(fields)
+
+
+SELECTIONS = {
+    "none_kept": lambda rng, n: np.zeros(n, dtype=bool),
+    "all_kept": lambda rng, n: np.ones(n, dtype=bool),
+    "half": lambda rng, n: rng.random(n) < 0.5,
+    "sparse": lambda rng, n: rng.random(n) < 0.05,
+}
+
+
+@pytest.mark.parametrize("keys", [["a"], ["a", "b"], []])
+@pytest.mark.parametrize("weighted", [False, True])
+@pytest.mark.parametrize("selection_kind", sorted(SELECTIONS))
+def test_selection_equals_materialized_filter(keys, weighted, selection_kind):
+    rng = np.random.default_rng(42)
+    relation = make_relation(rng, 400)
+    mask = SELECTIONS[selection_kind](rng, 400)
+    weights = rng.random(400) * (rng.random(400) < 0.9) if weighted else None
+    specs, out_schema = specs_and_schema(keys, relation, weighted)
+
+    def run(fused):
+        if fused:
+            return grouped_aggregate(
+                relation, keys, keys, specs, out_schema, weights, mask
+            )
+        sliced_weights = None if weights is None else weights[mask]
+        return grouped_aggregate(
+            relation.filter(mask), keys, keys, specs, out_schema, sliced_weights
+        )
+
+    empty_after_filter = not mask.any()
+    if not keys and empty_after_filter and not weighted:
+        # Ungrouped unweighted aggregates over zero rows raise in both forms
+        # (grouped shapes just drop every group and return zero rows).
+        with pytest.raises(SchemaError):
+            run(fused=True)
+        with pytest.raises(SchemaError):
+            run(fused=False)
+        return
+    fused = run(fused=True)
+    materialized = run(fused=False)
+    assert fused.schema == materialized.schema
+    assert fused.num_rows == materialized.num_rows
+    for name in fused.column_names:
+        np.testing.assert_array_equal(
+            fused.column(name), materialized.column(name), err_msg=name
+        )
+
+
+def test_selection_drops_groups_with_no_selected_rows():
+    relation = Relation.from_dict(
+        {"a": ["x", "x", "y", "z"], "v": [1, 2, 3, 4]}
+    )
+    specs = [AggregateSpec("SUM", ColumnRef("v"), "s")]
+    out_schema = Schema([Field("a", DType.TEXT), Field("s", DType.INT)])
+    mask = np.array([True, True, False, True])
+    out = grouped_aggregate(relation, ["a"], ["a"], specs, out_schema, None, mask)
+    assert out.to_pylist() == [{"a": "x", "s": 3}, {"a": "z", "s": 4}]
+
+
+def test_selection_length_mismatch_raises():
+    relation = Relation.from_dict({"a": ["x", "y"], "v": [1, 2]})
+    specs = [AggregateSpec("COUNT", None, "n")]
+    out_schema = Schema([Field("a", DType.TEXT), Field("n", DType.INT)])
+    with pytest.raises(SchemaError):
+        grouped_aggregate(
+            relation, ["a"], ["a"], specs, out_schema, None, np.array([True])
+        )
+
+
+def test_selection_does_not_rebuild_group_dictionaries():
+    from repro.relational.relation import dictionary_stats
+
+    relation = Relation.from_dict({"a": ["x", "y", "x", "z"], "v": [1, 2, 3, 4]})
+    specs = [AggregateSpec("COUNT", None, "n")]
+    out_schema = Schema([Field("a", DType.TEXT), Field("n", DType.INT)])
+    grouped_aggregate(relation, ["a"], ["a"], specs, out_schema)  # warm memo
+    builds = dictionary_stats()["builds"]
+    for _ in range(5):
+        grouped_aggregate(
+            relation, ["a"], ["a"], specs, out_schema, None,
+            np.array([True, False, True, True]),
+        )
+    # Aggregate-output construction may encode its (tiny) key column, but
+    # the 4-row scan relation itself must never re-encode.
+    assert dictionary_stats()["builds"] - builds <= 5  # only from_groups outputs
+    baseline = dictionary_stats()["builds"]
+    relation.dictionary("a")
+    assert dictionary_stats()["builds"] == baseline
