@@ -1,0 +1,78 @@
+"""CI perf gate: fail when a tracked engine metric regresses beyond 2x.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json CURRENT.json
+
+``BASELINE.json`` is the committed ``BENCH_engine.json`` (CI snapshots it
+before the benchmark step overwrites the file); ``CURRENT.json`` is the
+freshly emitted payload.  A metric regresses when ``current > factor *
+baseline``; metrics missing from the baseline (first PR that introduces
+them) are skipped.  The 2x factor absorbs runner jitter while still
+catching the order-of-magnitude slowdowns that matter (an accidentally
+re-introduced per-row Python loop is 10-20x).
+
+Caveat: the baseline is produced on whatever machine last committed
+``BENCH_engine.json``, so a CI runner class that is genuinely >2x slower
+than that machine trips the gate without a code regression.  If that
+happens, either refresh the committed baseline from a CI artifact or
+widen the factor via the ``BENCH_REGRESSION_FACTOR`` environment
+variable rather than deleting the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+# Latency metrics (lower is better) gated against the committed baseline.
+TRACKED_METRICS = (
+    "grouped_aggregate_30k_ms",
+    "filter_grouped_30k_ms",
+)
+DEFAULT_FACTOR = 2.0
+
+
+def check(baseline: dict, current: dict, factor: float = DEFAULT_FACTOR) -> list[str]:
+    failures = []
+    for metric in TRACKED_METRICS:
+        base = baseline.get(metric)
+        now = current.get(metric)
+        if base is None:
+            print(f"  {metric}: no committed baseline, skipping")
+            continue
+        if now is None:
+            failures.append(f"{metric}: missing from current payload")
+            continue
+        verdict = "ok" if now <= factor * base else f"REGRESSED (> {factor}x)"
+        print(f"  {metric}: {base:.4f} ms -> {now:.4f} ms  [{verdict}]")
+        if now > factor * base:
+            failures.append(
+                f"{metric} regressed: {base:.4f} ms -> {now:.4f} ms "
+                f"(allowed up to {factor:.1f}x = {factor * base:.4f} ms)"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as handle:
+        baseline = json.load(handle)
+    with open(argv[2]) as handle:
+        current = json.load(handle)
+    factor = float(os.environ.get("BENCH_REGRESSION_FACTOR", DEFAULT_FACTOR))
+    print(f"perf gate: {argv[2]} vs baseline {argv[1]} (factor {factor:.1f}x)")
+    failures = check(baseline, current, factor)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -56,7 +56,7 @@ from repro.errors import (
 )
 from repro.mechanisms import StratifiedMechanism, UniformMechanism
 from repro.mechanisms.base import SamplingMechanism
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, dictionary_stats
 from repro.relational.schema import Field, Schema
 from repro.sql.ast_nodes import (
     CreateMetadata,
@@ -668,6 +668,9 @@ class Engine:
             "plans": self._plan_cache.stats(),
             "reweights": self._reweight_cache.stats(),
             "generators": self._open_generators.stats(),
+            # Process-wide (not per-engine): how often the storage layer
+            # served a memoized/propagated dictionary encoding vs. built one.
+            "dictionaries": dictionary_stats(),
             "catalog": {"catalog_version": self.catalog.version},
         }
 

@@ -216,11 +216,20 @@ class IPFSynthesizer:
         probabilities = (table / table.sum()).ravel()
         draws = rng.choice(probabilities.size, size=n, p=probabilities)
         unraveled = np.unravel_index(draws, table.shape)
-        columns = {}
+        plain: dict = {}
+        encoded: dict = {}
         for axis, attribute in enumerate(self._result.attributes):
             domain = self._result.domains[axis]
-            columns[attribute] = [domain[i] for i in unraveled[axis]]
-        return Relation.from_columns(self._schema, columns)
+            if self._schema.dtype(attribute) is DType.TEXT and all(
+                isinstance(v, str) for v in domain
+            ):
+                # The fitted domain is the sorted distinct value set — the
+                # dictionary vocabulary — and the drawn cell indices are the
+                # codes, so generated samples stay in code space end to end.
+                encoded[attribute] = (domain, unraveled[axis])
+            else:
+                plain[attribute] = [domain[i] for i in unraveled[axis]]
+        return Relation.from_codes(self._schema, encoded, plain)
 
     def expected_count(self, constraints: dict[str, Callable[[object], bool]]) -> float:
         """Exact COUNT from the fitted joint (no materialisation)."""
@@ -452,8 +461,11 @@ def combine_open_answers(answers: list[Relation], key_columns: list[str]) -> Rel
     combination a dense id, and a key survives iff its id occurs in every
     answer — i.e. its occurrence count equals ``len(answers)``.  Aggregates
     average with one ``np.bincount`` per value column; no per-row Python
-    dict is built.  Output rows are in key-sorted order (``np.unique``
-    semantics per column).
+    dict is built.  Because each answer's key columns carry dictionary
+    encodings (grouped-aggregate output is born encoded) and ``union_all``
+    merges vocabularies code-side, the whole combine stays in code space.
+    Output rows are in key-sorted order (``np.unique`` semantics per
+    column).
     """
     first = answers[0]
     value_columns = [c for c in first.column_names if c not in key_columns]

@@ -209,7 +209,8 @@ class TableEncoder:
             raise EncodingError(
                 f"matrix shape {matrix.shape} does not match encoder width {self.width}"
             )
-        columns: dict[str, object] = {}
+        plain: dict[str, object] = {}
+        encoded: dict[str, tuple] = {}
         for encoding in self.columns:
             block = matrix[:, encoding.start : encoding.stop]
             if encoding.kind == "numeric":
@@ -217,12 +218,21 @@ class TableEncoder:
                 values = encoding.low + raw * (encoding.high - encoding.low)
                 if encoding.dtype is DType.INT:
                     values = np.round(values)
-                columns[encoding.name] = values
+                plain[encoding.name] = values
             else:
                 picks = block.argmax(axis=1)
-                values = [encoding.categories[p] for p in picks]
-                columns[encoding.name] = values
-        return Relation.from_columns(self.schema, columns)
+                if encoding.dtype is DType.TEXT and all(
+                    isinstance(c, str) for c in encoding.categories
+                ):
+                    # The fitted category tuple is sorted and distinct —
+                    # exactly a dictionary vocabulary — and argmax picks
+                    # *are* the codes.  Hand both to the relation directly
+                    # so every generated sample is born dictionary-encoded
+                    # (no re-factorization per repetition).
+                    encoded[encoding.name] = (encoding.categories, picks)
+                else:
+                    plain[encoding.name] = [encoding.categories[p] for p in picks]
+        return Relation.from_codes(self.schema, encoded, plain)
 
 
 def _native(value):

@@ -52,8 +52,15 @@ def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
         schema = Schema(
             Field(name, _infer_text_dtype(values)) for name, values in raw_columns.items()
         )
+    # TEXT cells pass through untouched: they are already str, and
+    # Relation.from_columns dictionary-encodes them in its single
+    # coerce+factorize pass — no per-cell identity parse here.
     typed = {
-        field.name: [_parse_cell(cell, field.dtype) for cell in raw_columns[field.name]]
+        field.name: (
+            raw_columns[field.name]
+            if field.dtype is DType.TEXT
+            else [_parse_cell(cell, field.dtype) for cell in raw_columns[field.name]]
+        )
         for field in schema
     }
     return Relation.from_columns(schema, typed)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.dtypes import DType
-from repro.relational.expressions import Expr, validate_expression
+from repro.relational.expressions import ColumnRef, Expr, validate_expression
 from repro.relational.groupby import distinct_indices
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
@@ -30,16 +30,29 @@ def filter_rows(relation: Relation, predicate: Expr) -> Relation:
 def project_expressions(
     relation: Relation, exprs: Sequence[Expr], aliases: Sequence[str]
 ) -> Relation:
-    """Evaluate expressions into a new relation with the given column names."""
+    """Evaluate expressions into a new relation with the given column names.
+
+    Plain column references skip re-coercion entirely — the stored array is
+    already in storage form and immutable-by-convention, so it is shared,
+    and a TEXT column's dictionary encoding rides along under the alias.
+    Computed expressions coerce their (fresh) output arrays as before.
+    """
     if len(exprs) != len(aliases):
         raise SchemaError("projection expressions and aliases must align")
     fields = []
     columns = {}
+    encodings = {}
     for expr, alias in zip(exprs, aliases):
         dtype = validate_expression(expr, relation.schema)
         fields.append(Field(alias, dtype))
-        columns[alias] = dtype.coerce_array(expr.evaluate(relation))
-    return Relation(Schema(fields), columns)
+        if isinstance(expr, ColumnRef):
+            columns[alias] = relation.column(expr.name)
+            encoding = relation.encoding(expr.name)
+            if encoding is not None:
+                encodings[alias] = encoding
+        else:
+            columns[alias] = dtype.coerce_array(expr.evaluate(relation))
+    return Relation(Schema(fields), columns, encodings=encodings)
 
 
 def union_all(relations: Sequence[Relation]) -> Relation:
@@ -100,7 +113,16 @@ def hash_join(
     schema = left_out.schema.concat(right_out.schema)
     columns = {name: left_out.column(name) for name in left_out.column_names}
     columns.update({name: right_out.column(name) for name in right_out.column_names})
-    return Relation(schema, columns)
+    # take()/rename() above already sliced each side's dictionary encodings;
+    # column names are unique post-suffix, so both sides' encodings carry
+    # straight into the stitched relation.
+    encodings = {
+        name: entry
+        for side in (left_out, right_out)
+        for name, entry in ((n, side.encoding(n)) for n in side.column_names)
+        if entry is not None
+    }
+    return Relation(schema, columns, encodings=encodings)
 
 
 def limit(relation: Relation, n: int) -> Relation:
