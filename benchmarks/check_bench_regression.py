@@ -1,23 +1,33 @@
-"""CI perf gate: fail when a tracked engine metric regresses beyond 2x.
+"""CI perf gate: fail when a tracked benchmark metric regresses beyond 2x.
 
 Usage::
 
-    python benchmarks/check_bench_regression.py BASELINE.json CURRENT.json
+    python benchmarks/check_bench_regression.py BASELINE.json CURRENT.json \
+        [BASELINE2.json CURRENT2.json ...]
 
-``BASELINE.json`` is the committed ``BENCH_engine.json`` (CI snapshots it
-before the benchmark step overwrites the file); ``CURRENT.json`` is the
-freshly emitted payload.  A metric regresses when ``current > factor *
-baseline``; metrics missing from the baseline (first PR that introduces
-them) are skipped.  The 2x factor absorbs runner jitter while still
-catching the order-of-magnitude slowdowns that matter (an accidentally
-re-introduced per-row Python loop is 10-20x).
+Each ``(baseline, current)`` pair is one benchmark payload: the committed
+snapshot (CI copies it aside before the benchmark step overwrites the
+file) versus the freshly emitted one.  Which metrics are gated is keyed
+on the *current* file's basename (:data:`TRACKED_METRICS`); metric names
+may be dotted paths into nested payloads (``levels.1.p50_ms``).
 
-Caveat: the baseline is produced on whatever machine last committed
-``BENCH_engine.json``, so a CI runner class that is genuinely >2x slower
-than that machine trips the gate without a code regression.  If that
-happens, either refresh the committed baseline from a CI artifact or
-widen the factor via the ``BENCH_REGRESSION_FACTOR`` environment
-variable rather than deleting the gate.
+A metric regresses when ``current > factor * baseline``.  Everything else
+is a clearly reported **skip**, never a crash: a baseline file that does
+not exist yet (first PR introducing the payload), a metric missing from
+the baseline (first PR introducing the metric), or a payload with no
+tracked metrics at all.  Only a tracked metric that is present in the
+baseline but *missing from the current payload* fails — that means the
+benchmark silently stopped emitting it.
+
+The 2x factor absorbs runner jitter while still catching the
+order-of-magnitude slowdowns that matter (an accidentally re-introduced
+per-row Python loop is 10-20x).
+
+Caveat: baselines are produced on whatever machine last committed them,
+so a CI runner class genuinely >2x slower trips the gate without a code
+regression.  If that happens, refresh the committed baseline from a CI
+artifact or widen the factor via ``BENCH_REGRESSION_FACTOR`` rather than
+deleting the gate.
 """
 
 from __future__ import annotations
@@ -26,21 +36,47 @@ import json
 import os
 import sys
 
-# Latency metrics (lower is better) gated against the committed baseline.
-TRACKED_METRICS = (
-    "grouped_aggregate_30k_ms",
-    "filter_grouped_30k_ms",
-)
+#: Latency metrics (lower is better), keyed by payload basename.  Dotted
+#: names traverse nested objects; integer-looking segments index dicts
+#: with string keys (the JSON round-trip stringifies them).
+TRACKED_METRICS: dict[str, tuple[str, ...]] = {
+    "BENCH_engine.json": (
+        "grouped_aggregate_30k_ms",
+        "filter_grouped_30k_ms",
+    ),
+    "BENCH_server.json": (
+        "levels.1.p50_ms",
+        "levels.8.p50_ms",
+        "levels.32.p50_ms",
+    ),
+}
 DEFAULT_FACTOR = 2.0
 
 
-def check(baseline: dict, current: dict, factor: float = DEFAULT_FACTOR) -> list[str]:
+def lookup(payload: dict, dotted: str):
+    """Resolve a dotted metric path; ``None`` when any segment is missing."""
+    node = payload
+    for segment in dotted.split("."):
+        if not isinstance(node, dict) or segment not in node:
+            return None
+        node = node[segment]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check(
+    baseline: dict,
+    current: dict,
+    factor: float = DEFAULT_FACTOR,
+    metrics: tuple[str, ...] = TRACKED_METRICS["BENCH_engine.json"],
+) -> list[str]:
     failures = []
-    for metric in TRACKED_METRICS:
-        base = baseline.get(metric)
-        now = current.get(metric)
+    for metric in metrics:
+        base = lookup(baseline, metric)
+        now = lookup(current, metric)
         if base is None:
-            print(f"  {metric}: no committed baseline, skipping")
+            # First PR emitting this metric: nothing committed to compare
+            # against yet.  Report the skip loudly instead of a KeyError.
+            print(f"  {metric}: metric missing from baseline, skipping")
             continue
         if now is None:
             failures.append(f"{metric}: missing from current payload")
@@ -55,17 +91,32 @@ def check(baseline: dict, current: dict, factor: float = DEFAULT_FACTOR) -> list
     return failures
 
 
+def check_pair(baseline_path: str, current_path: str, factor: float) -> list[str]:
+    name = os.path.basename(current_path)
+    metrics = TRACKED_METRICS.get(name)
+    print(f"perf gate: {current_path} vs baseline {baseline_path} (factor {factor:.1f}x)")
+    if metrics is None:
+        print(f"  no tracked metrics for {name}, skipping")
+        return []
+    if not os.path.exists(baseline_path):
+        print(f"  no committed baseline at {baseline_path} yet, skipping")
+        return []
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(current_path) as handle:
+        current = json.load(handle)
+    return check(baseline, current, factor, metrics)
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
+    paths = argv[1:]
+    if not paths or len(paths) % 2 != 0:
         print(__doc__)
         return 2
-    with open(argv[1]) as handle:
-        baseline = json.load(handle)
-    with open(argv[2]) as handle:
-        current = json.load(handle)
     factor = float(os.environ.get("BENCH_REGRESSION_FACTOR", DEFAULT_FACTOR))
-    print(f"perf gate: {argv[2]} vs baseline {argv[1]} (factor {factor:.1f}x)")
-    failures = check(baseline, current, factor)
+    failures: list[str] = []
+    for position in range(0, len(paths), 2):
+        failures.extend(check_pair(paths[position], paths[position + 1], factor))
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -34,6 +34,8 @@ __all__ = [
     "QueryResult",
     "Visibility",
     "MosaicError",
+    "MosaicServer",
+    "Client",
     "__version__",
 ]
 
@@ -43,6 +45,8 @@ _LAZY_EXPORTS = {
     "Session": ("repro.core.session", "Session"),
     "QueryResult": ("repro.core.result", "QueryResult"),
     "Visibility": ("repro.core.visibility", "Visibility"),
+    "MosaicServer": ("repro.server.server", "MosaicServer"),
+    "Client": ("repro.client.client", "Client"),
 }
 
 

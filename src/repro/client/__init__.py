@@ -1,0 +1,16 @@
+"""Blocking network client for the Mosaic wire server.
+
+:class:`Client` is the public entry point — a thread-safe connection
+pool over :class:`Connection`, the single-socket protocol speaker::
+
+    from repro.client import Client
+
+    with Client("127.0.0.1", 7744) as client:
+        result = client.execute("SELECT SEMI-OPEN country, COUNT(*) AS n "
+                                "FROM EuropeMigrants GROUP BY country")
+        print(result.pretty())
+"""
+
+from repro.client.client import Client, Connection
+
+__all__ = ["Client", "Connection"]

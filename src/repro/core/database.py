@@ -76,6 +76,28 @@ class MosaicDB:
         self.session = self.engine.root_session(config)
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut the shared engine down (idempotent).
+
+        Drains the OPEN-repetition thread pool and fences further
+        statements with :class:`~repro.errors.SessionClosedError` — the
+        deterministic teardown the network server builds on.
+        """
+        self.session.close()
+        self.engine.shutdown()
+
+    shutdown = close
+
+    def __enter__(self) -> "MosaicDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Connections
     # ------------------------------------------------------------------ #
 

@@ -29,7 +29,9 @@ lock-free under the caller's hold and must never re-enter ``execute``.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
@@ -51,6 +53,7 @@ from repro.engine.planner import PlannedSource, choose_sample
 from repro.engine.semi_open import evaluate_semi_open, reweighted_sample
 from repro.errors import (
     CatalogError,
+    SessionClosedError,
     SqlCompileError,
     VisibilityError,
 )
@@ -108,6 +111,52 @@ class Engine:
         self._open_generators: VersionedLRUCache = VersionedLRUCache(
             generator_cache_size
         )
+        # The OPEN-repetition pool: one engine-owned executor shared by
+        # every concurrent OPEN query (created lazily, drained by
+        # shutdown()).  Sharing bounds the process to one set of worker
+        # threads under concurrent OPEN load instead of a pool per query.
+        self._open_pool: ThreadPoolExecutor | None = None
+        self._open_pool_mutex = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self) -> None:
+        """Shut the engine down: drain the OPEN-repetition pool, then fence.
+
+        Idempotent.  In-flight statements complete: the fence is raised
+        under the engine's *write* lock, so every statement already past
+        its entry check finishes (and submits all its repetition rounds)
+        before the flag flips, and the pool shutdown then waits for those
+        rounds.  Statements issued afterwards raise
+        :class:`SessionClosedError`.  The catalog stays readable for
+        post-mortem inspection — shutdown is about deterministic thread
+        teardown, not data destruction.
+        """
+        with self._lock.write_locked():
+            with self._open_pool_mutex:
+                pool, self._open_pool = self._open_pool, None
+                self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _open_repetition_pool(self) -> ThreadPoolExecutor:
+        """The shared executor OPEN repetitions fan out across (lazy)."""
+        with self._open_pool_mutex:
+            if self._closed:
+                raise SessionClosedError("engine has been shut down")
+            if self._open_pool is None:
+                self._open_pool = ThreadPoolExecutor(
+                    max_workers=max(4, os.cpu_count() or 1),
+                    thread_name_prefix="mosaic-open",
+                )
+            return self._open_pool
 
     # ------------------------------------------------------------------ #
     # Sessions
@@ -124,6 +173,8 @@ class Engine:
         """
         from repro.core.session import Session, SessionConfig
 
+        if self._closed:
+            raise SessionClosedError("engine has been shut down")
         with self._spawn_mutex:
             index = next(self._spawned_sessions)
             child = self._seed_sequence.spawn(1)[0]
@@ -132,6 +183,7 @@ class Engine:
             engine=self,
             config=config if config is not None else SessionConfig(),
             rng=np.random.default_rng(child),
+            spawn_index=index,
         )
 
     def root_session(self, config: "SessionConfig") -> "Session":
@@ -190,13 +242,23 @@ class Engine:
     # Statement dispatch (the only place the RW lock is taken)
     # ------------------------------------------------------------------ #
 
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("engine has been shut down")
+
     def _execute_statement(
         self, statement: Statement, session: "Session", sql_text: str | None = None
     ) -> QueryResult:
+        # The closed check runs *under* the statement's lock: shutdown()
+        # raises the fence under the write lock, so a statement either
+        # observes the fence here or runs to completion before the OPEN
+        # pool drains — never a torn teardown mid-statement.
         if isinstance(statement, SelectQuery):
             with self._lock.read_locked():
+                self._check_open()
                 return self._run_select(statement, session, sql_text)
         with self._lock.write_locked():
+            self._check_open()
             return self._run_write_statement(statement)
 
     def _run_write_statement(self, statement: Statement) -> QueryResult:
@@ -586,6 +648,13 @@ class Engine:
             population_size=size,
             rng=session.rng,
             plan=plan,
+            # Repetitions fan out on the engine-owned pool (drained by
+            # shutdown()); the serial path never spins it up.
+            executor=(
+                self._open_repetition_pool()
+                if open_config.resolved_workers() > 1
+                else None
+            ),
         )
         if cache_note is not None:
             notes.insert(0, cache_note)
@@ -681,6 +750,7 @@ class Engine:
     def ingest_relation(self, name: str, relation: Relation) -> None:
         """Append tuples to a sample or auxiliary table by name."""
         with self._lock.write_locked():
+            self._check_open()
             kind = self.catalog.kind_of(name)
             if kind == "auxiliary":
                 existing = self.catalog.auxiliary(name)
@@ -729,6 +799,7 @@ class Engine:
         bias is known exactly.
         """
         with self._lock.write_locked():
+            self._check_open()
             population = self.catalog.population(population_name)
             indices = mechanism.draw(population_data, rng)
             sample = SampleRelation(
@@ -745,6 +816,7 @@ class Engine:
     ) -> None:
         """Attach a precomputed marginal to a population."""
         with self._lock.write_locked():
+            self._check_open()
             self.catalog.register_metadata(metadata_name, population_name, marginal)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

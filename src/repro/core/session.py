@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.visibility import Visibility
 from repro.engine.open_world import OpenQueryConfig
+from repro.errors import SessionClosedError
 
 if TYPE_CHECKING:
     from repro.catalog.metadata import Marginal
@@ -75,11 +76,50 @@ class Session:
     """
 
     def __init__(
-        self, engine: "Engine", config: SessionConfig, rng: np.random.Generator
+        self,
+        engine: "Engine",
+        config: SessionConfig,
+        rng: np.random.Generator,
+        spawn_index: int | None = None,
     ):
         self.engine = engine
         self.config = config
         self.rng = rng
+        #: Connection ordinal for sessions opened via :meth:`Engine.connect`
+        #: (``None`` for root sessions).  Determines the RNG stream: session
+        #: ``k`` draws from child ``k`` of the engine's root SeedSequence,
+        #: so the index is what a network client needs to reproduce this
+        #: session's OPEN answers in-process.
+        self.spawn_index = spawn_index
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close this session; further statements raise ``SessionClosedError``.
+
+        Idempotent.  Sessions hold no engine-side resources (the catalog
+        and caches are the engine's), so closing is purely a deterministic
+        teardown marker — the server relies on it to fence queries racing a
+        disconnecting client.
+        """
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("session is closed")
 
     # ------------------------------------------------------------------ #
     # SQL entry points
@@ -87,10 +127,12 @@ class Session:
 
     def execute(self, sql: str) -> "QueryResult":
         """Parse and run one statement; DDL returns an empty status result."""
+        self._check_open()
         return self.engine.execute(sql, self)
 
     def execute_script(self, sql: str) -> list["QueryResult"]:
         """Run a ``;``-separated script, returning one result per statement."""
+        self._check_open()
         return self.engine.execute_script(sql, self)
 
     def query(self, sql: str) -> "QueryResult":
@@ -99,6 +141,7 @@ class Session:
 
     def execute_statement(self, statement, sql_text: str | None = None) -> "QueryResult":
         """Run an already-parsed (programmatic) statement AST."""
+        self._check_open()
         return self.engine.execute_statement(statement, self, sql_text=sql_text)
 
     # ------------------------------------------------------------------ #

@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import threading
 import weakref
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -288,6 +288,7 @@ def evaluate_open(
     population_size: float,
     rng: np.random.Generator,
     plan: LogicalPlan | None = None,
+    executor: Executor | None = None,
 ) -> tuple[Relation, list[str]]:
     """Answer ``query`` from generated population samples.
 
@@ -298,10 +299,13 @@ def evaluate_open(
     compiled here otherwise.
 
     The ``repetitions`` generate → execute → combine rounds fan out across
-    a thread pool (``config.max_workers``).  Each round draws from its own
-    RNG stream spawned off a single ``rng`` draw, so the answer is a pure
-    function of the session RNG state regardless of scheduling — serial
-    (``max_workers=1``) and concurrent execution are bit-identical.
+    a thread pool (``config.max_workers``): ``executor`` when supplied (the
+    engine's shared OPEN-repetition pool, drained by ``Engine.shutdown``),
+    otherwise a per-call pool.  Each round draws from its own RNG stream
+    spawned off a single ``rng`` draw, so the answer is a pure function of
+    the session RNG state regardless of scheduling — serial
+    (``max_workers=1``), per-call-pool, and shared-pool execution are
+    bit-identical.
     """
     generator_name = getattr(generator, "name", type(generator).__name__)
     rows = config.rows_per_generation or source.sample.num_rows
@@ -351,7 +355,16 @@ def evaluate_open(
         return execute_plan(plan, generated, weights)
 
     workers = config.resolved_workers()
-    if workers > 1:
+    if workers > 1 and executor is not None:
+        # Waves of `workers` keep the configured fan-out bound on the
+        # shared pool (which may be wider) without parking blocked tasks
+        # in pool threads another query could be using.
+        rounds = []
+        for start in range(0, config.repetitions, workers):
+            wave = range(start, min(start + workers, config.repetitions))
+            rounds.extend(executor.map(one_round, wave))
+        notes.append("OPEN: repetitions fanned out on the shared engine pool")
+    elif workers > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             rounds = list(pool.map(one_round, range(config.repetitions)))
         notes.append(f"OPEN: repetitions fanned out over {workers} thread(s)")

@@ -3,7 +3,17 @@
 Every error raised by this package derives from :class:`MosaicError` so
 callers can catch one type at the API boundary.  Subclasses separate the
 major failure domains: the SQL front end, the catalog, the relational
-substrate, reweighting, and generative modelling.
+substrate, reweighting, generative modelling, and — since the network
+service layer — connection lifecycle and wire transport.
+
+Wire codes
+----------
+Every subclass carries a **stable wire code** (:data:`WIRE_CODES`) so the
+server can ship an error across the framed protocol and the client can
+re-raise it as the *same exception type* with the same message
+(:func:`error_to_wire` / :func:`error_from_wire`).  Codes are part of the
+protocol contract: never reuse or rename one, and register every new
+subclass (``tests/server/test_protocol.py`` fails if one is missing).
 """
 
 from __future__ import annotations
@@ -93,3 +103,114 @@ class GenerativeModelError(MosaicError):
 
 class EncodingError(GenerativeModelError):
     """Table encoding/decoding between relations and matrices failed."""
+
+
+class SessionClosedError(MosaicError):
+    """A statement was issued against a closed session or shut-down engine."""
+
+
+class ProtocolError(MosaicError):
+    """The wire protocol was violated (bad magic, version, or frame)."""
+
+
+class ServerError(MosaicError):
+    """The server failed outside the Mosaic error hierarchy.
+
+    Wraps unexpected server-side exceptions (the original type name is
+    embedded in the message) and operational refusals such as the
+    connection limit, so clients always receive a :class:`MosaicError`.
+    """
+
+
+class QueryCancelledError(MosaicError):
+    """A queued or in-flight query was cancelled by a CANCEL frame."""
+
+
+class QueryTimeoutError(MosaicError):
+    """A query exceeded the server's per-query execution timeout."""
+
+
+# --------------------------------------------------------------------- #
+# Wire transport
+# --------------------------------------------------------------------- #
+
+#: Stable wire code -> exception class.  Append-only: codes are part of
+#: the network protocol contract and must never be renamed or reused.
+WIRE_CODES: dict[str, type[MosaicError]] = {
+    "MOSAIC": MosaicError,
+    "SCHEMA": SchemaError,
+    "TYPE_MISMATCH": TypeMismatchError,
+    "SQL": SqlError,
+    "SQL_SYNTAX": SqlSyntaxError,
+    "SQL_COMPILE": SqlCompileError,
+    "CATALOG": CatalogError,
+    "UNKNOWN_RELATION": UnknownRelationError,
+    "DUPLICATE_RELATION": DuplicateRelationError,
+    "VISIBILITY": VisibilityError,
+    "REWEIGHT": ReweightError,
+    "CONVERGENCE": ConvergenceError,
+    "GENERATIVE_MODEL": GenerativeModelError,
+    "ENCODING": EncodingError,
+    "SESSION_CLOSED": SessionClosedError,
+    "PROTOCOL": ProtocolError,
+    "SERVER": ServerError,
+    "QUERY_CANCELLED": QueryCancelledError,
+    "QUERY_TIMEOUT": QueryTimeoutError,
+}
+
+_CODES_BY_CLASS: dict[type[MosaicError], str] = {
+    cls: code for code, cls in WIRE_CODES.items()
+}
+
+
+def wire_code(error_type: type[BaseException]) -> str:
+    """The stable wire code for an error type.
+
+    Unregistered subclasses (e.g. defined by user extensions) map to their
+    nearest registered ancestor, so they still cross the wire — as the
+    ancestor type.
+    """
+    for cls in error_type.__mro__:
+        code = _CODES_BY_CLASS.get(cls)
+        if code is not None:
+            return code
+    return "SERVER"
+
+
+def error_to_wire(exc: BaseException) -> tuple[str, str, dict]:
+    """``(code, message, data)`` for shipping ``exc`` across the wire.
+
+    ``data`` carries the JSON-safe instance attributes (``line``,
+    ``column``, ``name``, ``iterations``, ...) so the reconstructed
+    exception keeps them.  Non-Mosaic exceptions wrap as ``SERVER`` with
+    the original type name embedded in the message.
+    """
+    if not isinstance(exc, MosaicError):
+        return "SERVER", f"{type(exc).__name__}: {exc}", {}
+    data = {
+        key: value
+        for key, value in vars(exc).items()
+        if isinstance(value, (bool, int, float, str)) or value is None
+    }
+    return wire_code(type(exc)), str(exc), data
+
+
+def error_from_wire(
+    code: str, message: str, data: dict | None = None
+) -> MosaicError:
+    """Reconstruct the exception an :func:`error_to_wire` tuple describes.
+
+    The instance is built without re-running the subclass ``__init__``
+    (which would re-wrap an already-formatted message), so the type and
+    ``str()`` round-trip exactly; ``data`` attributes are restored
+    directly.  Unknown codes degrade to plain :class:`MosaicError`.
+    """
+    cls = WIRE_CODES.get(code, MosaicError)
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    for key, value in (data or {}).items():
+        try:
+            setattr(exc, key, value)
+        except AttributeError:  # pragma: no cover - slotted subclass
+            pass
+    return exc

@@ -1,0 +1,318 @@
+"""The Mosaic wire protocol: length-prefixed frames + columnar results.
+
+Shared by :class:`~repro.server.server.MosaicServer` and
+:class:`~repro.client.client.Client`; stdlib + numpy only.
+
+Frame layout (all integers little-endian)::
+
+    u32 length | u8 type | u32 request_id | payload[length - 5]
+
+``length`` counts everything after itself.  Request frames carry a
+client-chosen ``request_id``; every response echoes the id of the request
+it answers, so responses may interleave across in-flight requests of one
+connection.
+
+Frame types::
+
+    client -> server                     server -> client
+    0x01 HELLO   (JSON handshake)        0x81 WELCOME      (JSON)
+    0x02 QUERY   (UTF-8 SQL)             0x82 RESULT       (columnar result)
+    0x03 SCRIPT  (UTF-8 SQL script)      0x83 RESULT_SET   (u32 n + results)
+    0x04 CANCEL  (u32 target id)         0x84 STATS_RESULT (JSON)
+    0x05 STATS   (empty)                 0x85 ERROR        (JSON code/message)
+    0x06 GOODBYE (empty)                 0x86 BYE          (empty)
+
+Columnar result payload
+-----------------------
+Results ship **columnar, never row-by-row** — the storage layer's arrays
+go to the wire as-is::
+
+    u32 header_length | header JSON | column blocks...
+
+The JSON header carries ``visibility`` / ``sample_name`` / ``notes`` /
+``num_rows`` plus one descriptor per column: ``{"name", "dtype",
+"enc": "buf" | "dict"}``.  A ``buf`` block is ``u32 nbytes`` + the raw
+little-endian buffer (``int64`` for INT, ``float64`` for FLOAT, ``uint8``
+for BOOL).  A ``dict`` block is the TEXT column's dictionary encoding:
+``u32 nbytes`` + the vocabulary as a JSON string array, then ``u32
+nbytes`` + the ``int32`` little-endian code array — the vocabulary
+crosses once, however many rows reference it.  The decoder rebuilds the
+relation with :meth:`Relation.from_codes`, so the client-side relation is
+*born encoded* in the server's vocabulary and bit-identical to the
+in-process result.
+
+Errors cross as ``{"code", "message", "data"}`` JSON
+(:func:`repro.errors.error_to_wire`); the client re-raises the same
+exception type via :func:`repro.errors.error_from_wire`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import QueryResult
+from repro.errors import MosaicError, ProtocolError, error_from_wire, error_to_wire
+from repro.relational.dtypes import CODES_DTYPE, DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+MAGIC = "mosaic"
+PROTOCOL_VERSION = 1
+
+#: Refuse frames beyond this size (both directions) so a corrupt or
+#: malicious length prefix cannot trigger an unbounded allocation.
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+# Client -> server frame types.
+HELLO = 0x01
+QUERY = 0x02
+SCRIPT = 0x03
+CANCEL = 0x04
+STATS = 0x05
+GOODBYE = 0x06
+
+# Server -> client frame types.
+WELCOME = 0x81
+RESULT = 0x82
+RESULT_SET = 0x83
+STATS_RESULT = 0x84
+ERROR = 0x85
+BYE = 0x86
+
+_HEAD = struct.Struct("<I")  # frame length prefix
+_TYPE_RID = struct.Struct("<BI")  # frame type + request id
+_U32 = struct.Struct("<I")
+
+#: Bytes the length prefix counts beyond the payload (type + request id).
+#: A payload may be at most ``max_frame_bytes - FRAME_OVERHEAD_BYTES``.
+FRAME_OVERHEAD_BYTES = _TYPE_RID.size
+
+#: Wire buffer dtype per logical column type (always little-endian).
+_BUFFER_DTYPES = {
+    DType.INT: np.dtype("<i8"),
+    DType.FLOAT: np.dtype("<f8"),
+    DType.BOOL: np.dtype("<u1"),
+}
+
+
+# --------------------------------------------------------------------- #
+# Frames
+# --------------------------------------------------------------------- #
+
+
+def build_frame(frame_type: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire frame as a single bytes object (atomic to write)."""
+    return (
+        _HEAD.pack(_TYPE_RID.size + len(payload))
+        + _TYPE_RID.pack(frame_type, request_id)
+        + payload
+    )
+
+
+def _split_frame(body: bytes) -> tuple[int, int, bytes]:
+    frame_type, request_id = _TYPE_RID.unpack_from(body)
+    return frame_type, request_id, body[_TYPE_RID.size :]
+
+
+def _checked_length(raw: bytes, max_frame_bytes: int) -> int:
+    (length,) = _HEAD.unpack(raw)
+    if length < _TYPE_RID.size or length > max_frame_bytes:
+        raise ProtocolError(
+            f"invalid frame length {length} (max {max_frame_bytes} bytes)"
+        )
+    return length
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, int, bytes]:
+    """Read one frame from an asyncio stream: ``(type, request_id, payload)``."""
+    try:
+        head = await reader.readexactly(_HEAD.size)
+        body = await reader.readexactly(_checked_length(head, max_frame_bytes))
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError("connection closed mid-frame") from exc
+    return _split_frame(body)
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, int, bytes]:
+    """Read one frame from a blocking socket: ``(type, request_id, payload)``."""
+    head = recv_exact(sock, _HEAD.size)
+    body = recv_exact(sock, _checked_length(head, max_frame_bytes))
+    return _split_frame(body)
+
+
+def write_frame(
+    sock: socket.socket, frame_type: int, request_id: int, payload: bytes = b""
+) -> None:
+    sock.sendall(build_frame(frame_type, request_id, payload))
+
+
+def json_payload(obj: Any) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+def parse_json_payload(payload: bytes) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# Columnar result codec
+# --------------------------------------------------------------------- #
+
+
+def encode_result(result: QueryResult) -> bytes:
+    """Serialize a :class:`QueryResult` into a columnar wire payload."""
+    relation = result.relation
+    descriptors = []
+    blocks: list[bytes] = []
+    for field in relation.schema:
+        name, dtype = field.name, field.dtype
+        if dtype is DType.TEXT:
+            encoding = relation.encoding(name)
+            if encoding is None:
+                # No stored encoding (raw-constructor output): derive the
+                # dense dictionary once; it is memoized on the relation.
+                encoding = relation.dictionary(name)
+            vocab, codes = encoding
+            vocab_bytes = json_payload([str(v) for v in vocab])
+            code_bytes = np.ascontiguousarray(codes, dtype="<i4").tobytes()
+            blocks.append(_U32.pack(len(vocab_bytes)) + vocab_bytes)
+            blocks.append(_U32.pack(len(code_bytes)) + code_bytes)
+            descriptors.append({"name": name, "dtype": dtype.value, "enc": "dict"})
+        else:
+            buffer = np.ascontiguousarray(
+                relation.column(name), dtype=_BUFFER_DTYPES[dtype]
+            ).tobytes()
+            blocks.append(_U32.pack(len(buffer)) + buffer)
+            descriptors.append({"name": name, "dtype": dtype.value, "enc": "buf"})
+    header = json_payload(
+        {
+            "visibility": result.visibility,
+            "sample_name": result.sample_name,
+            "notes": list(result.notes),
+            "num_rows": relation.num_rows,
+            "columns": descriptors,
+        }
+    )
+    return b"".join([_U32.pack(len(header)), header, *blocks])
+
+
+class _Cursor:
+    """Sequential reader over a result payload."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+
+    def block(self) -> bytes:
+        if self.offset + _U32.size > len(self.data):
+            raise ProtocolError("truncated result payload")
+        (length,) = _U32.unpack_from(self.data, self.offset)
+        start = self.offset + _U32.size
+        if start + length > len(self.data):
+            raise ProtocolError("truncated result payload")
+        self.offset = start + length
+        return self.data[start : self.offset]
+
+
+def decode_result(payload: bytes) -> QueryResult:
+    """Rebuild the :class:`QueryResult` an :func:`encode_result` payload holds."""
+    cursor = _Cursor(payload)
+    header = parse_json_payload(cursor.block())
+    num_rows = int(header["num_rows"])
+    fields = []
+    encoded: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    plain: dict[str, np.ndarray] = {}
+    for descriptor in header["columns"]:
+        name = descriptor["name"]
+        dtype = DType(descriptor["dtype"])
+        fields.append(Field(name, dtype))
+        if descriptor["enc"] == "dict":
+            if dtype is not DType.TEXT:
+                raise ProtocolError(f"dict encoding on non-TEXT column {name!r}")
+            vocab = parse_json_payload(cursor.block())
+            codes = np.frombuffer(cursor.block(), dtype="<i4").astype(
+                CODES_DTYPE, copy=False
+            )
+            if codes.shape[0] != num_rows:
+                raise ProtocolError(
+                    f"column {name!r}: {codes.shape[0]} codes for {num_rows} rows"
+                )
+            encoded[name] = (vocab, codes)
+        else:
+            buffer_dtype = _BUFFER_DTYPES.get(dtype)
+            if buffer_dtype is None:
+                raise ProtocolError(f"buf encoding on {dtype.value} column {name!r}")
+            values = np.frombuffer(cursor.block(), dtype=buffer_dtype)
+            if values.shape[0] != num_rows:
+                raise ProtocolError(
+                    f"column {name!r}: {values.shape[0]} values for {num_rows} rows"
+                )
+            plain[name] = values
+    relation = Relation.from_codes(Schema(fields), encoded, plain)
+    return QueryResult(
+        relation,
+        visibility=header.get("visibility"),
+        sample_name=header.get("sample_name"),
+        notes=tuple(header.get("notes") or ()),
+    )
+
+
+def encode_result_set(results: list[QueryResult]) -> bytes:
+    """RESULT_SET payload: ``u32 count`` + length-prefixed result payloads."""
+    blocks = [_U32.pack(len(results))]
+    for result in results:
+        body = encode_result(result)
+        blocks.append(_U32.pack(len(body)) + body)
+    return b"".join(blocks)
+
+
+def decode_result_set(payload: bytes) -> list[QueryResult]:
+    if len(payload) < _U32.size:
+        raise ProtocolError("truncated result-set payload")
+    (count,) = _U32.unpack_from(payload)
+    cursor = _Cursor(payload, offset=_U32.size)
+    return [decode_result(cursor.block()) for _ in range(count)]
+
+
+# --------------------------------------------------------------------- #
+# Error transport
+# --------------------------------------------------------------------- #
+
+
+def encode_error(exc: BaseException) -> bytes:
+    code, message, data = error_to_wire(exc)
+    return json_payload({"code": code, "message": message, "data": data})
+
+
+def decode_error(payload: bytes) -> MosaicError:
+    body = parse_json_payload(payload)
+    return error_from_wire(
+        body.get("code", "MOSAIC"), body.get("message", ""), body.get("data")
+    )

@@ -1,0 +1,98 @@
+"""The CI perf gate must skip gracefully, not crash, on new metrics/files."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+class TestLookup:
+    def test_flat_and_dotted(self):
+        payload = {"a_ms": 1.5, "levels": {"8": {"p50_ms": 2.5}}}
+        assert gate.lookup(payload, "a_ms") == 1.5
+        assert gate.lookup(payload, "levels.8.p50_ms") == 2.5
+
+    def test_missing_segments_return_none(self):
+        payload = {"levels": {"8": {"p50_ms": 2.5}}}
+        assert gate.lookup(payload, "levels.32.p50_ms") is None
+        assert gate.lookup(payload, "nope") is None
+        assert gate.lookup(payload, "levels.8.p50_ms.deeper") is None
+
+    def test_non_numeric_leaf_is_none(self):
+        assert gate.lookup({"a": "fast"}, "a") is None
+
+
+class TestCheck:
+    METRICS = ("x_ms", "nested.y_ms")
+
+    def test_ok_and_regressed(self):
+        baseline = {"x_ms": 1.0, "nested": {"y_ms": 1.0}}
+        good = {"x_ms": 1.5, "nested": {"y_ms": 0.5}}
+        bad = {"x_ms": 2.5, "nested": {"y_ms": 0.5}}
+        assert gate.check(baseline, good, 2.0, self.METRICS) == []
+        failures = gate.check(baseline, bad, 2.0, self.METRICS)
+        assert len(failures) == 1 and "x_ms regressed" in failures[0]
+
+    def test_metric_missing_from_baseline_is_a_skip(self, capsys):
+        # A brand-new metric has no committed baseline yet: report the
+        # skip instead of raising (the historical KeyError failure mode).
+        failures = gate.check({}, {"x_ms": 9.9, "nested": {"y_ms": 9.9}}, 2.0, self.METRICS)
+        assert failures == []
+        out = capsys.readouterr().out
+        assert out.count("missing from baseline, skipping") == 2
+
+    def test_metric_missing_from_current_fails(self):
+        failures = gate.check({"x_ms": 1.0}, {}, 2.0, ("x_ms",))
+        assert failures == ["x_ms: missing from current payload"]
+
+
+class TestCheckPair:
+    def test_missing_baseline_file_is_a_skip(self, tmp_path, capsys):
+        current = tmp_path / "BENCH_server.json"
+        current.write_text(json.dumps({"levels": {"1": {"p50_ms": 1.0}}}))
+        failures = gate.check_pair(str(tmp_path / "nope.json"), str(current), 2.0)
+        assert failures == []
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_untracked_payload_is_a_skip(self, tmp_path, capsys):
+        current = tmp_path / "BENCH_mystery.json"
+        current.write_text("{}")
+        current2 = tmp_path / "base.json"
+        current2.write_text("{}")
+        failures = gate.check_pair(str(current2), str(current), 2.0)
+        assert failures == []
+        assert "no tracked metrics" in capsys.readouterr().out
+
+    def test_multi_pair_main(self, tmp_path):
+        engine_base = tmp_path / "engine_base.json"
+        engine_base.write_text(json.dumps({"grouped_aggregate_30k_ms": 1.0}))
+        engine_now = tmp_path / "BENCH_engine.json"
+        engine_now.write_text(json.dumps({"grouped_aggregate_30k_ms": 1.2}))
+        server_now = tmp_path / "BENCH_server.json"
+        server_now.write_text(json.dumps({"levels": {"1": {"p50_ms": 3.0}}}))
+        code = gate.main(
+            [
+                "gate",
+                str(engine_base),
+                str(engine_now),
+                str(tmp_path / "missing_server_base.json"),
+                str(server_now),
+            ]
+        )
+        assert code == 0
+
+    def test_regression_fails_main(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"grouped_aggregate_30k_ms": 1.0}))
+        now = tmp_path / "BENCH_engine.json"
+        now.write_text(json.dumps({"grouped_aggregate_30k_ms": 5.0}))
+        assert gate.main(["gate", str(base), str(now)]) == 1
+
+    def test_usage_error(self):
+        assert gate.main(["gate", "only-one-arg"]) == 2
