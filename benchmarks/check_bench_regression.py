@@ -43,11 +43,18 @@ TRACKED_METRICS: dict[str, tuple[str, ...]] = {
     "BENCH_engine.json": (
         "grouped_aggregate_30k_ms",
         "filter_grouped_30k_ms",
+        "semi_open_cold_ms",
     ),
     "BENCH_server.json": (
         "levels.1.p50_ms",
         "levels.8.p50_ms",
         "levels.32.p50_ms",
+    ),
+    "BENCH_open.json": (
+        "open_cold_ms",
+        "open_cached_ms",
+        "generators.bayesnet.generate_ms",
+        "generators.ipf-synth.generate_ms",
     ),
 }
 DEFAULT_FACTOR = 2.0

@@ -25,8 +25,10 @@ from repro.bayesnet.cpd import ConditionalTable, RootTable
 from repro.bayesnet.structure import TreeStructure, learn_chow_liu
 from repro.catalog.metadata import Marginal
 from repro.errors import GenerativeModelError
-from repro.relational.dtypes import DType
+from repro.generative.streams import repetition_streams, with_repetition_ids
+from repro.relational.dtypes import DType, object_array
 from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
 from repro.reweight.contingency import Binner
 from repro.reweight.ipf import ipf_reweight
 
@@ -201,18 +203,22 @@ class BayesianNetworkModel:
         """The metadata marginal as a probability vector over codes."""
         model = self.attributes[attribute]
         masses = np.zeros(model.domain_size)
+        cell_masses = np.asarray(
+            [mass for _, mass in marginal.cells()], dtype=np.float64
+        )
         if model.kind == "categorical":
             index = {value: i for i, value in enumerate(model.representatives)}
-            for key, mass in marginal.cells():
-                position = index.get(_native(key[0]))
-                if position is None:
-                    return None  # domain mismatch; leave uncalibrated
-                masses[position] += mass
+            positions = [index.get(_native(key[0])) for key in marginal.keys()]
+            if any(position is None for position in positions):
+                return None  # domain mismatch; leave uncalibrated
+            codes = np.asarray(positions, dtype=np.int64)
         else:
             assert model.binner is not None
-            for key, mass in marginal.cells():
-                code = int(model.binner.assign(np.asarray([float(key[0])]))[0])
-                masses[code] += mass
+            values = np.asarray(
+                [float(key[0]) for key in marginal.keys()], dtype=np.float64
+            )
+            codes = model.binner.assign(values)
+        np.add.at(masses, codes, cell_masses)
         total = masses.sum()
         if total <= 0:
             return None
@@ -304,36 +310,71 @@ class BayesianNetworkModel:
         return attributes
 
     def _discrete_relation(self, codes: dict[str, np.ndarray], n: int) -> Relation:
-        """The sample with every attribute replaced by its representative."""
-        columns: dict[str, object] = {}
+        """The sample with every attribute replaced by its representative.
+
+        Built born-encoded: TEXT categoricals hand their (sorted, distinct)
+        representative tuple straight to :meth:`Relation.from_codes` as the
+        dictionary vocabulary, so the downstream IPF rake reads memoized
+        codes instead of re-factorizing; other attributes gather their
+        representative arrays in one vectorized take.
+        """
+        fields: list[Field] = []
+        encoded: dict[str, tuple] = {}
+        plain: dict[str, object] = {}
         for name, model in self.attributes.items():
-            columns[name] = [model.representatives[c] for c in codes[name]]
-        return Relation.from_dict(columns)
+            if model.kind == "binned":
+                fields.append(Field(name, DType.FLOAT))
+                plain[name] = np.asarray(model.representatives, dtype=np.float64)[
+                    codes[name]
+                ]
+            elif _text_vocabulary(model) is not None:
+                fields.append(Field(name, DType.TEXT))
+                encoded[name] = (model.representatives, codes[name])
+            else:
+                fields.append(Field(name, model.dtype))
+                plain[name] = _representative_array(model)[codes[name]]
+        return Relation.from_codes(Schema(fields), encoded, plain)
 
     def _discretize_marginal(self, marginal: Marginal) -> Marginal:
-        """Remap marginal cell keys onto representatives (bins collapse)."""
-        cells: dict[tuple, float] = {}
+        """Remap marginal cell keys onto representatives (bins collapse).
+
+        Binned axes assign all cell values in one vectorized pass instead
+        of one :meth:`Binner.assign` call per cell.
+        """
         models = [self.attributes[a] for a in marginal.attributes]
-        for key, mass in marginal.cells():
-            mapped = []
-            for model, value in zip(models, key):
-                if model.kind == "binned":
-                    assert model.binner is not None
-                    code = int(model.binner.assign(np.asarray([float(value)]))[0])
-                    mapped.append(model.representatives[code])
-                else:
-                    mapped.append(_native(value))
-            mapped_key = tuple(mapped)
+        keys = list(marginal.keys())
+        mapped_axes: list[list] = []
+        for axis, model in enumerate(models):
+            if model.kind == "binned":
+                assert model.binner is not None
+                values = np.asarray(
+                    [float(key[axis]) for key in keys], dtype=np.float64
+                )
+                axis_codes = model.binner.assign(values)
+                representatives = np.asarray(model.representatives, dtype=np.float64)
+                mapped_axes.append(representatives[axis_codes].tolist())
+            else:
+                mapped_axes.append([_native(key[axis]) for key in keys])
+        cells: dict[tuple, float] = {}
+        for position, (_, mass) in enumerate(marginal.cells()):
+            mapped_key = tuple(axis[position] for axis in mapped_axes)
             cells[mapped_key] = cells.get(mapped_key, 0.0) + mass
         return Marginal(list(marginal.attributes), cells, name=f"{marginal.name}|binned")
 
     def _encode_column(self, relation: Relation, model: AttributeModel) -> np.ndarray:
-        values = relation.column(model.name)
+        """Per-row discrete codes, remapped from the memoized dictionary.
+
+        Only the relation's (small) distinct value set is looked up in
+        Python; the per-row remap is one vectorized gather.
+        """
         if model.kind == "binned":
             assert model.binner is not None
+            values = relation.column(model.name)
             return model.binner.assign(np.asarray(values, dtype=np.float64))
         index = {value: i for i, value in enumerate(model.representatives)}
-        return np.asarray([index[_native(v)] for v in values], dtype=np.int64)
+        uniques, codes = relation.dictionary(model.name)
+        remap = np.asarray([index[_native(v)] for v in uniques], dtype=np.int64)
+        return remap[codes]
 
     # ------------------------------------------------------------------ #
     # Exact inference
@@ -397,52 +438,234 @@ class BayesianNetworkModel:
 
         Binned attributes decode uniformly within their bin (rounded for
         INT columns), categoricals decode to their category value.
+
+        Every draw is a deterministic inverse-CDF transform of uniforms
+        consumed in a fixed order (root, tree order, then one decode
+        uniform per binned attribute), so stacking the uniforms of several
+        repetitions and transforming them in one pass —
+        :meth:`generate_batch` — is bit-identical to repeated calls.
         """
-        if self.structure is None or self._root_table is None or self._schema is None:
-            raise GenerativeModelError("generate() before fit()")
+        self._require_fitted()
         if n <= 0:
             raise GenerativeModelError(f"need a positive sample size, got {n}")
         rng = rng if rng is not None else self._rng
+        node_uniforms, decode_uniforms = self._draw_uniforms(n, rng)
+        codes = self._ancestral_codes(node_uniforms)
+        return self._decode_codes(codes, decode_uniforms)
 
-        codes: dict[str, np.ndarray] = {}
-        root = self.structure.root
-        codes[root] = rng.choice(
-            self.attributes[root].domain_size, size=n, p=self._root_table.probabilities
+    def generate_batch(
+        self, n: int, repetitions: int, rng: np.random.Generator | None = None
+    ) -> Relation:
+        """``repetitions`` independent samples of ``n`` rows in one pass.
+
+        Draws each repetition's uniforms from its own spawned RNG stream
+        (the OPEN per-repetition stream contract), stacks them, and runs
+        ancestral sampling over the stacked code matrices once.  The
+        result is the serial per-repetition output concatenated, tagged
+        with a dense ``__rep__`` id column.
+        """
+        self._require_fitted()
+        if n <= 0:
+            raise GenerativeModelError(f"need a positive sample size, got {n}")
+        streams = repetition_streams(
+            rng if rng is not None else self._rng, repetitions
         )
-        for node in self.structure.order[1:]:
-            parent = self.structure.parents[node]
-            assert parent is not None
-            table = self._cpds[node].probabilities
-            parent_codes = codes[parent]
-            draws = np.empty(n, dtype=np.int64)
-            # Group rows by parent code so each choice() call is vectorised.
-            for parent_code in np.unique(parent_codes):
-                rows = np.flatnonzero(parent_codes == parent_code)
-                draws[rows] = rng.choice(
-                    table.shape[1], size=rows.shape[0], p=table[parent_code]
-                )
-            codes[node] = draws
-
-        columns: dict[str, object] = {}
-        for name, model in self.attributes.items():
-            attr_codes = codes[name]
-            if model.kind == "categorical":
-                columns[name] = [model.representatives[c] for c in attr_codes]
-            else:
-                assert model.binner is not None
-                width = (model.binner.high - model.binner.low) / model.binner.bins
-                low_edges = model.binner.low + attr_codes * width
-                values = low_edges + rng.random(n) * width
-                if model.dtype is DType.INT:
-                    values = np.round(values)
-                columns[name] = values
-        return Relation.from_columns(self._schema, columns)
+        node_names, decode_names = self._uniform_layout()
+        total = n * repetitions
+        node_uniforms = {name: np.empty(total) for name in node_names}
+        decode_uniforms = {name: np.empty(total) for name in decode_names}
+        for index, stream in enumerate(streams):
+            # Fill each repetition's slice in the exact order generate()
+            # consumes its stream, so the slices are bit-identical to the
+            # serial loop's draws.
+            lo, hi = index * n, (index + 1) * n
+            for name in node_names:
+                stream.random(out=node_uniforms[name][lo:hi])
+            for name in decode_names:
+                stream.random(out=decode_uniforms[name][lo:hi])
+        codes = self._ancestral_codes(node_uniforms)
+        return with_repetition_ids(
+            self._decode_codes(codes, decode_uniforms), repetitions
+        )
 
     def generate_many(
         self, n: int, repetitions: int, rng: np.random.Generator | None = None
     ) -> list[Relation]:
         rng = rng if rng is not None else self._rng
         return [self.generate(n, rng=rng) for _ in range(repetitions)]
+
+    def _require_fitted(self) -> None:
+        if self.structure is None or self._root_table is None or self._schema is None:
+            raise GenerativeModelError("generate() before fit()")
+
+    def _uniform_layout(self) -> tuple[list[str], list[str]]:
+        """The fixed order generation consumes uniforms in: tree order for
+        ancestral draws, attribute order for binned decode draws."""
+        assert self.structure is not None
+        return (
+            list(self.structure.order),
+            [
+                name
+                for name, model in self.attributes.items()
+                if model.kind == "binned"
+            ],
+        )
+
+    def _draw_uniforms(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """All randomness of one generation round, in consumption order."""
+        node_names, decode_names = self._uniform_layout()
+        node_uniforms = {node: rng.random(n) for node in node_names}
+        decode_uniforms = {name: rng.random(n) for name in decode_names}
+        return node_uniforms, decode_uniforms
+
+    def _ancestral_codes(
+        self, node_uniforms: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Inverse-CDF ancestral sampling over stacked code matrices.
+
+        The root inverts its CDF with one ``searchsorted``.  Each child
+        also uses a *single* ``searchsorted`` for all rows at once: the
+        per-parent conditional CDFs are laid out consecutively with offset
+        ``parent`` (every CDF lives in ``[0, 1]``, so ``parent + cdf`` is
+        globally non-decreasing) and row queries become
+        ``parent_code + uniform`` — no per-row gather, no sort, no
+        per-parent loop.  A row's code is a pure function of its own
+        uniform and its parent's code, so the result is independent of how
+        rows are batched.
+        """
+        assert self.structure is not None and self._root_table is not None
+        codes: dict[str, np.ndarray] = {}
+        root = self.structure.root
+        root_cdf = np.cumsum(self._root_table.probabilities)
+        codes[root] = np.minimum(
+            _count_entries_below(root_cdf, node_uniforms[root], span=1),
+            self.attributes[root].domain_size - 1,
+        )
+        for node in self.structure.order[1:]:
+            parent = self.structure.parents[node]
+            assert parent is not None
+            cdf = np.cumsum(self._cpds[node].probabilities, axis=1)
+            num_parents, domain = cdf.shape
+            flat_cdf = (cdf + np.arange(num_parents)[:, None]).ravel()
+            parent_codes = codes[parent]
+            queries = parent_codes + node_uniforms[node]
+            drawn = (
+                _count_entries_below(flat_cdf, queries, span=num_parents)
+                - parent_codes * domain
+            )
+            # Both clips guard float edges of the CDF: a row cumsum ending
+            # below 1 can overshoot the top; one ending above 1 can leak a
+            # count into the next parent's block and undershoot to -1.
+            codes[node] = np.clip(drawn, 0, domain - 1)
+        return codes
+
+    def _decode_codes(
+        self,
+        codes: dict[str, np.ndarray],
+        decode_uniforms: dict[str, np.ndarray],
+    ) -> Relation:
+        """Codes → tuples, born dictionary-encoded for TEXT categoricals.
+
+        TEXT categorical domains are sorted and distinct — exactly a
+        dictionary vocabulary — so the sampled codes go straight into
+        :meth:`Relation.from_codes` with no per-row Python materialisation;
+        other categoricals gather their representative arrays, and binned
+        attributes decode uniformly within their bin.
+        """
+        assert self._schema is not None
+        plain: dict[str, object] = {}
+        encoded: dict[str, tuple] = {}
+        for name, model in self.attributes.items():
+            attr_codes = codes[name]
+            if model.kind == "categorical":
+                vocabulary = _text_vocabulary(model)
+                if vocabulary is not None:
+                    encoded[name] = (vocabulary, attr_codes)
+                else:
+                    plain[name] = _representative_array(model)[attr_codes]
+            else:
+                assert model.binner is not None
+                width = (model.binner.high - model.binner.low) / model.binner.bins
+                low_edges = model.binner.low + attr_codes * width
+                values = low_edges + decode_uniforms[name] * width
+                if model.dtype is DType.INT:
+                    values = np.round(values)
+                plain[name] = values
+        return Relation.from_codes(self._schema, encoded, plain)
+
+
+#: Inverse-CDF quantisation: slots per unit interval.  Higher = fewer rows
+#: falling back to binary search, at the cost of a larger (still tiny) LUT.
+_INVERSE_CDF_SLOTS = 512
+
+
+def _count_entries_below(
+    flat_cdf: np.ndarray, queries: np.ndarray, span: int
+) -> np.ndarray:
+    """``count(flat_cdf <= q)`` per query, via a quantised lookup table.
+
+    ``flat_cdf`` is non-decreasing over ``[0, span]``.  The unit range is
+    cut into :data:`_INVERSE_CDF_SLOTS` slots and a prefix-count LUT built
+    with one (sorted-query, cache-friendly) ``searchsorted``; each query
+    then resolves with one gather.  Rows whose neighbouring slots contain
+    a CDF jump — a bounded few percent, since each conditional row has at
+    most ``domain`` jumps — fall back to an exact binary search, so the
+    result equals ``searchsorted(flat_cdf, queries, side="right")``
+    everywhere (the widened two-slot window also absorbs float rounding of
+    the slot index).  Replaces a branch-miss-bound binary search per row
+    with O(1) work for the common case.
+    """
+    grid_size = span * _INVERSE_CDF_SLOTS
+    grid = np.arange(grid_size + 1, dtype=np.float64) / _INVERSE_CDF_SLOTS
+    lut = np.searchsorted(flat_cdf, grid, side="right")
+    slots = (queries * _INVERSE_CDF_SLOTS).astype(np.int64)
+    np.clip(slots, 0, grid_size - 1, out=slots)
+    counts = lut[slots]
+    ambiguous = np.flatnonzero(lut[slots + 1] > lut[np.maximum(slots - 1, 0)])
+    if ambiguous.size:
+        counts[ambiguous] = np.searchsorted(
+            flat_cdf, queries[ambiguous], side="right"
+        )
+    return counts
+
+
+def _text_vocabulary(model: AttributeModel) -> tuple | None:
+    """The representatives as a dictionary vocabulary, if usable as one.
+
+    A TEXT categorical whose representatives are all ``str`` is exactly a
+    vocabulary — sorted (``_discretize`` sorts by ``str``) and distinct —
+    so sampled codes can go straight into :meth:`Relation.from_codes`.
+    ``None`` for anything else (binned, non-TEXT, mixed-type domains).
+    The single definition keeps fit-time (``_discrete_relation``) and
+    generate-time (``_decode_codes``) encodability decisions in lockstep.
+    """
+    if (
+        model.kind == "categorical"
+        and model.dtype is DType.TEXT
+        and all(isinstance(v, str) for v in model.representatives)
+    ):
+        return model.representatives
+    return None
+
+
+def _representative_array(model: AttributeModel) -> np.ndarray:
+    """The representatives as a gatherable array, numeric where possible.
+
+    Homogeneous numeric/bool domains produce a typed array so per-row
+    gathers stay in C (coercing a 150k-element *object* array of ints back
+    to int64 walks Python objects row by row); anything else falls back to
+    an object array, preserving the values untouched.
+    """
+    kinds = {type(v) for v in model.representatives}
+    if kinds == {bool}:
+        return np.asarray(model.representatives, dtype=bool)
+    if kinds == {int}:
+        return np.asarray(model.representatives, dtype=np.int64)
+    if kinds <= {int, float}:
+        return np.asarray(model.representatives, dtype=np.float64)
+    return object_array(model.representatives)
 
 
 def _native(value):

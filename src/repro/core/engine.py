@@ -47,7 +47,7 @@ from repro.core.visibility import Visibility
 from repro.engine.closed import evaluate_closed
 from repro.engine.compiler import compile_select, execute_plan
 from repro.engine.executor import execute_select
-from repro.engine.open_world import evaluate_open
+from repro.engine.open_world import evaluate_open, uses_batched_execution
 from repro.engine.plan import LogicalPlan
 from repro.engine.planner import PlannedSource, choose_sample
 from repro.engine.semi_open import evaluate_semi_open, reweighted_sample
@@ -648,11 +648,13 @@ class Engine:
             population_size=size,
             rng=session.rng,
             plan=plan,
-            # Repetitions fan out on the engine-owned pool (drained by
-            # shutdown()); the serial path never spins it up.
+            # Repetitions of the per-repetition fallback loop fan out on
+            # the engine-owned pool (drained by shutdown()); the batched
+            # single-pass path and the serial loop never spin it up.
             executor=(
                 self._open_repetition_pool()
                 if open_config.resolved_workers() > 1
+                and not uses_batched_execution(generator, open_config, query)
                 else None
             ),
         )

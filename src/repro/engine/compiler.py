@@ -29,7 +29,11 @@ from repro.errors import SchemaError, SqlCompileError
 from repro.relational.aggregates import AggregateSpec
 from repro.relational.dtypes import DType
 from repro.relational.expressions import ColumnRef, Expr, validate_expression
-from repro.relational.kernels import grouped_aggregate
+from repro.relational.kernels import (
+    CompositeAggregates,
+    grouped_aggregate,
+    grouped_aggregate_composite,
+)
 from repro.relational.ops import distinct as distinct_op
 from repro.relational.ops import project_expressions
 from repro.relational.predicates import And
@@ -224,3 +228,58 @@ def execute_plan(
         else:  # pragma: no cover - exhaustive over PlanNode
             raise SqlCompileError(f"unknown plan node {type(node).__name__}")
     return relation
+
+
+def execute_plan_composite(
+    plan: LogicalPlan,
+    relation: Relation,
+    rep_ids: np.ndarray,
+    repetitions: int,
+    weights: np.ndarray,
+) -> tuple[AggregateNode, CompositeAggregates]:
+    """Run an aggregate ``plan`` once over a batched OPEN generation.
+
+    ``relation`` stacks ``repetitions`` generated samples (``rep_ids``
+    assigns each row to its repetition); filters evaluate over the whole
+    batch into one selection vector, and the aggregate reduces composite
+    ``(rep, group)`` codes in a single kernel pass — the query executes
+    *once* instead of once per repetition.  Returns the plan's aggregate
+    node plus the per-(repetition, group) results for
+    :func:`~repro.engine.open_world.combine_composite_answers`; Sort/Limit
+    nodes are intentionally not handled here — ordering is applied to the
+    combined answer, and plans with LIMIT take the per-repetition path
+    (a per-repetition LIMIT changes which groups each answer contains).
+    """
+    if relation.schema != plan.source_schema:
+        raise SchemaError(
+            f"plan compiled against {plan.source_schema!r} cannot run over "
+            f"{relation.schema!r}"
+        )
+    if not plan.weighted:
+        raise SchemaError("batched OPEN execution requires a weighted plan")
+    selection: np.ndarray | None = None
+    for node in plan.nodes:
+        if isinstance(node, FilterNode):
+            mask = np.asarray(node.predicate.evaluate(relation), dtype=bool)
+            selection = mask if selection is None else selection & mask
+        elif isinstance(node, AggregateNode):
+            return node, grouped_aggregate_composite(
+                relation,
+                node.group_keys,
+                node.specs,
+                rep_ids,
+                repetitions,
+                weights,
+                selection,
+            )
+        elif isinstance(node, (SortNode, LimitNode)):
+            raise SchemaError(
+                "composite execution saw a Sort/Limit node before the "
+                "aggregate; this plan must use the per-repetition path"
+            )
+        else:
+            raise SchemaError(
+                "composite execution requires an aggregate plan, got "
+                f"{type(node).__name__}"
+            )
+    raise SchemaError("composite execution requires an aggregate plan")

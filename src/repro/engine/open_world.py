@@ -31,13 +31,23 @@ import numpy as np
 
 from repro.bayesnet.model import BayesianNetworkModel
 from repro.catalog.metadata import Marginal
-from repro.engine.compiler import compile_select, execute_plan
-from repro.engine.plan import LogicalPlan
+from repro.engine.compiler import (
+    compile_select,
+    execute_plan,
+    execute_plan_composite,
+)
+from repro.engine.plan import AggregateNode, LogicalPlan
 from repro.engine.planner import PlannedSource
 from repro.errors import GenerativeModelError, VisibilityError
 from repro.generative.mswg import MSWG, MswgConfig
-from repro.relational.dtypes import DType
+from repro.generative.streams import (
+    REPETITION_COLUMN,
+    repetition_streams,
+    with_repetition_ids,
+)
+from repro.relational.dtypes import DType, object_array
 from repro.relational.groupby import group_codes
+from repro.relational.kernels import CompositeAggregates
 from repro.relational.ops import union_all
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
@@ -55,6 +65,17 @@ class OpenGenerator(Protocol):
     calls it from several threads at once.  Without the marker, concurrent
     rounds serialize generation behind a per-generator lock (execution of
     the generated samples still overlaps).
+
+    Generators may additionally provide
+    ``generate_batch(n, repetitions, rng)`` returning all repetitions as
+    one stacked ``R x n``-row relation tagged with a dense ``__rep__`` id
+    column (see :mod:`repro.generative.streams`).  The contract: rows
+    ``[r*n, (r+1)*n)`` must be bit-identical to
+    ``generate(n, rng=stream_r)`` where ``stream_r`` is the ``r``-th
+    stream of ``repetition_streams(rng, repetitions)``.  The engine then
+    answers aggregate OPEN queries in a single batched pass instead of a
+    per-repetition loop; generators without the method keep working
+    through the loop.
     """
 
     def fit(
@@ -111,6 +132,9 @@ class MswgGenerator:
     def generate(self, n, rng=None):
         return self.model.generate(n, rng=rng)
 
+    def generate_batch(self, n, repetitions, rng=None):
+        return self.model.generate_batch(n, repetitions, rng=rng)
+
 
 class BayesNetGenerator:
     """Explicit-model alternative (Sec. 4.2): Chow-Liu tree + CPTs."""
@@ -134,6 +158,9 @@ class BayesNetGenerator:
 
     def generate(self, n, rng=None):
         return self.model.generate(n, rng=rng)
+
+    def generate_batch(self, n, repetitions, rng=None):
+        return self.model.generate_batch(n, repetitions, rng=rng)
 
     def expected_count(self, constraints: dict[str, Callable[[object], bool]]) -> float:
         """COUNT by exact tree inference (enables the Sec. 4.2 fast path)."""
@@ -159,6 +186,7 @@ class IPFSynthesizer:
         self.max_cells = max_cells
         self._result = None
         self._schema = None
+        self._flat_probabilities = None
 
     def fit(self, sample, marginals, sample_weights=None, categorical_columns=None):
         if not marginals:
@@ -197,25 +225,38 @@ class IPFSynthesizer:
         weights = (
             np.ones(sample.num_rows) if sample_weights is None else sample_weights
         )
-        columns = [sample.column(a) for a in attributes]
-        for row in range(sample.num_rows):
-            index = tuple(
-                indexers[axis][_native(columns[axis][row])]
-                for axis in range(len(attributes))
-            )
-            seed[index] += weights[row]
+        if sample.num_rows:
+            # Vectorized cell accumulation: per-attribute dictionary codes
+            # remap (distinct values only) into domain positions, the
+            # position tuples ravel to flat cell ids, and one weighted
+            # bincount scatters the sample mass into the cube.
+            axis_codes = []
+            for axis, attribute in enumerate(attributes):
+                uniques, codes = sample.dictionary(attribute)
+                remap = np.asarray(
+                    [indexers[axis][_native(value)] for value in uniques],
+                    dtype=np.int64,
+                )
+                axis_codes.append(remap[codes])
+            flat = np.ravel_multi_index(tuple(axis_codes), shape)
+            seed += np.bincount(
+                flat, weights=weights, minlength=seed.size
+            ).reshape(shape)
 
         self._result = cube_ipf(attributes, domains, marginals, seed_table=seed)
+        self._flat_probabilities = None
         return self
 
-    def generate(self, n, rng=None):
-        if self._result is None or self._schema is None:
-            raise GenerativeModelError("generate() before fit()")
-        rng = rng if rng is not None else np.random.default_rng(0)
-        table = self._result.table
-        probabilities = (table / table.sum()).ravel()
-        draws = rng.choice(probabilities.size, size=n, p=probabilities)
-        unraveled = np.unravel_index(draws, table.shape)
+    def _cell_probabilities(self) -> np.ndarray:
+        """Flat cell probabilities of the fitted joint (computed once)."""
+        if self._flat_probabilities is None:
+            table = self._result.table
+            self._flat_probabilities = (table / table.sum()).ravel()
+        return self._flat_probabilities
+
+    def _decode_cells(self, draws: np.ndarray) -> Relation:
+        """Flat cell draws → tuples, born dictionary-encoded for TEXT."""
+        unraveled = np.unravel_index(draws, self._result.table.shape)
         plain: dict = {}
         encoded: dict = {}
         for axis, attribute in enumerate(self._result.attributes):
@@ -228,8 +269,35 @@ class IPFSynthesizer:
                 # codes, so generated samples stay in code space end to end.
                 encoded[attribute] = (domain, unraveled[axis])
             else:
-                plain[attribute] = [domain[i] for i in unraveled[axis]]
+                plain[attribute] = object_array(domain)[unraveled[axis]]
         return Relation.from_codes(self._schema, encoded, plain)
+
+    def generate(self, n, rng=None):
+        if self._result is None or self._schema is None:
+            raise GenerativeModelError("generate() before fit()")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        probabilities = self._cell_probabilities()
+        draws = rng.choice(probabilities.size, size=n, p=probabilities)
+        return self._decode_cells(draws)
+
+    def generate_batch(self, n, repetitions, rng=None):
+        """All repetitions in one pass: one ``rng.choice`` per repetition
+        stream over the flat cell probabilities (the per-stream draws are
+        bit-identical to serial ``generate`` calls), then a single batched
+        decode of the stacked cell ids."""
+        if self._result is None or self._schema is None:
+            raise GenerativeModelError("generate() before fit()")
+        streams = repetition_streams(
+            rng if rng is not None else np.random.default_rng(0), repetitions
+        )
+        probabilities = self._cell_probabilities()
+        draws = np.concatenate(
+            [
+                stream.choice(probabilities.size, size=n, p=probabilities)
+                for stream in streams
+            ]
+        )
+        return with_repetition_ids(self._decode_cells(draws), repetitions)
 
     def expected_count(self, constraints: dict[str, Callable[[object], bool]]) -> float:
         """Exact COUNT from the fitted joint (no materialisation)."""
@@ -258,11 +326,19 @@ class OpenQueryConfig:
     rows as the original sample ... return the groups appearing in all 10
     answers, averaging the aggregate value").
 
-    ``max_workers`` bounds the thread pool the repetitions fan out across;
-    ``None`` sizes it to ``min(repetitions, cpu_count)`` and ``1`` forces
-    the serial loop.  Each repetition draws from its own spawned RNG
-    stream, so concurrent and serial execution produce bit-identical
-    answers.
+    ``batched`` (the default) answers aggregate queries in a single pass:
+    the generator emits all repetitions as one ``R x n``-row batch and the
+    query executes once over composite ``(rep, group)`` codes.  Disabling
+    it — or using a generator without ``generate_batch``, or a query with
+    LIMIT (whose per-repetition truncation the batch cannot reproduce) —
+    falls back to the per-repetition loop.  Both paths produce
+    bit-identical answers under a fixed session RNG.
+
+    ``max_workers`` bounds the thread pool the *per-repetition loop* fans
+    out across; ``None`` sizes it to ``min(repetitions, cpu_count)`` and
+    ``1`` forces the serial loop.  Each repetition draws from its own
+    spawned RNG stream, so batched, concurrent, and serial execution all
+    produce bit-identical answers.
     """
 
     generator_factory: Callable[[], OpenGenerator] = field(
@@ -273,11 +349,41 @@ class OpenQueryConfig:
     max_materialized_rows: int = 50_000
     categorical_columns: set[str] | None = None
     max_workers: int | None = None
+    batched: bool = True
 
     def resolved_workers(self) -> int:
         if self.max_workers is not None:
             return max(1, min(self.max_workers, self.repetitions))
         return max(1, min(self.repetitions, os.cpu_count() or 1))
+
+
+def uses_batched_execution(
+    generator: OpenGenerator, config: OpenQueryConfig, query: SelectQuery
+) -> bool:
+    """Will ``evaluate_open`` take the batched single-pass path?
+
+    Exposed so the engine can avoid spinning up the repetition thread pool
+    for queries that will never submit to it.  Queries that GROUP BY a
+    column the SELECT list drops stay on the per-repetition path: their
+    answers do not carry the key columns, so the reference combine
+    intersects on what is visible — a semantics the composite pass (which
+    sees the real group codes) would otherwise silently improve on.
+    """
+    if not (
+        config.batched
+        and hasattr(generator, "generate_batch")
+        and bool(query.has_aggregates or query.group_by)
+        and query.limit is None
+    ):
+        return False
+    selected = {
+        name.lower()
+        for item in query.items
+        if not item.is_aggregate
+        for name in [getattr(item.expr, "name", None)]
+        if name is not None
+    }
+    return all(key.lower() in selected for key in query.group_by)
 
 
 def evaluate_open(
@@ -341,6 +447,20 @@ def evaluate_open(
         )
         return execute_plan(plan, generated), notes
 
+    if uses_batched_execution(generator, config, query):
+        return _evaluate_open_batched(
+            query,
+            generator,
+            config,
+            population_size,
+            rng,
+            plan,
+            predicate,
+            rows,
+            notes,
+            generation_lock,
+        )
+
     streams = _repetition_streams(rng, config.repetitions)
 
     def one_round(index: int) -> Relation | None:
@@ -387,6 +507,80 @@ def evaluate_open(
     notes.append(
         f"kept groups present in all {len(answers)} answers, averaged aggregates"
     )
+    return _order_combined(combined, query), notes
+
+
+def _evaluate_open_batched(
+    query: SelectQuery,
+    generator: OpenGenerator,
+    config: OpenQueryConfig,
+    population_size: float,
+    rng: np.random.Generator,
+    plan: LogicalPlan,
+    predicate,
+    rows: int,
+    notes: list[str],
+    generation_lock: threading.Lock | None,
+) -> tuple[Relation, list[str]]:
+    """The single-pass OPEN path: one batch, one execution, one combine.
+
+    The generator emits all ``repetitions`` samples as one relation tagged
+    with ``__rep__`` ids (each repetition drawn from its own spawned RNG
+    stream, exactly as the serial loop draws them), the population view
+    predicate filters the whole batch in one vectorized pass, the compiled
+    plan executes once over composite ``(rep, group)`` codes, and
+    :func:`combine_composite_answers` reduces the per-repetition answers
+    without materialising ``R`` intermediate relations.  Bit-identical to
+    the per-repetition loop under a fixed session RNG.
+    """
+    repetitions = config.repetitions
+    if generation_lock is None:
+        batch = generator.generate_batch(rows, repetitions, rng=rng)
+    else:
+        with generation_lock:
+            batch = generator.generate_batch(rows, repetitions, rng=rng)
+    rep_ids = np.asarray(batch.column(REPETITION_COLUMN), dtype=np.int64)
+    data = batch.drop_column(REPETITION_COLUMN)
+    if predicate is not None and data.num_rows:
+        bound = bind_expression(predicate, data.schema)
+        mask = np.asarray(bound.evaluate(data), dtype=bool)
+        data = data.filter(mask)
+        rep_ids = rep_ids[mask]
+
+    participating = np.bincount(rep_ids, minlength=repetitions) > 0
+    answered = int(participating.sum())
+    if answered == 0:
+        raise VisibilityError(
+            "every generated sample was empty after the population view "
+            "predicate; the generator cannot reach this population"
+        )
+    if answered < repetitions:
+        notes.append(
+            f"warning: {repetitions - answered} generation(s) "
+            "produced no tuples inside the population view"
+        )
+
+    # Each generated tuple stands for population_size / rows population
+    # tuples ("uniformly reweight the generated sample to match the size
+    # of the population", Sec. 5.3); the view filter keeps that scale.
+    weights = np.full(data.num_rows, population_size / rows)
+    aggregate_node, composite = execute_plan_composite(
+        plan, data, rep_ids, repetitions, weights
+    )
+    combined = combine_composite_answers(
+        data, aggregate_node, composite, participating
+    )
+    notes.append(
+        "OPEN: batched single-pass execution over composite (rep, group) codes"
+    )
+    notes.append(
+        f"kept groups present in all {answered} answers, averaged aggregates"
+    )
+    return _order_combined(combined, query), notes
+
+
+def _order_combined(combined: Relation, query: SelectQuery) -> Relation:
+    """ORDER BY / LIMIT over the combined OPEN answer (shared tail)."""
     if query.order_by:
         names = [key.column for key in query.order_by]
         combined = combined.sort_by(
@@ -395,7 +589,56 @@ def evaluate_open(
         )
     if query.limit is not None:
         combined = combined.head(query.limit)
-    return combined, notes
+    return combined
+
+
+def combine_composite_answers(
+    relation: Relation,
+    aggregate_node: AggregateNode,
+    composite: CompositeAggregates,
+    participating: np.ndarray,
+) -> Relation:
+    """Group-intersection + aggregate averaging, straight from composite codes.
+
+    The batched sibling of :func:`combine_open_answers`: per-repetition
+    answers never materialise.  A group survives iff it is present in
+    every *participating* repetition (repetitions whose generation was
+    empty inside the population view do not count, matching the serial
+    loop's dropped ``None`` answers); its aggregates average the per-cell
+    values repetition by repetition — the same accumulation order the
+    union-then-bincount combine performs, so results are bit-identical.
+    Group ids are key-sorted (dictionary order over the whole batch), so
+    output rows land in the same key-sorted order as the serial combine.
+    """
+    value_fields = [
+        Field(spec.alias, DType.FLOAT) for spec in aggregate_node.specs
+    ]
+    key_fields = list(aggregate_node.schema.fields[: len(aggregate_node.key_columns)])
+    out_schema = Schema(key_fields + value_fields)
+
+    repetition_rows = composite.present[participating]
+    kept = (
+        repetition_rows.all(axis=0)
+        if repetition_rows.shape[0]
+        else np.zeros(composite.num_groups, dtype=bool)
+    )
+    if composite.num_groups == 0 or not kept.any():
+        return Relation.empty(out_schema)
+
+    representatives = composite.first_indices[kept]
+    columns = [
+        relation.column(name)[representatives]
+        for name in aggregate_node.key_columns
+    ]
+    answered = int(participating.sum())
+    for matrix in composite.values:
+        totals = np.zeros(int(kept.sum()), dtype=np.float64)
+        # Accumulate repetition by repetition (ascending), mirroring the
+        # serial combine's bincount over rep-major union rows.
+        for repetition in np.flatnonzero(participating):
+            totals = totals + matrix[repetition][kept]
+        columns.append(totals / answered)
+    return Relation.from_groups(out_schema, columns)
 
 
 def _try_count_inference(
@@ -455,14 +698,12 @@ def _repetition_streams(
 ) -> list[np.random.Generator]:
     """``count`` independent RNG streams from a single draw on ``rng``.
 
-    One ``integers`` draw seeds a root :class:`~numpy.random.SeedSequence`
-    whose spawned children drive the generation rounds.  A round's output
-    therefore depends only on the session RNG state at query start and its
-    own index — never on thread scheduling — which is what makes the
-    concurrent OPEN executor bit-identical to the serial loop.
+    Delegates to :func:`repro.generative.streams.repetition_streams` — the
+    same derivation ``generate_batch`` implementations use, which is what
+    makes the batched path, the concurrent executor, and the serial loop
+    all bit-identical.
     """
-    root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    return repetition_streams(rng, count)
 
 
 def combine_open_answers(answers: list[Relation], key_columns: list[str]) -> Relation:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.catalog.metadata import Marginal
 from repro.errors import EncodingError
-from repro.relational.dtypes import DType
+from repro.relational.dtypes import DType, object_array
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
@@ -157,27 +157,36 @@ class TableEncoder:
     # ------------------------------------------------------------------ #
 
     def transform(self, relation: Relation) -> np.ndarray:
-        """Encode a relation into an ``(n, width)`` float matrix."""
+        """Encode a relation into an ``(n, width)`` float matrix.
+
+        One-hot blocks are scattered from the relation's memoized
+        dictionary codes: only the (small) distinct value set is looked up
+        in Python, and the per-row writes are one fancy-indexed assignment
+        per block instead of a per-row loop.
+        """
         n = relation.num_rows
         matrix = np.zeros((n, self.width), dtype=np.float64)
+        rows = np.arange(n)
         for encoding in self.columns:
-            values = relation.column(encoding.name)
             if encoding.kind == "numeric":
-                numeric = np.asarray(values, dtype=np.float64)
+                numeric = np.asarray(relation.column(encoding.name), dtype=np.float64)
                 matrix[:, encoding.start] = (numeric - encoding.low) / (
                     encoding.high - encoding.low
                 )
             else:
                 index = {category: i for i, category in enumerate(encoding.categories)}
-                for row in range(n):
-                    value = _native(values[row])
-                    position = index.get(value)
-                    if position is None:
+                uniques, codes = relation.dictionary(encoding.name)
+                positions = np.empty(len(uniques), dtype=np.int64)
+                for position, value in enumerate(uniques):
+                    block_position = index.get(_native(value))
+                    if block_position is None:
                         raise EncodingError(
-                            f"value {value!r} of column {encoding.name!r} was not "
-                            "seen when the encoder was fit"
+                            f"value {_native(value)!r} of column "
+                            f"{encoding.name!r} was not seen when the encoder "
+                            "was fit"
                         )
-                    matrix[row, encoding.start + position] = 1.0
+                    positions[position] = block_position
+                matrix[rows, encoding.start + positions[codes]] = 1.0
         return matrix
 
     def encode_value(self, name: str, value) -> np.ndarray:
@@ -231,7 +240,7 @@ class TableEncoder:
                     # (no re-factorization per repetition).
                     encoded[encoding.name] = (encoding.categories, picks)
                 else:
-                    plain[encoding.name] = [encoding.categories[p] for p in picks]
+                    plain[encoding.name] = object_array(encoding.categories)[picks]
         return Relation.from_codes(self.schema, encoded, plain)
 
 

@@ -1,0 +1,60 @@
+"""Per-repetition RNG streams and repetition-id tagging for batched OPEN.
+
+The OPEN path answers a query from ``repetitions`` independent generated
+samples (paper Sec. 5.3).  Whether those samples are produced one at a
+time (the serial reference loop) or as one batched ``R x n``-row relation
+(the fast path), every repetition must draw from the *same* RNG stream so
+the two executions are bit-identical:
+
+- :func:`repetition_streams` derives ``count`` independent generators from
+  a single draw on the session RNG.  One ``integers`` draw seeds a root
+  :class:`~numpy.random.SeedSequence` whose spawned children drive the
+  generation rounds, so a round's output depends only on the session RNG
+  state at query start and its own index — never on scheduling or on
+  whether the rounds were batched.
+- :func:`with_repetition_ids` appends the dense ``__rep__`` id column a
+  batched generation carries (row ``i`` belongs to repetition ``i // n``),
+  which the engine later composes with group codes into composite
+  ``(rep, group)`` keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerativeModelError
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+
+#: Name of the dense repetition-id column a batched generation carries.
+REPETITION_COLUMN = "__rep__"
+
+
+def repetition_streams(
+    rng: np.random.Generator, count: int
+) -> list[np.random.Generator]:
+    """``count`` independent RNG streams from a single draw on ``rng``."""
+    root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def with_repetition_ids(relation: Relation, repetitions: int) -> Relation:
+    """Tag a stacked ``R x n``-row generation with its ``__rep__`` column.
+
+    The relation must hold the repetitions contiguously in order: rows
+    ``[r*n, (r+1)*n)`` are repetition ``r``.  The id column is appended
+    without touching the existing columns (or their dictionary encodings).
+    """
+    if repetitions <= 0:
+        raise GenerativeModelError(
+            f"need a positive repetition count, got {repetitions}"
+        )
+    total = relation.num_rows
+    if total % repetitions != 0:
+        raise GenerativeModelError(
+            f"batch of {total} row(s) is not divisible into {repetitions} "
+            "equal repetitions"
+        )
+    per_repetition = total // repetitions
+    ids = np.repeat(np.arange(repetitions, dtype=np.int64), per_repetition)
+    return relation.with_column(REPETITION_COLUMN, DType.INT, ids)

@@ -28,6 +28,21 @@ from repro.errors import TypeMismatchError
 CODES_DTYPE = np.dtype(np.int32)
 
 
+def object_array(values: Any) -> np.ndarray:
+    """A 1-D object array holding ``values`` untouched.
+
+    ``np.asarray`` on a mixed/str sequence would coerce (ints to ``<U``
+    strings) or reject ragged values; filling a preallocated object array
+    keeps every element exactly as given while staying gatherable
+    (``arr[codes]`` is a C loop).  The canonical spelling for domain /
+    category / representative lookups.
+    """
+    materialized = list(values)
+    array = np.empty(len(materialized), dtype=object)
+    array[:] = materialized
+    return array
+
+
 class DType(enum.Enum):
     """Logical column type."""
 

@@ -20,6 +20,7 @@ dropped from the output; MIN/MAX ignore zero-weight rows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -204,3 +205,157 @@ def _aggregate_column(
     # The groups present among alive rows are exactly the kept groups, in
     # the same (ascending code) order, so reduceat output aligns with kept.
     return ufunc.reduceat(segment_values, starts)
+
+
+# --------------------------------------------------------------------- #
+# Batched (composite-code) aggregation for OPEN repetitions
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CompositeAggregates:
+    """Per-(repetition, group) aggregates over one batched relation.
+
+    Produced by :func:`grouped_aggregate_composite` from a stacked
+    ``R x n``-row generation: group ids span the *whole* batch (one shared
+    dictionary per key column), so group ``g`` means the same key values
+    in every repetition — exactly the identity the OPEN answer combiner
+    needs.  ``present[r, g]`` says repetition ``r`` produced group ``g``
+    (at least one selected, positively weighted row); ``values[i][r, g]``
+    is the ``i``-th aggregate's value for that cell (defined only where
+    ``present``).  ``first_indices[g]`` is a representative batch row for
+    reading group ``g``'s key values.
+    """
+
+    num_groups: int
+    repetitions: int
+    first_indices: np.ndarray
+    present: np.ndarray
+    values: tuple[np.ndarray, ...]
+
+
+def grouped_aggregate_composite(
+    relation: Relation,
+    group_keys: Sequence[str],
+    specs: Sequence[AggregateSpec],
+    rep_ids: np.ndarray,
+    repetitions: int,
+    weights: np.ndarray,
+    selection: np.ndarray | None = None,
+) -> CompositeAggregates:
+    """Aggregate all ``repetitions`` of a batch in one composite pass.
+
+    Instead of slicing the batch into ``R`` relations and aggregating each
+    (R bincounts, R sorts, R result relations), every reduction runs once
+    over composite codes ``rep * num_groups + group`` — the same kernels
+    (bincount for COUNT/SUM/AVG, sort + ``ufunc.reduceat`` for MIN/MAX)
+    with ``R * num_groups`` cells.  Per-cell results are bit-identical to
+    the per-repetition path: rows of one repetition are contiguous and in
+    generation order, so each cell reduces the same values in the same
+    order as its serial counterpart.
+
+    Weighted semantics mirror :func:`grouped_aggregate` exactly: a cell
+    "exists" iff it has a selected row with positive weight; COUNT/SUM/AVG
+    reduce over all selected rows (zero weights contribute nothing), while
+    MIN/MAX reduce over positively weighted rows only.
+    """
+    n = relation.num_rows
+    codes, num_groups, first_indices = group_codes(relation, group_keys)
+    if weights.shape[0] != n:
+        raise SchemaError(
+            f"weight vector length {weights.shape[0]} does not match row count {n}"
+        )
+    composite = rep_ids * num_groups + codes
+    total_cells = repetitions * num_groups
+
+    if selection is not None:
+        selection = np.asarray(selection, dtype=bool)
+        if selection.shape[0] != n:
+            raise SchemaError(
+                f"selection length {selection.shape[0]} does not match row count {n}"
+            )
+        sel = np.flatnonzero(selection)
+        composite_sel = composite[sel]
+        weights_sel = weights[sel]
+    else:
+        sel = None
+        composite_sel = composite
+        weights_sel = weights
+
+    alive = weights_sel > 0.0
+    composite_alive = composite_sel if alive.all() else composite_sel[alive]
+    present = (
+        np.bincount(composite_alive, minlength=total_cells) > 0
+    ).reshape(repetitions, num_groups)
+
+    value_matrices: list[np.ndarray] = []
+    for spec in specs:
+        value_matrices.append(
+            _composite_aggregate_matrix(
+                spec,
+                relation,
+                sel,
+                composite_sel,
+                weights_sel,
+                alive,
+                composite_alive,
+                total_cells,
+            ).reshape(repetitions, num_groups)
+        )
+    return CompositeAggregates(
+        num_groups=num_groups,
+        repetitions=repetitions,
+        first_indices=first_indices,
+        present=present,
+        values=tuple(value_matrices),
+    )
+
+
+def _composite_aggregate_matrix(
+    spec: AggregateSpec,
+    relation: Relation,
+    sel: np.ndarray | None,
+    composite_sel: np.ndarray,
+    weights_sel: np.ndarray,
+    alive: np.ndarray,
+    composite_alive: np.ndarray,
+    total_cells: int,
+) -> np.ndarray:
+    """One aggregate's per-cell values over the flat composite code space."""
+    if spec.func == "COUNT":
+        return np.bincount(composite_sel, weights=weights_sel, minlength=total_cells)
+
+    assert spec.expr is not None
+    values = _argument_values(spec, relation, sel)
+    if not np.issubdtype(values.dtype, np.number):
+        raise TypeMismatchError(f"{spec.func} requires a numeric argument")
+
+    if spec.func == "SUM":
+        return np.bincount(
+            composite_sel, weights=weights_sel * values, minlength=total_cells
+        )
+    if spec.func == "AVG":
+        weighted_sums = np.bincount(
+            composite_sel, weights=weights_sel * values, minlength=total_cells
+        )
+        weight_totals = np.bincount(
+            composite_sel, weights=weights_sel, minlength=total_cells
+        )
+        averages = np.zeros(total_cells, dtype=np.float64)
+        np.divide(weighted_sums, weight_totals, out=averages, where=weight_totals > 0.0)
+        return averages
+
+    assert spec.func in ("MIN", "MAX")
+    segment_values = values if alive.all() else values[alive]
+    result = np.zeros(total_cells, dtype=np.float64)
+    if composite_alive.size == 0:
+        return result
+    order = np.argsort(composite_alive, kind="stable")
+    sorted_codes = composite_alive[order]
+    sorted_values = segment_values[order]
+    starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(sorted_codes)) + 1]
+    ).astype(np.int64)
+    ufunc = np.minimum if spec.func == "MIN" else np.maximum
+    result[sorted_codes[starts]] = ufunc.reduceat(sorted_values, starts)
+    return result

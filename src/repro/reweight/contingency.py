@@ -10,6 +10,7 @@ are histograms over intervals.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -36,6 +37,17 @@ class CellAssignment:
     def num_cells(self) -> int:
         return len(self.cell_keys)
 
+    @cached_property
+    def occupied(self) -> np.ndarray:
+        """Which cells contain at least one sample row (computed once).
+
+        The IPF loop consults this every iteration; recomputing it from
+        ``row_cell`` per call used to dominate the raking cost.
+        """
+        occupied = np.zeros(self.num_cells, dtype=bool)
+        occupied[self.row_cell] = True
+        return occupied
+
     def achieved_mass(self, weights: np.ndarray) -> np.ndarray:
         """Current weighted mass per cell."""
         return np.bincount(self.row_cell, weights=weights, minlength=self.num_cells)
@@ -46,9 +58,7 @@ class CellAssignment:
         This is the mass SEMI-OPEN evaluation can never recover (it would
         need new tuples — the motivation for OPEN queries).
         """
-        occupied = np.zeros(self.num_cells, dtype=bool)
-        occupied[np.unique(self.row_cell)] = True
-        return float(np.sum(self.target_mass[~occupied]))
+        return float(np.sum(self.target_mass[~self.occupied]))
 
 
 def assign_cells(relation: Relation, marginal: Marginal) -> CellAssignment:
@@ -57,15 +67,21 @@ def assign_cells(relation: Relation, marginal: Marginal) -> CellAssignment:
     Sample values that do not appear in the marginal become extra cells
     with target mass 0 (the marginal asserts those values have zero
     population mass, so IPF drives their weights to zero).
+
+    Vectorized over the relation's memoized dictionary encodings: each
+    attribute contributes dense per-row codes, the 1-/2-D code tuples
+    collapse to one combined id per row (ravel_multi_index semantics), and
+    only the *distinct* combined ids — a few hundred cells, not tens of
+    thousands of rows — are matched against the marginal's keys in Python.
+    Marginal cells keep their declared order; sample-only cells append in
+    first-row-appearance order, exactly as the old per-row loop produced.
     """
-    columns = []
     for attribute in marginal.attributes:
         if attribute not in relation.schema:
             raise ReweightError(
                 f"marginal attribute {attribute!r} missing from sample columns "
                 f"{list(relation.column_names)}"
             )
-        columns.append(relation.column(attribute))
 
     key_index: dict[tuple, int] = {}
     cell_keys: list[tuple] = []
@@ -76,20 +92,47 @@ def assign_cells(relation: Relation, marginal: Marginal) -> CellAssignment:
         masses.append(mass)
 
     n = relation.num_rows
-    row_cell = np.empty(n, dtype=np.int64)
-    for i in range(n):
-        key = tuple(_native(col[i]) for col in columns)
+    if n == 0:
+        return CellAssignment(
+            cell_keys=tuple(cell_keys),
+            row_cell=np.empty(0, dtype=np.int64),
+            target_mass=np.asarray(masses, dtype=np.float64),
+        )
+
+    axis_uniques: list[np.ndarray] = []
+    combined = np.zeros(n, dtype=np.int64)
+    for attribute in marginal.attributes:
+        uniques, codes = relation.dictionary(attribute)
+        combined = combined * len(uniques) + codes
+        axis_uniques.append(uniques)
+
+    distinct, first_rows, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    cell_of_combo = np.empty(distinct.shape[0], dtype=np.int64)
+    # Walk the distinct combos in first-appearance order so sample-only
+    # cells are numbered exactly as the row-order loop numbered them.
+    for position in np.argsort(first_rows, kind="stable"):
+        combo = int(distinct[position])
+        if len(axis_uniques) == 1:
+            key = (_native(axis_uniques[0][combo]),)
+        else:
+            major, minor = divmod(combo, len(axis_uniques[1]))
+            key = (
+                _native(axis_uniques[0][major]),
+                _native(axis_uniques[1][minor]),
+            )
         index = key_index.get(key)
         if index is None:
             index = len(cell_keys)
             key_index[key] = index
             cell_keys.append(key)
             masses.append(0.0)
-        row_cell[i] = index
+        cell_of_combo[position] = index
 
     return CellAssignment(
         cell_keys=tuple(cell_keys),
-        row_cell=row_cell,
+        row_cell=cell_of_combo[inverse.astype(np.int64, copy=False)],
         target_mass=np.asarray(masses, dtype=np.float64),
     )
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.catalog.metadata import Marginal
 from repro.errors import ConvergenceError, ReweightError
+from repro.reweight.ipf import error_trajectory_stalled
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,7 @@ class CubeResult:
     iterations: int
     converged: bool
     max_relative_error: float
+    stalled: bool = False
 
     def mass(self, key: tuple) -> float:
         index = tuple(
@@ -71,11 +73,16 @@ def cube_ipf(
     max_iterations: int = 500,
     tolerance: float = 1e-9,
     raise_on_failure: bool = False,
+    stall_window: int = 8,
+    stall_improvement: float = 0.01,
 ) -> CubeResult:
     """Fit a dense joint table to the marginals by classical IPF.
 
     ``seed_table`` carries prior structure (e.g. sample counts); omitted, a
-    uniform table is used — the maximum-entropy starting point.
+    uniform table is used — the maximum-entropy starting point.  Like
+    :func:`repro.reweight.ipf.ipf_reweight`, the loop stops early when the
+    error stalls (conflicting marginals oscillate around a misfit floor);
+    ``stall_window=0`` disables the detector.
     """
     attributes = tuple(attributes)
     domains = tuple(tuple(domain) for domain in domains)
@@ -100,6 +107,8 @@ def cube_ipf(
 
     iterations = 0
     error = np.inf
+    stalled = False
+    errors: list[float] = []
     for iterations in range(1, max_iterations + 1):
         for axes, target in plans:
             achieved = table.sum(axis=_other_axes(axes, table.ndim))
@@ -110,6 +119,10 @@ def cube_ipf(
             table = table * _expand(factors, axes, table.ndim, shape)
         error = _cube_error(table, plans)
         if error <= tolerance:
+            break
+        errors.append(error)
+        if error_trajectory_stalled(errors, stall_window, stall_improvement):
+            stalled = True
             break
 
     converged = error <= tolerance
@@ -126,6 +139,7 @@ def cube_ipf(
         iterations=iterations,
         converged=converged,
         max_relative_error=float(error),
+        stalled=stalled,
     )
 
 
@@ -146,14 +160,24 @@ def _marginal_plan(
     lookups = [
         {value: position for position, value in enumerate(domains[a])} for a in axes
     ]
-    for key, mass in marginal.cells():
-        try:
-            index = tuple(lookup[value] for lookup, value in zip(lookups, key))
-        except KeyError:
-            raise ReweightError(
-                f"marginal cell {key} uses a value outside the declared domain"
-            ) from None
-        target[index] = mass
+    keys = list(marginal.keys())
+    try:
+        positions = [
+            np.asarray([lookup[key[axis]] for key in keys], dtype=np.int64)
+            for axis, lookup in enumerate(lookups)
+        ]
+    except KeyError:
+        # Error path only: rescan to name the offending cell.
+        for key in keys:
+            if any(key[axis] not in lookup for axis, lookup in enumerate(lookups)):
+                raise ReweightError(
+                    f"marginal cell {key} uses a value outside the declared domain"
+                ) from None
+        raise  # pragma: no cover - lookups above must contain the culprit
+    masses = np.asarray([mass for _, mass in marginal.cells()], dtype=np.float64)
+    # One scatter over the flattened target instead of a per-cell store
+    # (marginal keys are unique, so plain assignment is exact).
+    target.flat[np.ravel_multi_index(tuple(positions), target.shape)] = masses
     # Normalise to increasing cube-axis order so the target's dimensions
     # line up with ``table.sum(axis=other_axes)`` output.
     if axes != tuple(sorted(axes)):

@@ -74,12 +74,16 @@ class TestEngineShutdown:
     def test_shutdown_drains_the_open_repetition_pool(self):
         db = make_db(
             open_config=OpenQueryConfig(
-                generator_factory=IPFSynthesizer, repetitions=4, max_workers=4
+                generator_factory=IPFSynthesizer,
+                repetitions=4,
+                max_workers=4,
+                batched=False,
             )
         )
         result = db.execute(OPEN_SQL)
-        # max_workers=4 forces the fan-out path, which runs on the shared
-        # engine-owned pool the shutdown must drain.
+        # batched=False + max_workers=4 forces the per-repetition fan-out
+        # path, which runs on the shared engine-owned pool the shutdown
+        # must drain (the batched default never submits to the pool).
         assert result.has_note("shared engine pool")
         assert db.engine._open_pool is not None
         db.engine.shutdown()

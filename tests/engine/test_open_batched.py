@@ -1,0 +1,235 @@
+"""Batched ≡ serial equivalence for OPEN execution.
+
+The batched single-pass path (one ``generate_batch`` + composite
+``(rep, group)`` evaluation) must be bit-identical to the per-repetition
+reference loop for every generator, every aggregate kind, with and
+without WHERE / view predicates / ORDER BY — in-process and over the TCP
+server.  Both paths share the per-repetition RNG-stream contract: each
+repetition draws from stream ``r`` of ``repetition_streams(rng, R)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MosaicDB
+from repro.catalog.metadata import Marginal
+from repro.client import Connection
+from repro.engine.open_world import (
+    BayesNetGenerator,
+    IPFSynthesizer,
+    MswgGenerator,
+    OpenQueryConfig,
+)
+from repro.generative.mswg import MswgConfig
+from repro.generative.streams import (
+    REPETITION_COLUMN,
+    repetition_streams,
+    with_repetition_ids,
+)
+from repro.server.server import MosaicServer
+
+REPETITIONS = 4
+GEN_ROWS = 800
+
+
+def tiny_mswg():
+    return MswgGenerator(
+        MswgConfig(
+            epochs=2,
+            hidden_layers=2,
+            hidden_units=16,
+            num_projections=8,
+            batch_size=128,
+            latent_dim=2,
+        )
+    )
+
+
+GENERATOR_FACTORIES = {
+    "ipf-synth": IPFSynthesizer,
+    "bayesnet": BayesNetGenerator,
+    "mswg": tiny_mswg,
+}
+
+
+def build_db(factory, batched: bool, seed: int = 0) -> MosaicDB:
+    """Migrants-style database: TEXT keys, skewed sample, two marginals."""
+    db = MosaicDB(
+        seed=seed,
+        open_config=OpenQueryConfig(
+            generator_factory=factory,
+            repetitions=REPETITIONS,
+            rows_per_generation=GEN_ROWS,
+            max_workers=1,
+            batched=batched,
+        ),
+    )
+    db.execute_script(
+        """
+        CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);
+        CREATE POPULATION UkMigrants AS
+            (SELECT * FROM EuropeMigrants WHERE country = 'UK');
+        CREATE SAMPLE S AS (SELECT * FROM EuropeMigrants);
+        """
+    )
+    db.register_marginal(
+        "M1",
+        "EuropeMigrants",
+        Marginal(["country"], {("UK",): 700, ("FR",): 250, ("DE",): 50}),
+    )
+    db.register_marginal(
+        "M2", "EuropeMigrants", Marginal(["email"], {("Yahoo",): 600, ("AOL",): 400})
+    )
+    db.ingest_rows(
+        "S",
+        [("UK", "Yahoo")] * 50 + [("FR", "Yahoo")] * 30 + [("DE", "Yahoo")] * 5,
+    )
+    return db
+
+
+#: (sql, expected to take the batched path).  GROUP BY keys missing from
+#: the SELECT list stay on the per-repetition path: their answers do not
+#: carry the key columns, so only the reference combine's semantics apply.
+QUERY_SHAPES = [
+    (
+        "SELECT OPEN country, email, COUNT(*) AS n "
+        "FROM EuropeMigrants GROUP BY country, email",
+        True,
+    ),
+    (
+        "SELECT OPEN country, COUNT(*) AS n FROM EuropeMigrants "
+        "WHERE email != 'AOL' GROUP BY country ORDER BY country DESC",
+        True,
+    ),
+    ("SELECT OPEN COUNT(*) AS n FROM EuropeMigrants GROUP BY country", False),
+]
+
+
+def fitted(factory):
+    rng = np.random.default_rng(3)
+    sample = (
+        build_db(factory, batched=True).session.engine.catalog.sample("S").relation
+    )
+    marginals = [
+        Marginal(["country"], {("UK",): 700, ("FR",): 250, ("DE",): 50}),
+        Marginal(["email"], {("Yahoo",): 600, ("AOL",): 400}),
+    ]
+    generator = factory() if callable(factory) else factory
+    generator.fit(sample, marginals)
+    return generator
+
+
+class TestGenerateBatchContract:
+    """generate_batch(n, R, rng) row-for-row equals R serial generate calls."""
+
+    @pytest.mark.parametrize("name", list(GENERATOR_FACTORIES))
+    def test_batch_rows_bit_identical_to_serial_streams(self, name):
+        generator = fitted(GENERATOR_FACTORIES[name])
+        n = 300
+        serial = [
+            generator.generate(n, rng=stream)
+            for stream in repetition_streams(np.random.default_rng(7), REPETITIONS)
+        ]
+        batch = generator.generate_batch(
+            n, REPETITIONS, rng=np.random.default_rng(7)
+        )
+        rep_ids = np.asarray(batch.column(REPETITION_COLUMN))
+        assert np.array_equal(
+            rep_ids, np.repeat(np.arange(REPETITIONS), n)
+        )  # dense, repetition-major
+        data = batch.drop_column(REPETITION_COLUMN)
+        for repetition, expected in enumerate(serial):
+            piece = data.filter(rep_ids == repetition)
+            assert piece.schema == expected.schema
+            for column in expected.column_names:
+                assert np.array_equal(
+                    piece.column(column), expected.column(column)
+                ), f"{name}: repetition {repetition}, column {column}"
+
+    def test_rep_column_validates_divisibility(self):
+        relation = build_db(IPFSynthesizer, True).session.engine.catalog.sample(
+            "S"
+        ).relation
+        from repro.errors import GenerativeModelError
+
+        with pytest.raises(GenerativeModelError, match="divisible"):
+            with_repetition_ids(relation, 7)  # 85 rows % 7 != 0
+
+
+class TestBatchedEqualsSerialEndToEnd:
+    @pytest.mark.parametrize("name", list(GENERATOR_FACTORIES))
+    @pytest.mark.parametrize("sql,expect_batched", QUERY_SHAPES)
+    def test_engine_answers_bit_identical(self, name, sql, expect_batched):
+        factory = GENERATOR_FACTORIES[name]
+        batched = build_db(factory, batched=True).execute(sql)
+        serial = build_db(factory, batched=False).execute(sql)
+        assert batched.relation.schema == serial.relation.schema
+        assert batched.to_pylist() == serial.to_pylist()  # bit-identical rows
+        assert batched.has_note("composite (rep, group) codes") == expect_batched
+        assert not serial.has_note("composite (rep, group) codes")
+
+    def test_population_view_predicate_filters_batch_identically(self):
+        sql = (
+            "SELECT OPEN country, email, COUNT(*) AS n "
+            "FROM UkMigrants GROUP BY country, email"
+        )
+        batched = build_db(IPFSynthesizer, batched=True).execute(sql)
+        serial = build_db(IPFSynthesizer, batched=False).execute(sql)
+        assert batched.to_pylist() == serial.to_pylist()
+        assert {row["country"] for row in batched.to_pylist()} <= {"UK"}
+
+    def test_limit_queries_take_the_per_repetition_path(self):
+        # A per-repetition LIMIT truncates each answer *before* the
+        # group intersection; the composite pass cannot reproduce that,
+        # so such plans must fall back — and still agree with the
+        # reference loop.
+        sql = (
+            "SELECT OPEN country, COUNT(*) AS n FROM EuropeMigrants "
+            "GROUP BY country ORDER BY country LIMIT 2"
+        )
+        batched_config = build_db(IPFSynthesizer, batched=True).execute(sql)
+        serial = build_db(IPFSynthesizer, batched=False).execute(sql)
+        assert not batched_config.has_note("composite (rep, group) codes")
+        assert batched_config.to_pylist() == serial.to_pylist()
+
+    def test_batched_path_does_not_spin_up_the_repetition_pool(self):
+        db = build_db(IPFSynthesizer, batched=True)
+        db.config.open_config.max_workers = 4
+        result = db.execute(QUERY_SHAPES[0][0])
+        assert result.has_note("composite (rep, group) codes")
+        assert db.engine._open_pool is None
+
+    def test_non_aggregate_open_unaffected(self):
+        sql = "SELECT OPEN country, email FROM EuropeMigrants"
+        batched = build_db(IPFSynthesizer, batched=True).execute(sql)
+        serial = build_db(IPFSynthesizer, batched=False).execute(sql)
+        assert batched.to_pylist() == serial.to_pylist()
+
+
+class TestBatchedOverTheWire:
+    def test_wire_results_match_serial_in_process(self):
+        """OPEN wire results are unchanged by batching: a server session
+        (batched default) returns exactly what the in-process serial loop
+        returns for the matching spawn index."""
+        sql = QUERY_SHAPES[0][0]
+        serial_db = build_db(IPFSynthesizer, batched=False)
+        expected = serial_db.connect().execute(sql)
+
+        server_db = build_db(IPFSynthesizer, batched=True)
+        server = MosaicServer(
+            server_db.engine, port=0, session_config=server_db.session.config
+        ).start_in_thread()
+        try:
+            with Connection("127.0.0.1", server.port) as conn:
+                received = conn.execute(sql)
+        finally:
+            server.stop_in_thread()
+
+        assert received.columns == expected.columns
+        assert received.num_rows == expected.num_rows
+        for name in expected.columns:
+            mine, theirs = received.column(name), expected.column(name)
+            if mine.dtype == object:
+                assert list(mine) == list(theirs)
+            else:
+                assert mine.tobytes() == theirs.tobytes()  # bit-for-bit
