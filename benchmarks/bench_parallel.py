@@ -1,0 +1,251 @@
+"""Bench: morsel-driven multi-process execution over shared-memory relations.
+
+Measures the worker pool (``repro.core.workers``) on the two workloads it
+exists for:
+
+- **CLOSED scan + grouped aggregate** over a large flights sample: the
+  engine splits the scan into row-range morsels, workers attach the
+  shared segment (zero row serialization) and ship back partial
+  aggregates.
+- **Batched OPEN** over a categorical population: the single composite
+  pass shards across repetitions on the same pool.
+
+Each worker count gets its own engine; ``0`` is the serial reference
+(identical morsel decomposition, in-process loop).  Bit-identity between
+serial and every parallel configuration is asserted *in-bench* — a
+speedup that changes answers is a bug, not a result.
+
+``test_emit_bench_json`` writes ``BENCH_parallel.json`` for the CI perf
+trajectory.  Process scaling is hardware-dependent, so the payload
+records ``cpu_count`` honestly and the gate skips scaling metrics when
+core counts differ: on a multi-core box (>= 4 cores) the acceptance bar
+is >= 2x at 4 workers; on a single-core box it is parallel overhead
+<= 20% (the pool cannot beat serial without cores to run on, but shared
+memory + morsel batching must keep the tax small).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import MosaicDB
+from repro.catalog.metadata import Marginal
+from repro.core.workers import ExecutionConfig
+from repro.engine.open_world import IPFSynthesizer, OpenQueryConfig
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.flights import FlightsConfig, make_flights_population
+
+ROWS = 160_000
+MORSEL_ROWS = 16_384
+WORKER_COUNTS = (0, 1, 2, 4, 8)
+CLOSED_ITERATIONS = 12
+OPEN_ITERATIONS = 4
+OPEN_REPETITIONS = 8
+OPEN_ROWS_PER_GENERATION = 25_000
+
+CLOSED_SQL = (
+    "SELECT CLOSED carrier, COUNT(*) AS n, SUM(distance) AS s, "
+    "AVG(elapsed_time) AS a, MIN(taxi_out) AS mn, MAX(distance) AS mx "
+    "FROM Flights WHERE distance > 200 GROUP BY carrier ORDER BY carrier"
+)
+OPEN_SQL = (
+    "SELECT OPEN country, email, COUNT(*) AS n "
+    "FROM Migrants GROUP BY country, email ORDER BY country, email"
+)
+
+
+def _flights_sample() -> Relation:
+    return make_flights_population(
+        FlightsConfig(rows=ROWS), np.random.default_rng(0)
+    )
+
+
+def _migrants_sample(rows: int = 50_000) -> Relation:
+    rng = np.random.default_rng(1)
+    countries = ["DE", "FR", "PL", "UK"]
+    emails = ["AOL", "GMX", "Yahoo"]
+    schema = Schema.of(country=DType.TEXT, email=DType.TEXT)
+    return Relation.from_columns(
+        schema,
+        {
+            "country": [countries[i] for i in rng.integers(0, 4, rows)],
+            "email": [emails[i] for i in rng.integers(0, 3, rows)],
+        },
+    )
+
+
+def build_db(processes: int, flights: Relation) -> MosaicDB:
+    """A fully loaded flights engine with ``processes`` pool workers."""
+    db = MosaicDB(
+        seed=0,
+        open_config=OpenQueryConfig(
+            generator_factory=IPFSynthesizer,
+            repetitions=OPEN_REPETITIONS,
+            rows_per_generation=OPEN_ROWS_PER_GENERATION,
+            max_workers=1,
+        ),
+        execution=ExecutionConfig(processes=processes, morsel_rows=MORSEL_ROWS),
+    )
+    db.execute_script(
+        """
+        CREATE GLOBAL POPULATION Flights
+            (carrier TEXT, taxi_out INT, taxi_in INT, elapsed_time INT, distance INT);
+        CREATE SAMPLE S AS (SELECT * FROM Flights);
+        """
+    )
+    db.ingest_relation("S", flights)
+    return db
+
+
+def build_open_db(processes: int, migrants: Relation) -> MosaicDB:
+    db = MosaicDB(
+        seed=0,
+        open_config=OpenQueryConfig(
+            generator_factory=IPFSynthesizer,
+            repetitions=OPEN_REPETITIONS,
+            rows_per_generation=OPEN_ROWS_PER_GENERATION,
+            max_workers=1,
+        ),
+        execution=ExecutionConfig(processes=processes, morsel_rows=MORSEL_ROWS),
+    )
+    db.execute_script(
+        """
+        CREATE GLOBAL POPULATION Migrants (country TEXT, email TEXT);
+        CREATE SAMPLE M AS (SELECT * FROM Migrants);
+        """
+    )
+    db.register_marginal(
+        "M_C",
+        "Migrants",
+        Marginal(
+            ["country"],
+            {("DE",): 400_000, ("FR",): 250_000, ("PL",): 150_000, ("UK",): 200_000},
+        ),
+    )
+    db.register_marginal(
+        "M_E",
+        "Migrants",
+        Marginal(["email"], {("AOL",): 200_000, ("GMX",): 350_000, ("Yahoo",): 450_000}),
+    )
+    db.ingest_relation("M", migrants)
+    return db
+
+
+def assert_identical(received: Relation, expected: Relation) -> None:
+    assert list(received.column_names) == list(expected.column_names)
+    assert received.num_rows == expected.num_rows
+    for name in expected.column_names:
+        mine, theirs = received.column(name), expected.column(name)
+        assert mine.dtype == theirs.dtype, name
+        if mine.dtype == object:
+            assert list(mine) == list(theirs), name
+        else:
+            assert mine.tobytes() == theirs.tobytes(), name
+
+
+def _qps(run, iterations: int) -> float:
+    run()  # warm caches (plans, reweights, generator fits, worker plans)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        run()
+    return iterations / (time.perf_counter() - start)
+
+
+def test_emit_bench_json():
+    """CLOSED + OPEN qps at 0/1/2/4/8 workers, bit-identity asserted."""
+    flights = _flights_sample()
+    migrants = _migrants_sample()
+
+    closed_qps: dict[str, float] = {}
+    open_qps: dict[str, float] = {}
+    closed_reference = None
+    open_reference = None
+    pool_stats = {}
+
+    for workers in WORKER_COUNTS:
+        db = build_db(workers, flights)
+        try:
+            closed = db.execute(CLOSED_SQL).relation
+            if closed_reference is None:
+                closed_reference = closed
+            else:
+                assert_identical(closed, closed_reference)
+            closed_qps[str(workers)] = round(
+                _qps(lambda: db.execute(CLOSED_SQL), CLOSED_ITERATIONS), 2
+            )
+            if workers >= 1:
+                stats = db.engine.execution.stats()
+                assert stats["parallel_batches"] >= 1, stats
+        finally:
+            db.close()
+
+        open_db = build_open_db(workers, migrants)
+        try:
+            # The k-th OPEN execution consumes the k-th session RNG draw,
+            # so comparing first executions across engines is exact.
+            opened = open_db.execute(OPEN_SQL).relation
+            if open_reference is None:
+                open_reference = opened
+            else:
+                assert_identical(opened, open_reference)
+            open_qps[str(workers)] = round(
+                _qps(lambda: open_db.execute(OPEN_SQL), OPEN_ITERATIONS), 2
+            )
+            if workers == max(WORKER_COUNTS):
+                pool_stats = open_db.engine.execution.stats()
+        finally:
+            open_db.close()
+
+    cpu_count = os.cpu_count() or 1
+    serial = closed_qps["0"]
+    payload = {
+        "workload": (
+            f"flights rows={ROWS} CLOSED grouped aggregate; "
+            f"migrants OPEN batched x{OPEN_REPETITIONS} reps "
+            f"x{OPEN_ROWS_PER_GENERATION} rows"
+        ),
+        "cpu_count": cpu_count,
+        "morsel_rows": MORSEL_ROWS,
+        "closed_qps_by_workers": closed_qps,
+        "open_qps_by_workers": open_qps,
+        "closed_speedup_4w_over_serial": round(closed_qps["4"] / serial, 3),
+        "closed_overhead_pct_2w": round(
+            max(0.0, (serial - closed_qps["2"]) / serial * 100.0), 1
+        ),
+        "open_speedup_4w_over_serial": round(
+            open_qps["4"] / open_qps["0"], 3
+        ),
+        "bit_identical": True,  # asserted above for every configuration
+        "pool_stats_8w_open": pool_stats,
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Acceptance: scaling on real cores, bounded overhead without them.
+    if cpu_count >= 4:
+        assert closed_qps["4"] >= 2.0 * serial, payload
+    else:
+        assert payload["closed_overhead_pct_2w"] <= 20.0, payload
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_parallel_smoke(workers):
+    """Cheap correctness smoke for CI paths that skip the full emit."""
+    flights = _flights_sample()
+    db_serial = build_db(0, flights)
+    db_parallel = build_db(workers, flights)
+    try:
+        assert_identical(
+            db_parallel.execute(CLOSED_SQL).relation,
+            db_serial.execute(CLOSED_SQL).relation,
+        )
+        assert db_parallel.engine.execution.stats()["parallel_batches"] >= 1
+    finally:
+        db_serial.close()
+        db_parallel.close()

@@ -11,7 +11,11 @@ file) versus the freshly emitted one.  Which metrics are gated is keyed
 on the *current* file's basename (:data:`TRACKED_METRICS`); metric names
 may be dotted paths into nested payloads (``levels.1.p50_ms``).
 
-A metric regresses when ``current > factor * baseline``.  Everything else
+A latency metric regresses when ``current > factor * baseline``; a
+throughput (scaling) metric when ``current < baseline / factor``
+(:data:`SCALING_METRICS`) — and scaling metrics are skipped wholesale
+when the two payloads report different ``cpu_count`` values, because
+parallel throughput across core counts is not comparable.  Everything else
 is a clearly reported **skip**, never a crash: a baseline file that does
 not exist yet (first PR introducing the payload), a metric missing from
 the baseline (first PR introducing the metric), or a payload with no
@@ -57,6 +61,22 @@ TRACKED_METRICS: dict[str, tuple[str, ...]] = {
         "generators.ipf-synth.generate_ms",
     ),
 }
+
+#: Throughput metrics (higher is better), keyed by payload basename.
+#: Parallel scaling is a property of the hardware as much as the code, so
+#: these are only compared when the baseline and the current payload
+#: report the same ``cpu_count`` — a 1-core runner can never reproduce a
+#: 16-core baseline, and vice versa.
+SCALING_METRICS: dict[str, tuple[str, ...]] = {
+    "BENCH_parallel.json": (
+        "closed_qps_by_workers.0",
+        "closed_qps_by_workers.2",
+        "closed_qps_by_workers.4",
+        "open_qps_by_workers.0",
+        "open_qps_by_workers.2",
+        "open_qps_by_workers.4",
+    ),
+}
 DEFAULT_FACTOR = 2.0
 
 
@@ -98,11 +118,56 @@ def check(
     return failures
 
 
+def check_scaling(
+    baseline: dict,
+    current: dict,
+    factor: float = DEFAULT_FACTOR,
+    metrics: tuple[str, ...] = SCALING_METRICS["BENCH_parallel.json"],
+) -> list[str]:
+    """Gate higher-is-better throughput metrics, honestly about hardware.
+
+    A metric regresses when ``current < baseline / factor``.  When the
+    committed baseline and the current payload report different
+    ``cpu_count`` values, every scaling metric is skipped with a clear
+    message instead of failing: parallel throughput measured on different
+    core counts is not comparable, and the payload records ``cpu_count``
+    exactly so this gate can tell.
+    """
+    base_cpus = baseline.get("cpu_count")
+    now_cpus = current.get("cpu_count")
+    if base_cpus != now_cpus:
+        print(
+            f"  cpu_count differs (baseline {base_cpus}, current {now_cpus}); "
+            "parallel-scaling metrics are machine-bound, skipping them all"
+        )
+        return []
+    failures = []
+    for metric in metrics:
+        base = lookup(baseline, metric)
+        now = lookup(current, metric)
+        if base is None:
+            print(f"  {metric}: metric missing from baseline, skipping")
+            continue
+        if now is None:
+            failures.append(f"{metric}: missing from current payload")
+            continue
+        floor = base / factor
+        verdict = "ok" if now >= floor else f"REGRESSED (< 1/{factor:.1f}x)"
+        print(f"  {metric}: {base:.2f} qps -> {now:.2f} qps  [{verdict}]")
+        if now < floor:
+            failures.append(
+                f"{metric} regressed: {base:.2f} qps -> {now:.2f} qps "
+                f"(allowed down to 1/{factor:.1f}x = {floor:.2f} qps)"
+            )
+    return failures
+
+
 def check_pair(baseline_path: str, current_path: str, factor: float) -> list[str]:
     name = os.path.basename(current_path)
     metrics = TRACKED_METRICS.get(name)
+    scaling = SCALING_METRICS.get(name)
     print(f"perf gate: {current_path} vs baseline {baseline_path} (factor {factor:.1f}x)")
-    if metrics is None:
+    if metrics is None and scaling is None:
         print(f"  no tracked metrics for {name}, skipping")
         return []
     if not os.path.exists(baseline_path):
@@ -112,7 +177,12 @@ def check_pair(baseline_path: str, current_path: str, factor: float) -> list[str
         baseline = json.load(handle)
     with open(current_path) as handle:
         current = json.load(handle)
-    return check(baseline, current, factor, metrics)
+    failures: list[str] = []
+    if metrics is not None:
+        failures.extend(check(baseline, current, factor, metrics))
+    if scaling is not None:
+        failures.extend(check_scaling(baseline, current, factor, scaling))
+    return failures
 
 
 def main(argv: list[str]) -> int:

@@ -1,4 +1,4 @@
-"""Repo-level pytest configuration: a deadlock watchdog for the test run.
+"""Repo-level pytest configuration: deadlock watchdog + shm leak check.
 
 The engine's readers-writer lock means a locking bug shows up as a *hang*,
 not a failure.  When ``MOSAIC_TEST_TIMEOUT`` is set (CI sets 120), a
@@ -9,14 +9,49 @@ of hanging until the job limit.  (``pytest-timeout`` would do the same;
 this avoids the extra dependency.)
 
 Local runs are unaffected unless the variable is exported.
+
+The shared-memory leak check compares the ``mosaic-shm-*`` segments in
+``/dev/shm`` before and after the whole run: the morsel-execution layer
+(``repro.relational.shm``) must unlink every segment it creates, whether
+through ``Engine.shutdown()``, store eviction, or the ``ParallelExecution``
+finalizer.  A leaked segment survives the process and eats tmpfs until
+reboot, so it fails the suite loudly.
 """
 
 from __future__ import annotations
 
 import faulthandler
+import gc
 import os
 
+import pytest
+
 _TIMEOUT_ENV = "MOSAIC_TEST_TIMEOUT"
+_SHM_DIR = "/dev/shm"
+_SHM_PREFIX = "mosaic-shm-"
+
+
+def _mosaic_segments() -> set[str]:
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # non-Linux: no /dev/shm to police
+        return set()
+    return {name for name in names if name.startswith(_SHM_PREFIX)}
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _no_leaked_shm_segments():
+    """Fail the run if any test leaks a mosaic shared-memory segment."""
+    before = _mosaic_segments()
+    yield
+    # Engines dropped without shutdown() release their segments via a
+    # weakref finalizer — give the collector a chance to run it first.
+    gc.collect()
+    leaked = _mosaic_segments() - before
+    assert not leaked, (
+        f"leaked shared-memory segments in {_SHM_DIR}: {sorted(leaked)}; "
+        "some Engine/ParallelExecution was not shut down"
+    )
 
 
 def _watchdog_seconds() -> float:

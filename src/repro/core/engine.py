@@ -44,6 +44,7 @@ from repro.core.caches import LRUCache, VersionedLRUCache
 from repro.core.locks import ReadWriteLock
 from repro.core.result import QueryResult
 from repro.core.visibility import Visibility
+from repro.core.workers import ExecutionConfig, ParallelExecution
 from repro.engine.closed import evaluate_closed
 from repro.engine.compiler import compile_select, execute_plan
 from repro.engine.executor import execute_select
@@ -90,6 +91,7 @@ class Engine:
         plan_cache_size: int = 256,
         reweight_cache_size: int = 64,
         generator_cache_size: int = 32,
+        execution: ExecutionConfig | None = None,
     ):
         self.catalog = Catalog()
         self._lock = ReadWriteLock()
@@ -117,6 +119,12 @@ class Engine:
         # threads under concurrent OPEN load instead of a pool per query.
         self._open_pool: ThreadPoolExecutor | None = None
         self._open_pool_mutex = threading.Lock()
+        # Morsel-driven multi-process execution (ARCHITECTURE.md §7): the
+        # context owns the worker pool and the shared-memory segment store.
+        # With processes=0 (the default unless MOSAIC_WORKERS is set) no
+        # processes ever start, but large scans still take the morsel
+        # path, so answers are bit-identical across worker counts.
+        self._execution = ParallelExecution(execution)
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -126,6 +134,11 @@ class Engine:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def execution(self) -> ParallelExecution:
+        """The engine's parallel execution context (pool + segment store)."""
+        return self._execution
 
     def shutdown(self) -> None:
         """Shut the engine down: drain the OPEN-repetition pool, then fence.
@@ -145,6 +158,10 @@ class Engine:
                 self._closed = True
         if pool is not None:
             pool.shutdown(wait=True)
+        # After the fence: no statement can reach the worker pool or lease
+        # a segment, so stopping the workers and unlinking every shared
+        # segment here is race-free (and idempotent).
+        self._execution.shutdown()
 
     def _open_repetition_pool(self) -> ThreadPoolExecutor:
         """The shared executor OPEN repetitions fan out across (lazy)."""
@@ -477,7 +494,7 @@ class Engine:
             plan, plan_note = self._compiled_plan(
                 query, sql_text, kind, auxiliary.schema, weighted=False
             )
-            relation = execute_plan(plan, auxiliary)
+            relation = execute_plan(plan, auxiliary, parallel=self._execution)
             return QueryResult(
                 relation, visibility=str(Visibility.CLOSED), notes=(plan_note,)
             )
@@ -503,7 +520,9 @@ class Engine:
             sample.relation.schema,
             weighted=weights is not None,
         )
-        relation = execute_plan(plan, sample.relation, weights)
+        relation = execute_plan(
+            plan, sample.relation, weights, parallel=self._execution
+        )
         return QueryResult(
             relation,
             visibility=str(visibility),
@@ -533,10 +552,17 @@ class Engine:
         )
 
         if visibility is Visibility.CLOSED:
-            relation, notes = evaluate_closed(query, source, plan)
+            relation, notes = evaluate_closed(
+                query, source, plan, parallel=self._execution
+            )
         elif visibility is Visibility.SEMI_OPEN:
             relation, notes = evaluate_semi_open(
-                query, source, self.catalog, plan, self._cached_reweight(source)
+                query,
+                source,
+                self.catalog,
+                plan,
+                self._cached_reweight(source),
+                parallel=self._execution,
             )
         else:
             relation, notes = self._evaluate_open(query, source, session, plan)
@@ -657,6 +683,7 @@ class Engine:
                 and not uses_batched_execution(generator, open_config, query)
                 else None
             ),
+            parallel=self._execution,
         )
         if cache_note is not None:
             notes.insert(0, cache_note)
@@ -742,6 +769,9 @@ class Engine:
             # Process-wide (not per-engine): how often the storage layer
             # served a memoized/propagated dictionary encoding vs. built one.
             "dictionaries": dictionary_stats(),
+            # Morsel/worker-pool counters (parallel vs. local batches,
+            # shared-segment reuse, crash restarts) — see workers.py.
+            "execution": self._execution.stats(),
             "catalog": {"catalog_version": self.catalog.version},
         }
 

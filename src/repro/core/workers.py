@@ -1,0 +1,658 @@
+"""Morsel-driven multi-process execution: worker pool + parallel context.
+
+The GIL serializes every kernel a thread pool runs (``BENCH_concurrency``:
+0.9x at 8 threads), so scan-heavy aggregation scales out with *processes*.
+This module provides:
+
+- :class:`ExecutionConfig` — how many workers (``MOSAIC_WORKERS`` /
+  ``ExecutionConfig(processes=N)``), the morsel threshold
+  (``MOSAIC_MORSEL_ROWS``), timeouts, retry budget.
+- :class:`WorkerPool` — a persistent pool of worker processes connected by
+  pipes.  Workers receive ``(plan, segment descriptor, morsel)`` tasks,
+  attach the shared segment (O(1), zero row serialization — see
+  :mod:`repro.relational.shm`), execute the plan fragment, and ship back
+  the small partial-aggregate arrays.  Plans are sent to each worker once
+  and cached by id; crashed workers are respawned and their tasks retried
+  once before the batch fails with :class:`~repro.errors.WorkerCrashError`
+  — a query never hangs on a dead worker.
+- :class:`ParallelExecution` — the engine-facing context.  It owns the
+  pool and the :class:`~repro.relational.shm.SharedRelationStore`, decides
+  pool vs. in-process execution, and shards batched OPEN runs across
+  repetitions.
+
+Determinism contract
+--------------------
+The morsel decomposition is a pure function of ``(num_rows, morsel_rows)``
+and partials merge in morsel-index order, so a context with ``processes=0``
+running the morsel loop in-process produces byte-identical results to any
+worker count — worker scheduling can never reorder a float reduction.  The
+pool is therefore purely a throughput lever; correctness never depends on
+it, which is also why every pool-side refusal (busy, closed, spawn
+failure) silently degrades to the identical local loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import connection, get_all_start_methods, get_context
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.compiler import (
+    composite_layout,
+    execute_plan_morsel,
+    execute_plan_open_shard,
+)
+from repro.errors import MosaicError, WorkerCrashError, error_from_wire, error_to_wire
+from repro.relational.kernels import merge_composite_partials
+from repro.relational.shm import (
+    AttachedRelation,
+    SharedRelationStore,
+    attach_relation,
+)
+
+#: Default morsel size: relations at or below this row count use the
+#: classic single-pass kernels; larger scans split into ranges of this
+#: many rows.  65536 rows x 8 bytes is a comfortable per-task unit (a few
+#: hundred microseconds of kernel time) while keeping task counts low.
+DEFAULT_MORSEL_ROWS = 65536
+
+#: Extra-array names inside shared segments.
+WEIGHTS_EXTRA = "__weights__"
+REP_EXTRA = "__rep__"
+
+#: Per-worker cap on cached (segment, window) attachments (LRU).  Windows
+#: are morsel-sized, so entries are small; the cap just bounds how many
+#: distinct relations x morsels a worker keeps mapped.
+_ATTACH_CACHE_SIZE = 32
+
+
+@dataclass
+class ExecutionConfig:
+    """Multi-process execution knobs (engine-level).
+
+    ``processes=None`` reads ``MOSAIC_WORKERS`` (unset/0 disables the
+    pool); ``morsel_rows=None`` reads ``MOSAIC_MORSEL_ROWS`` (default
+    ``DEFAULT_MORSEL_ROWS``).  ``start_method=None`` prefers ``fork``
+    (workers inherit the loaded interpreter; ~ms spawn) and falls back to
+    ``spawn``; override via ``MOSAIC_WORKER_START_METHOD``.
+    ``max_task_retries`` is the per-task crash-retry budget (0 fails fast,
+    for deterministic crash tests).
+    """
+
+    processes: int | None = None
+    morsel_rows: int | None = None
+    max_shared_segments: int = 16
+    worker_timeout: float = 120.0
+    start_method: str | None = None
+    max_task_retries: int = 1
+
+    def resolved_processes(self) -> int:
+        if self.processes is not None:
+            return max(0, int(self.processes))
+        env = os.environ.get("MOSAIC_WORKERS", "").strip()
+        if env:
+            try:
+                return max(0, int(env))
+            except ValueError:
+                return 0
+        return 0
+
+    def resolved_morsel_rows(self) -> int:
+        if self.morsel_rows is not None:
+            return max(1, int(self.morsel_rows))
+        env = os.environ.get("MOSAIC_MORSEL_ROWS", "").strip()
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                pass
+        return DEFAULT_MORSEL_ROWS
+
+    def resolved_start_method(self) -> str:
+        method = self.start_method or os.environ.get(
+            "MOSAIC_WORKER_START_METHOD", ""
+        ).strip()
+        available = get_all_start_methods()
+        if method and method in available:
+            return method
+        return "fork" if "fork" in available else "spawn"
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+def _attach_cached(
+    attachments: "OrderedDict[tuple, AttachedRelation]", descriptor, start: int, stop: int
+) -> AttachedRelation:
+    """This worker's attachment for one ``[start, stop)`` window (LRU-cached).
+
+    Attaching *windows* rather than whole relations keeps the per-attach
+    TEXT ``vocab[codes]`` gather proportional to the rows this worker
+    actually processes; the morsel decomposition is deterministic, so the
+    same windows recur across executions of a cached relation and hit the
+    cache.  Keys include the segment name, which is unique per segment
+    lifetime (uuid suffix), so stale reuse is impossible.
+    """
+    key = (descriptor.segment, start, stop)
+    attached = attachments.get(key)
+    if attached is not None:
+        attachments.move_to_end(key)
+        return attached
+    attached = attach_relation(descriptor, window=(start, stop))
+    attachments[key] = attached
+    while len(attachments) > _ATTACH_CACHE_SIZE:
+        _, stale = attachments.popitem(last=False)
+        stale.close()
+    return attached
+
+
+def _run_worker_task(plan, payload: dict, attachments) -> dict:
+    """Execute one plan fragment over an attached shared-relation window."""
+    start, stop = payload["start"], payload["stop"]
+    attached = _attach_cached(attachments, payload["rel"], start, stop)
+    window = attached.relation  # rows [start, stop) of the shared relation
+    if payload["op"] == "morsel":
+        weights = attached.extras.get(WEIGHTS_EXTRA) if payload["weighted"] else None
+        return execute_plan_morsel(
+            plan,
+            window,
+            0,
+            window.num_rows,
+            weights,
+            payload["domain"],
+            payload["cells"],
+            row_offset=start,  # representative row ids stay global
+        )
+    assert payload["op"] == "open"
+    rep_ids = attached.extras[REP_EXTRA]
+    local_rep_ids = (rep_ids - payload["rep_base"]).astype(np.int64, copy=False)
+    return execute_plan_open_shard(
+        plan,
+        window,
+        local_rep_ids,
+        payload["rep_count"],
+        payload["weight"],
+        payload["domain"],
+        payload["domain_total"],
+        start,
+    )
+
+
+def _worker_main(conn) -> None:
+    """Worker process loop: receive plans and tasks, ship partials back.
+
+    Errors inside a task cross the pipe as stable wire codes (the same
+    transport the TCP server uses) and are re-raised in the parent; only a
+    genuine process death breaks the connection.
+    """
+    try:  # the parent handles interrupts; workers exit via "stop"/EOF
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    plans: dict[int, object] = {}
+    attachments: "OrderedDict[tuple, AttachedRelation]" = OrderedDict()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = message[0]
+            if op == "stop":
+                break
+            if op == "plan":
+                plans[message[1]] = message[2]
+                continue
+            seq, plan_key, payload = message[1], message[2], message[3]
+            try:
+                result = _run_worker_task(plans[plan_key], payload, attachments)
+                conn.send(("done", seq, result))
+            except BaseException as exc:  # ship *every* failure back
+                conn.send(("error", seq, error_to_wire(exc)))
+    finally:
+        for attached in attachments.values():
+            attached.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "plans", "outstanding")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.plans: set[int] = set()  # plan keys this worker already holds
+        self.outstanding: dict[int, dict] = {}  # seq -> payload, current batch
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent worker processes.
+
+    One batch runs at a time (callers serialize); within a batch tasks are
+    assigned round-robin by sequence number so the assignment is
+    deterministic (results merge by sequence, so assignment only affects
+    load balance, never output).  Crash recovery: a dead worker's
+    unfinished tasks move to a fresh process, at most
+    ``max_task_retries`` times per task; beyond that the pool terminates
+    and the batch raises :class:`WorkerCrashError`.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        batch_timeout: float = 120.0,
+        start_method: str = "fork",
+        max_task_retries: int = 1,
+    ):
+        self._processes = max(1, processes)
+        self._timeout = batch_timeout
+        self._retries = max(0, max_task_retries)
+        self._ctx = get_context(start_method)
+        self._workers: list[_Worker] = []
+        self._plan_keys: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._plan_counter = itertools.count()
+        self._lock = threading.Lock()
+        self._stopped = False
+        self.restarts = 0
+
+    def __len__(self) -> int:
+        return self._processes
+
+    @property
+    def worker_pids(self) -> list[int]:
+        return [w.process.pid for w in self._workers if w.process.pid is not None]
+
+    def start(self) -> None:
+        with self._lock:
+            if self._stopped:
+                raise MosaicError("worker pool already stopped")
+            while len(self._workers) < self._processes:
+                self._workers.append(self._spawn())
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name="mosaic-worker",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the child end: worker death must read
+        # as EOF on parent_conn, not a silent hang.
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def run_batch(self, plan, payloads: Sequence[dict]) -> list[dict]:
+        """Execute ``payloads`` (one fragment each) and return results in order."""
+        with self._lock:
+            if self._stopped or not self._workers:
+                raise MosaicError("worker pool is not running")
+            return self._run_batch_locked(plan, payloads)
+
+    def _plan_key(self, plan) -> int:
+        key = self._plan_keys.get(plan)
+        if key is None:
+            key = next(self._plan_counter)
+            self._plan_keys[plan] = key
+        return key
+
+    def _run_batch_locked(self, plan, payloads: Sequence[dict]) -> list[dict]:
+        plan_key = self._plan_key(plan)
+        results: list = [None] * len(payloads)
+        for seq, payload in enumerate(payloads):
+            self._workers[seq % len(self._workers)].outstanding[seq] = payload
+        for worker in self._workers:
+            if worker.outstanding:
+                self._send_tasks(worker, plan_key, plan)
+
+        deadline = time.monotonic() + self._timeout
+        retried: set[int] = set()
+        pending = len(payloads)
+        while pending:
+            active = {w.conn: w for w in self._workers if w.outstanding}
+            ready = connection.wait(list(active), timeout=0.1)
+            if not ready:
+                if time.monotonic() > deadline:
+                    self._terminate_locked()
+                    raise WorkerCrashError(
+                        f"parallel batch stalled for {self._timeout:.0f}s; "
+                        "worker pool terminated"
+                    )
+                continue
+            for conn in ready:
+                worker = active[conn]
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._recover(worker, retried, plan_key, plan)
+                    continue
+                kind, seq, value = message
+                if seq in worker.outstanding:
+                    del worker.outstanding[seq]
+                    results[seq] = (kind, value)
+                    pending -= 1
+
+        for kind, value in results:
+            if kind == "error":
+                raise error_from_wire(*value)
+        return [value for _, value in results]
+
+    def _send_tasks(self, worker: _Worker, plan_key: int, plan) -> None:
+        try:
+            if plan_key not in worker.plans:
+                worker.conn.send(("plan", plan_key, plan))
+                worker.plans.add(plan_key)
+            for seq in sorted(worker.outstanding):
+                worker.conn.send(("task", seq, plan_key, worker.outstanding[seq]))
+        except (OSError, ValueError):
+            # Worker already dead: the gather loop observes EOF and retries.
+            pass
+
+    def _recover(self, worker: _Worker, retried: set[int], plan_key: int, plan) -> None:
+        """Respawn a dead worker and retry its tasks, within budget."""
+        tasks = dict(worker.outstanding)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        self.restarts += 1
+        exhausted = [
+            seq for seq in tasks if self._retries < 1 or seq in retried
+        ]
+        if exhausted:
+            self._terminate_locked()
+            raise WorkerCrashError(
+                f"worker process died executing parallel task(s) {sorted(tasks)} "
+                "and the retry budget is exhausted"
+            )
+        retried.update(tasks)
+        fresh = self._spawn()
+        fresh.outstanding = tasks
+        self._workers[self._workers.index(worker)] = fresh
+        self._send_tasks(fresh, plan_key, plan)
+
+    def _terminate_locked(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+        self._workers.clear()
+        self._stopped = True
+
+    def stop(self) -> None:
+        """Graceful, idempotent teardown: stop messages, join, terminate."""
+        with self._lock:
+            if self._stopped and not self._workers:
+                return
+            for worker in self._workers:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for worker in self._workers:
+                worker.process.join(timeout=2.0)
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                if worker.process.is_alive():  # pragma: no cover - stuck worker
+                    worker.process.terminate()
+                    worker.process.join(timeout=2.0)
+            self._workers.clear()
+            self._stopped = True
+
+
+class ParallelExecution:
+    """Engine-facing parallel context: pool + segment store + routing.
+
+    Passed as ``execute_plan(..., parallel=...)``.  Exposes
+    ``morsel_rows`` (the partition threshold), :meth:`map_morsels` (pool
+    or identical in-process loop), and :meth:`run_open_shards` (batched
+    OPEN repetition sharding).  Thread-safe: one pool batch runs at a
+    time; a second concurrent query finding the pool busy runs its
+    (bit-identical) morsel loop in-process instead of queueing.
+    """
+
+    def __init__(self, config: ExecutionConfig | None = None):
+        self.config = config or ExecutionConfig()
+        self._processes = self.config.resolved_processes()
+        self.morsel_rows = self.config.resolved_morsel_rows()
+        self._store = SharedRelationStore(self.config.max_shared_segments)
+        self._pool: WorkerPool | None = None
+        self._pool_lock = threading.Lock()
+        self._batch_lock = threading.Lock()
+        self._closed = False
+        self._counters = {
+            "parallel_batches": 0,
+            "local_batches": 0,
+            "tasks_dispatched": 0,
+            "plan_fallbacks": 0,
+            "pool_busy": 0,
+        }
+        # Engines dropped without shutdown() must not leak /dev/shm
+        # segments: the finalizer releases the store when this context is
+        # collected (the pool's daemon processes die with the parent).
+        weakref.finalize(self, SharedRelationStore.close_all, self._store)
+
+    # -- engine integration ------------------------------------------- #
+
+    @property
+    def processes(self) -> int:
+        return self._processes
+
+    def note_fallback(self) -> None:
+        """A size-qualified plan could not be morsel-decomposed."""
+        self._counters["plan_fallbacks"] += 1
+
+    def map_morsels(
+        self,
+        plan,
+        relation,
+        weights,
+        ranges: Sequence[tuple[int, int]],
+        domain_sizes: tuple[int, ...],
+        total_cells: int,
+    ) -> list[dict]:
+        """Partial aggregates for every morsel, pool-executed when possible.
+
+        The in-process loop below runs the *same* fragment executor over
+        the same ranges, so both paths return identical partial lists.
+        """
+        if not self._closed and self._processes >= 1 and len(ranges) >= 2:
+            partials = self._pool_morsels(
+                plan, relation, weights, ranges, domain_sizes, total_cells
+            )
+            if partials is not None:
+                return partials
+        self._counters["local_batches"] += 1
+        return [
+            execute_plan_morsel(
+                plan, relation, start, stop, weights, domain_sizes, total_cells
+            )
+            for start, stop in ranges
+        ]
+
+    def _pool_morsels(
+        self, plan, relation, weights, ranges, domain_sizes, total_cells
+    ) -> list[dict] | None:
+        if not self._batch_lock.acquire(blocking=False):
+            self._counters["pool_busy"] += 1
+            return None
+        try:
+            pool = self._ensure_pool()
+            if pool is None:
+                return None
+            extras = {} if weights is None else {WEIGHTS_EXTRA: weights}
+            try:
+                handle = self._store.lease(relation, extras)
+            except MosaicError:
+                return None
+            try:
+                payloads = [
+                    {
+                        "op": "morsel",
+                        "rel": handle.descriptor,
+                        "start": start,
+                        "stop": stop,
+                        "weighted": weights is not None,
+                        "domain": domain_sizes,
+                        "cells": total_cells,
+                    }
+                    for start, stop in ranges
+                ]
+                partials = pool.run_batch(plan, payloads)
+            finally:
+                handle.release()
+            self._counters["parallel_batches"] += 1
+            self._counters["tasks_dispatched"] += len(payloads)
+            return partials
+        finally:
+            self._batch_lock.release()
+
+    def run_open_shards(
+        self, plan, data, rep_ids: np.ndarray, repetitions: int, weight_value: float
+    ):
+        """Shard a batched OPEN execution across repetitions on the pool.
+
+        Returns ``(aggregate_node, CompositeAggregates)`` bit-identical to
+        :func:`~repro.engine.compiler.execute_plan_composite`, or ``None``
+        when the pool should not (or cannot) run it — the caller then uses
+        the one-pass in-process composite, which produces the same answer.
+        """
+        if (
+            self._closed
+            or self._processes < 1
+            or repetitions < 2
+            or data.num_rows <= self.morsel_rows
+        ):
+            return None
+        layout = composite_layout(plan, data)
+        if layout is None:
+            self.note_fallback()
+            return None
+        aggregate, domain_sizes, domain_total = layout
+        if not self._batch_lock.acquire(blocking=False):
+            self._counters["pool_busy"] += 1
+            return None
+        try:
+            pool = self._ensure_pool()
+            if pool is None:
+                return None
+            rep_ids = np.ascontiguousarray(rep_ids, dtype=np.int64)
+            try:
+                handle = self._store.lease(data, {REP_EXTRA: rep_ids})
+            except MosaicError:
+                return None
+            try:
+                payloads = []
+                shards = min(self._processes, repetitions)
+                for chunk in np.array_split(np.arange(repetitions), shards):
+                    rep_base, rep_stop = int(chunk[0]), int(chunk[-1]) + 1
+                    payloads.append(
+                        {
+                            "op": "open",
+                            "rel": handle.descriptor,
+                            # rep_ids ascend (batch rows are rep-major), so
+                            # shard row ranges come from binary search.
+                            "start": int(np.searchsorted(rep_ids, rep_base, "left")),
+                            "stop": int(np.searchsorted(rep_ids, rep_stop, "left")),
+                            "rep_base": rep_base,
+                            "rep_count": rep_stop - rep_base,
+                            "weight": float(weight_value),
+                            "domain": domain_sizes,
+                            "domain_total": domain_total,
+                        }
+                    )
+                partials = pool.run_batch(plan, payloads)
+            finally:
+                handle.release()
+            self._counters["parallel_batches"] += 1
+            self._counters["tasks_dispatched"] += len(payloads)
+            return aggregate, merge_composite_partials(
+                partials, repetitions, domain_total
+            )
+        finally:
+            self._batch_lock.release()
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _ensure_pool(self) -> WorkerPool | None:
+        with self._pool_lock:
+            if self._closed:
+                return None
+            if self._pool is None:
+                pool = WorkerPool(
+                    self._processes,
+                    batch_timeout=self.config.worker_timeout,
+                    start_method=self.config.resolved_start_method(),
+                    max_task_retries=self.config.max_task_retries,
+                )
+                try:
+                    pool.start()
+                except Exception:  # pragma: no cover - spawn failure
+                    pool.stop()
+                    self._processes = 0
+                    return None
+                self._pool = pool
+                weakref.finalize(self, WorkerPool.stop, pool)
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.stop()
+        self._store.close_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pids(self) -> list[int]:
+        pool = self._pool
+        return pool.worker_pids if pool is not None else []
+
+    def stats(self) -> dict[str, int]:
+        """Flat counters for observability (``Engine.cache_stats``)."""
+        store = self._store.stats()
+        pool = self._pool
+        return {
+            "workers": self._processes,
+            "worker_restarts": pool.restarts if pool is not None else 0,
+            **self._counters,
+            "segments_shared": store["shares"],
+            "segment_reuses": store["reuses"],
+            "segment_evictions": store["evictions"],
+            "live_segments": store["live_segments"],
+        }

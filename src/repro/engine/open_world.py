@@ -395,6 +395,7 @@ def evaluate_open(
     rng: np.random.Generator,
     plan: LogicalPlan | None = None,
     executor: Executor | None = None,
+    parallel=None,
 ) -> tuple[Relation, list[str]]:
     """Answer ``query`` from generated population samples.
 
@@ -412,6 +413,13 @@ def evaluate_open(
     the session RNG state regardless of scheduling — serial
     (``max_workers=1``), per-call-pool, and shared-pool execution are
     bit-identical.
+
+    ``parallel`` is the engine's
+    :class:`~repro.core.workers.ParallelExecution` context.  The batched
+    path shards its single composite pass across repetitions on the worker
+    pool (see :meth:`run_open_shards`); the per-repetition loop and the
+    non-aggregate path hand it to :func:`execute_plan` for ordinary morsel
+    scans.  Every parallel variant is bit-identical to serial execution.
     """
     generator_name = getattr(generator, "name", type(generator).__name__)
     rows = config.rows_per_generation or source.sample.num_rows
@@ -445,7 +453,7 @@ def evaluate_open(
             f"non-aggregate OPEN query: materialised one generated sample of "
             f"{rows} row(s)"
         )
-        return execute_plan(plan, generated), notes
+        return execute_plan(plan, generated, parallel=parallel), notes
 
     if uses_batched_execution(generator, config, query):
         return _evaluate_open_batched(
@@ -459,6 +467,7 @@ def evaluate_open(
             rows,
             notes,
             generation_lock,
+            parallel,
         )
 
     streams = _repetition_streams(rng, config.repetitions)
@@ -472,7 +481,7 @@ def evaluate_open(
         # tuples ("uniformly reweight the generated sample to match the size
         # of the population", Sec. 5.3); the view filter keeps that scale.
         weights = np.full(generated.num_rows, population_size / rows)
-        return execute_plan(plan, generated, weights)
+        return execute_plan(plan, generated, weights, parallel=parallel)
 
     workers = config.resolved_workers()
     if workers > 1 and executor is not None:
@@ -521,6 +530,7 @@ def _evaluate_open_batched(
     rows: int,
     notes: list[str],
     generation_lock: threading.Lock | None,
+    parallel=None,
 ) -> tuple[Relation, list[str]]:
     """The single-pass OPEN path: one batch, one execution, one combine.
 
@@ -563,10 +573,23 @@ def _evaluate_open_batched(
     # Each generated tuple stands for population_size / rows population
     # tuples ("uniformly reweight the generated sample to match the size
     # of the population", Sec. 5.3); the view filter keeps that scale.
-    weights = np.full(data.num_rows, population_size / rows)
-    aggregate_node, composite = execute_plan_composite(
-        plan, data, rep_ids, repetitions, weights
+    weight_value = population_size / rows
+    # Large batches shard across the worker pool on repetition boundaries:
+    # every (rep, group) composite cell lives wholly inside one shard, so
+    # the stitched result is bit-identical to the one-pass execution below.
+    sharded = (
+        None
+        if parallel is None
+        else parallel.run_open_shards(plan, data, rep_ids, repetitions, weight_value)
     )
+    if sharded is not None:
+        aggregate_node, composite = sharded
+        notes.append("OPEN: composite pass sharded across the worker pool")
+    else:
+        weights = np.full(data.num_rows, weight_value)
+        aggregate_node, composite = execute_plan_composite(
+            plan, data, rep_ids, repetitions, weights
+        )
     combined = combine_composite_answers(
         data, aggregate_node, composite, participating
     )

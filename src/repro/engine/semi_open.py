@@ -39,20 +39,23 @@ def evaluate_semi_open(
     catalog: Catalog,
     plan: LogicalPlan | None = None,
     reweighted: tuple[Relation, np.ndarray, list[str]] | None = None,
+    *,
+    parallel=None,
 ) -> tuple[Relation, list[str]]:
     """Answer ``query`` from the reweighted sample.
 
     ``plan`` is the compiled form of ``query`` over the sample's schema and
     ``reweighted`` a precomputed ``(relation, weights, notes)`` triple —
     both supplied by :class:`~repro.core.database.MosaicDB` on cache hits,
-    recomputed here otherwise.
+    recomputed here otherwise.  ``parallel`` is the engine's
+    :class:`~repro.core.workers.ParallelExecution` context.
     """
     if reweighted is None:
         reweighted = reweighted_sample(source, catalog)
     relation, weights, notes = reweighted
     if plan is None:
         plan = compile_select(query, relation.schema, weighted=True)
-    return execute_plan(plan, relation, weights), list(notes)
+    return execute_plan(plan, relation, weights, parallel=parallel), list(notes)
 
 
 def reweighted_sample(

@@ -130,6 +130,16 @@ class QueryTimeoutError(MosaicError):
     """A query exceeded the server's per-query execution timeout."""
 
 
+class WorkerCrashError(MosaicError):
+    """A parallel worker process died (or stalled) and the task could not
+    be retried.
+
+    The execution layer retries a crashed worker's tasks once on a fresh
+    process; this error surfaces only when the retry also fails or the
+    whole batch times out — queries never hang on a dead worker.
+    """
+
+
 # --------------------------------------------------------------------- #
 # Wire transport
 # --------------------------------------------------------------------- #
@@ -156,6 +166,7 @@ WIRE_CODES: dict[str, type[MosaicError]] = {
     "SERVER": ServerError,
     "QUERY_CANCELLED": QueryCancelledError,
     "QUERY_TIMEOUT": QueryTimeoutError,
+    "WORKER_CRASH": WorkerCrashError,
 }
 
 _CODES_BY_CLASS: dict[type[MosaicError], str] = {

@@ -78,7 +78,9 @@ class Relation:
     arrays are already coerced to the schema's storage dtypes.
     """
 
-    __slots__ = ("_schema", "_columns", "_nrows", "_dictionaries", "_encodings")
+    # __weakref__ lets caches key segments/artifacts on relation identity
+    # with weak references (see repro.relational.shm).
+    __slots__ = ("_schema", "_columns", "_nrows", "_dictionaries", "_encodings", "__weakref__")
 
     def __init__(
         self,
@@ -354,6 +356,28 @@ class Relation:
 
     def head(self, n: int) -> "Relation":
         return self.take(np.arange(min(n, self._nrows)))
+
+    def slice_rows(self, start: int, stop: int) -> "Relation":
+        """The contiguous row window ``[start, stop)`` as zero-copy views.
+
+        Basic numpy slicing: column arrays and encoding codes become views
+        over the parent's buffers (no row data moves), which is what makes
+        morsel-at-a-time execution free to set up.  Memoized dictionaries
+        are not carried over (they describe the full row set)."""
+        if not (0 <= start <= stop <= self._nrows):
+            raise SchemaError(
+                f"row slice [{start}, {stop}) outside relation of {self._nrows} rows"
+            )
+        if start == 0 and stop == self._nrows:
+            return self  # immutable, so the full-range window is the relation
+        return Relation(
+            self._schema,
+            {name: arr[start:stop] for name, arr in self._columns.items()},
+            encodings={
+                name: (vocab, codes[start:stop])
+                for name, (vocab, codes) in self._encodings.items()
+            },
+        )
 
     def project(self, names: Sequence[str]) -> "Relation":
         """Keep only the named columns, in the given order."""

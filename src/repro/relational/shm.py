@@ -1,0 +1,456 @@
+"""Shared-memory backing for relations: segments, descriptors, lifecycles.
+
+The multi-process executor (``repro.core.workers``) needs to hand a
+relation to worker processes without serializing row data.  This module
+places the *storage form* of a relation — numeric column arrays plus the
+``int32`` dictionary-code buffers of TEXT columns — into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and describes
+the layout with a compact, picklable descriptor (segment name plus
+per-column dtype/offset, plus each TEXT column's vocab).  A worker attaches
+in O(1): it maps the segment and wraps ``np.ndarray`` views over the
+buffer; the only per-attach materialisation is the ``vocab[codes]`` gather
+that rebuilds TEXT object columns (shared ``str`` objects, one C loop).
+
+Ownership and lifecycle
+-----------------------
+Segments are owned by the creating process.  :class:`SharedRelationHandle`
+refcounts one segment: the owner unlinks it exactly once, when the last
+reference is released.  :class:`SharedRelationStore` caches handles keyed
+by the identity of the source arrays (relations are immutable), holds one
+cache reference per entry, drops entries when the source relation is
+garbage collected (weakref callbacks) or when the LRU capacity is hit, and
+:meth:`SharedRelationStore.close_all` releases everything idempotently —
+the hook ``Engine.shutdown`` uses to guarantee no ``/dev/shm`` leaks.
+Attaching processes never unlink; they also unregister the mapping from
+``multiprocessing.resource_tracker`` (Python 3.11 registers attachments
+too, which would otherwise double-unlink and warn at worker exit).
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+import weakref
+from collections import OrderedDict
+from multiprocessing import resource_tracker, shared_memory
+from typing import Mapping, NamedTuple
+
+import numpy as np
+
+from repro.errors import MosaicError, SchemaError
+from repro.relational.dtypes import CODES_DTYPE, DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+#: Every segment this module creates carries this name prefix, so tests
+#: can assert "no mosaic segments leaked" by listing ``/dev/shm``.
+SEGMENT_PREFIX = "mosaic-shm-"
+
+#: Column payloads start on 64-byte boundaries (cache-line aligned loads).
+_ALIGNMENT = 64
+
+
+class ColumnSlot(NamedTuple):
+    """Where one column's storage array lives inside the segment.
+
+    TEXT columns store their ``int32`` codes and carry the vocab here (a
+    tuple of ``str``); other dtypes store the raw array and ``vocab`` is
+    ``None``.  ``dtype`` is the numpy dtype string of the stored buffer.
+    """
+
+    name: str
+    logical: str  # DType value ("INT", "FLOAT", "TEXT", "BOOL")
+    dtype: str
+    offset: int
+    vocab: tuple[str, ...] | None
+
+
+class ExtraSlot(NamedTuple):
+    """A named side array stored alongside the relation (weights, rep ids)."""
+
+    name: str
+    dtype: str
+    offset: int
+
+
+class RelationDescriptor(NamedTuple):
+    """Everything a worker needs to attach: no row data, plain tuples."""
+
+    segment: str
+    num_rows: int
+    columns: tuple[ColumnSlot, ...]
+    extras: tuple[ExtraSlot, ...]
+
+
+class AttachedRelation:
+    """A worker-side view of a shared relation (plus its extra arrays).
+
+    ``relation`` columns are read-only numpy views over the mapped
+    segment; ``extras`` maps side-array names to read-only views.  Keep
+    this object alive while any of those arrays is in use; :meth:`close`
+    drops the views and unmaps the segment (never unlinks).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        relation: Relation,
+        extras: dict[str, np.ndarray],
+    ):
+        self._shm = shm
+        self.relation = relation
+        self.extras = extras
+
+    def close(self) -> None:
+        self.relation = None  # type: ignore[assignment]
+        self.extras = {}
+        try:
+            self._shm.close()
+        except BufferError:  # a view escaped; the mapping dies with the process
+            pass
+
+
+class _LazyTextColumns(dict):
+    """A relation's column mapping with TEXT object gathers deferred.
+
+    Fragment execution reads TEXT columns through their ``(vocab, codes)``
+    encodings — codespace predicates, encoded group codes — so an attached
+    relation usually never needs the object arrays at all.  Only
+    materialised entries live in the dict storage; looking up a pending
+    column runs its ``vocab[codes]`` gather on demand (``__missing__``),
+    so any raw-dict fast path sees real arrays or fails loudly, never a
+    placeholder.  Enumerating the mapping materialises everything first.
+    """
+
+    def __init__(
+        self,
+        eager: dict[str, np.ndarray],
+        pending: dict[str, tuple[np.ndarray, np.ndarray]],
+    ):
+        super().__init__(eager)
+        self._pending = dict(pending)
+
+    def __missing__(self, name: str) -> np.ndarray:
+        vocab, codes = self._pending.pop(name)
+        column = vocab[codes] if vocab.size else np.empty(len(codes), dtype=object)
+        self[name] = column
+        return column
+
+    def _materialize_all(self) -> None:
+        for name in list(self._pending):
+            self[name]
+
+    def __contains__(self, name) -> bool:
+        return super().__contains__(name) or name in self._pending
+
+    def __len__(self) -> int:
+        return super().__len__() + len(self._pending)
+
+    def __iter__(self):
+        self._materialize_all()
+        return super().__iter__()
+
+    def keys(self):
+        self._materialize_all()
+        return super().keys()
+
+    def values(self):
+        self._materialize_all()
+        return super().values()
+
+    def items(self):
+        self._materialize_all()
+        return super().items()
+
+
+def _storage_arrays(
+    relation: Relation, extras: Mapping[str, np.ndarray] | None
+) -> tuple[list[tuple[str, str, np.ndarray, tuple[str, ...] | None]], list[tuple[str, np.ndarray]]]:
+    """The payload arrays to copy into a segment, in layout order."""
+    payloads: list[tuple[str, str, np.ndarray, tuple[str, ...] | None]] = []
+    for field in relation.schema:
+        if field.dtype is DType.TEXT:
+            entry = relation.encoding(field.name)
+            if entry is None:
+                # Raw-constructed TEXT column: fall back to the memoized
+                # dense dictionary (order-preserving, same strings).
+                entry = relation.dictionary(field.name)
+            vocab, codes = entry
+            payloads.append(
+                (
+                    field.name,
+                    field.dtype.value,
+                    np.ascontiguousarray(codes, dtype=CODES_DTYPE),
+                    tuple(str(v) for v in vocab),
+                )
+            )
+        else:
+            payloads.append(
+                (
+                    field.name,
+                    field.dtype.value,
+                    np.ascontiguousarray(relation.column(field.name)),
+                    None,
+                )
+            )
+    extra_payloads = [
+        (name, np.ascontiguousarray(array)) for name, array in (extras or {}).items()
+    ]
+    return payloads, extra_payloads
+
+
+def share_relation(
+    relation: Relation, extras: Mapping[str, np.ndarray] | None = None
+) -> "SharedRelationHandle":
+    """Copy ``relation``'s storage into a fresh shared segment.
+
+    ``extras`` are side arrays shipped in the same segment (e.g. a weight
+    vector, OPEN repetition ids); they must have ``relation.num_rows``
+    elements.  Returns a handle holding one reference — release it to
+    unlink the segment.
+    """
+    payloads, extra_payloads = _storage_arrays(relation, extras)
+    for name, array in extra_payloads:
+        if array.dtype == object:
+            raise SchemaError(f"extra array {name!r} must be numeric")
+        if array.shape[0] != relation.num_rows:
+            raise SchemaError(
+                f"extra array {name!r} has {array.shape[0]} rows, relation has "
+                f"{relation.num_rows}"
+            )
+
+    offset = 0
+    column_slots: list[ColumnSlot] = []
+    extra_slots: list[ExtraSlot] = []
+    placed: list[tuple[int, np.ndarray]] = []
+    for name, logical, array, vocab in payloads:
+        offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+        column_slots.append(ColumnSlot(name, logical, array.dtype.str, offset, vocab))
+        placed.append((offset, array))
+        offset += array.nbytes
+    for name, array in extra_payloads:
+        offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+        extra_slots.append(ExtraSlot(name, array.dtype.str, offset))
+        placed.append((offset, array))
+        offset += array.nbytes
+
+    name = f"{SEGMENT_PREFIX}{uuid.uuid4().hex[:16]}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+    for slot_offset, array in placed:
+        if array.size == 0:
+            continue
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=slot_offset)
+        view[:] = array
+        del view
+    descriptor = RelationDescriptor(
+        segment=shm.name,
+        num_rows=relation.num_rows,
+        columns=tuple(column_slots),
+        extras=tuple(extra_slots),
+    )
+    return SharedRelationHandle(shm, descriptor)
+
+
+def attach_relation(
+    descriptor: RelationDescriptor, window: tuple[int, int] | None = None
+) -> AttachedRelation:
+    """Map a shared segment and rebuild the relation over it (O(1) in rows).
+
+    Numeric columns and code buffers are zero-copy read-only views; TEXT
+    object columns are *lazy* — fragment execution works in code space, so
+    the ``vocab[codes]`` gather only runs if a caller asks for the object
+    array (see :class:`_LazyTextColumns`).
+
+    ``window=(start, stop)`` attaches only that row range: numeric views
+    point into the segment at the window offset and the TEXT gather runs
+    over the window's codes alone, so a worker assigned one morsel pays
+    for one morsel — not for the whole relation.  Extras are windowed the
+    same way.  Codes still index the full shared vocab, so dictionary
+    encodings stay consistent with whole-relation domain layouts.
+    """
+    shm = shared_memory.SharedMemory(name=descriptor.segment)
+    # Python 3.11 registers *attachments* with the resource tracker, which
+    # would warn and double-unlink at exit; only the creator owns cleanup.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    start, stop = (0, descriptor.num_rows) if window is None else window
+    if not 0 <= start <= stop <= descriptor.num_rows:
+        shm.close()
+        raise MosaicError(
+            f"attach window [{start}, {stop}) outside relation of "
+            f"{descriptor.num_rows} rows"
+        )
+    n = stop - start
+
+    def view(dtype: str, offset: int) -> np.ndarray:
+        spec = np.dtype(dtype)
+        array = np.ndarray(
+            n, dtype=spec, buffer=shm.buf, offset=offset + start * spec.itemsize
+        )
+        array.flags.writeable = False
+        return array
+
+    fields: list[Field] = []
+    columns: dict[str, np.ndarray] = {}
+    pending: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    encodings: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for slot in descriptor.columns:
+        logical = DType(slot.logical)
+        fields.append(Field(slot.name, logical))
+        if logical is DType.TEXT:
+            assert slot.vocab is not None
+            vocab = np.empty(len(slot.vocab), dtype=object)
+            vocab[:] = list(slot.vocab)
+            codes = view(slot.dtype, slot.offset)
+            # Placeholder with the right row count for the constructor's
+            # length check; the lazy mapping below replaces it.
+            columns[slot.name] = codes
+            pending[slot.name] = (vocab, codes)
+            encodings[slot.name] = (vocab, codes)
+        else:
+            columns[slot.name] = view(slot.dtype, slot.offset)
+    extras = {slot.name: view(slot.dtype, slot.offset) for slot in descriptor.extras}
+    relation = Relation(Schema(fields), columns, encodings=encodings)
+    if pending:
+        eager = {
+            name: array
+            for name, array in relation._columns.items()
+            if name not in pending
+        }
+        relation._columns = _LazyTextColumns(eager, pending)
+    return AttachedRelation(shm, relation, extras)
+
+
+class SharedRelationHandle:
+    """One owned segment, refcounted; unlinks exactly once at zero refs."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, descriptor: RelationDescriptor):
+        self._shm = shm
+        self.descriptor = descriptor
+        self._refs = 1
+        self._lock = threading.Lock()
+        self._unlinked = False
+
+    @property
+    def segment_name(self) -> str:
+        return self.descriptor.segment
+
+    def acquire(self) -> "SharedRelationHandle":
+        with self._lock:
+            if self._unlinked:
+                raise MosaicError(
+                    f"shared segment {self.segment_name} was already released"
+                )
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last release closes and unlinks."""
+        with self._lock:
+            if self._unlinked:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._unlinked = True
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - escaped view
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup raced
+            pass
+
+
+class SharedRelationStore:
+    """A refcounting LRU cache of shared segments, keyed by array identity.
+
+    Relations are immutable, so ``id(relation)`` (plus the ids of any extra
+    arrays) identifies the exact bytes a segment holds; weak references on
+    the sources both keep the key honest (an id can only be reused after
+    the referent dies, which first evicts the entry) and garbage-collect
+    segments whose relation is gone.  ``max_segments`` bounds resident
+    segments: least-recently-leased entries are released first (their
+    segment lives on until outstanding leases drop).  All methods are
+    thread-safe; :meth:`close_all` is idempotent.
+    """
+
+    def __init__(self, max_segments: int = 16):
+        self._max = max(1, max_segments)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple, SharedRelationHandle]" = OrderedDict()
+        self._pins: dict[tuple, list] = {}  # weakrefs keeping key ids valid
+        self._closed = False
+        self._stats = {"shares": 0, "reuses": 0, "evictions": 0}
+
+    def lease(
+        self, relation: Relation, extras: Mapping[str, np.ndarray] | None = None
+    ) -> SharedRelationHandle:
+        """A handle for ``relation`` (+1 ref, caller must ``release()``).
+
+        Serves a cached segment when the same relation (and extra arrays)
+        was shared before; otherwise copies it into a new segment.
+        """
+        extras = dict(extras or {})
+        key = (id(relation), tuple(sorted((n, id(a)) for n, a in extras.items())))
+        with self._lock:
+            if self._closed:
+                raise MosaicError("shared-relation store is closed")
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._stats["reuses"] += 1
+                return cached.acquire()
+        handle = share_relation(relation, extras)
+        with self._lock:
+            if self._closed:
+                handle.release()
+                raise MosaicError("shared-relation store is closed")
+            raced = self._entries.get(key)
+            if raced is not None:  # another thread shared the same relation
+                handle.release()
+                self._entries.move_to_end(key)
+                self._stats["reuses"] += 1
+                return raced.acquire()
+            self._stats["shares"] += 1
+            self._entries[key] = handle
+            self._pins[key] = [
+                weakref.ref(source, lambda _, k=key: self._evict(k))
+                for source in (relation, *extras.values())
+            ]
+            handle.acquire()  # the caller's reference, on top of the cache's
+            while len(self._entries) > self._max:
+                stale_key, stale = self._entries.popitem(last=False)
+                self._pins.pop(stale_key, None)
+                self._stats["evictions"] += 1
+                stale.release()
+            return handle
+
+    def _evict(self, key: tuple) -> None:
+        """Weakref callback: a source array died, drop its segment."""
+        with self._lock:
+            handle = self._entries.pop(key, None)
+            self._pins.pop(key, None)
+        if handle is not None:
+            handle.release()
+
+    def close_all(self) -> None:
+        """Release every cached segment and refuse further leases (idempotent)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._pins.clear()
+            self._closed = True
+        for handle in entries:
+            handle.release()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {**self._stats, "live_segments": len(self._entries)}

@@ -18,6 +18,7 @@ import sys
 
 from repro.core.engine import Engine
 from repro.core.session import SessionConfig
+from repro.core.workers import ExecutionConfig
 from repro.server.server import MosaicServer
 
 
@@ -46,11 +47,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-query wall-clock limit in seconds (default: none)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="morsel-execution worker processes (default: MOSAIC_WORKERS or 0)",
+    )
     return parser
 
 
 async def run(args: argparse.Namespace) -> int:
-    engine = Engine(seed=args.seed)
+    engine = Engine(
+        seed=args.seed, execution=ExecutionConfig(processes=args.workers)
+    )
     if args.init_sql:
         with open(args.init_sql) as handle:
             script = handle.read()

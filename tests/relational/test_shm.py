@@ -1,0 +1,275 @@
+"""Shared-memory relation segments: round-trips, lifecycle, concurrency."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import MosaicError, SchemaError
+from repro.relational.dtypes import DType
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.shm import (
+    SEGMENT_PREFIX,
+    SharedRelationStore,
+    attach_relation,
+    share_relation,
+)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture
+def rel():
+    schema = Schema.of(id=DType.INT, score=DType.FLOAT, tag=DType.TEXT, ok=DType.BOOL)
+    return Relation.from_columns(
+        schema,
+        {
+            "id": [3, 1, 4, 1, 5],
+            "score": [0.5, -1.5, 2.25, float("nan"), 3.5],
+            "tag": ["b", "a", "b", "c", "a"],
+            "ok": [True, False, True, True, False],
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_every_dtype_round_trips(self, rel):
+        handle = share_relation(rel)
+        try:
+            attached = attach_relation(handle.descriptor)
+            try:
+                assert attached.relation.schema == rel.schema
+                for name in rel.column_names:
+                    ours, theirs = rel.column(name), attached.relation.column(name)
+                    assert ours.dtype == theirs.dtype
+                    if ours.dtype == object:
+                        assert list(ours) == list(theirs)
+                    else:
+                        assert ours.tobytes() == theirs.tobytes()
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_text_stays_in_code_space(self, rel):
+        handle = share_relation(rel)
+        try:
+            attached = attach_relation(handle.descriptor)
+            try:
+                encoding = attached.relation.encoding("tag")
+                assert encoding is not None
+                vocab, codes = encoding
+                assert codes.dtype == np.int32
+                assert list(vocab[codes]) == list(rel.column("tag"))
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_merged_vocab_round_trips(self, rel):
+        # concat merges vocabularies code-side; the shared encoding must
+        # carry the merged vocab, including entries only one side uses.
+        other = Relation.from_columns(
+            rel.schema,
+            {
+                "id": [9],
+                "score": [0.0],
+                "tag": ["zz"],
+                "ok": [False],
+            },
+        )
+        merged = rel.concat(other)
+        handle = share_relation(merged)
+        try:
+            attached = attach_relation(handle.descriptor)
+            try:
+                assert list(attached.relation.column("tag")) == list(
+                    merged.column("tag")
+                )
+                vocab, _ = attached.relation.encoding("tag")
+                assert "zz" in set(vocab)
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_empty_relation(self):
+        schema = Schema.of(x=DType.INT, t=DType.TEXT)
+        empty = Relation.empty(schema)
+        handle = share_relation(empty)
+        try:
+            attached = attach_relation(handle.descriptor)
+            try:
+                assert attached.relation.num_rows == 0
+                assert attached.relation.schema == schema
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_extras_round_trip(self, rel):
+        weights = np.linspace(0.5, 2.5, rel.num_rows)
+        handle = share_relation(rel, extras={"__weights__": weights})
+        try:
+            attached = attach_relation(handle.descriptor)
+            try:
+                assert attached.extras["__weights__"].tobytes() == weights.tobytes()
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_extras_must_match_row_count(self, rel):
+        with pytest.raises(SchemaError):
+            share_relation(rel, extras={"__weights__": np.ones(rel.num_rows + 1)})
+
+    def test_windowed_attach_sees_exactly_the_row_range(self, rel):
+        handle = share_relation(rel, extras={"__weights__": np.arange(5.0)})
+        try:
+            attached = attach_relation(handle.descriptor, window=(1, 4))
+            try:
+                window = attached.relation
+                expected = rel.slice_rows(1, 4)
+                assert window.num_rows == 3
+                for name in rel.column_names:
+                    ours, theirs = expected.column(name), window.column(name)
+                    if ours.dtype == object:
+                        assert list(ours) == list(theirs)
+                    else:
+                        assert ours.tobytes() == theirs.tobytes()
+                vocab, codes = window.encoding("tag")
+                assert list(vocab[codes]) == list(expected.column("tag"))
+                assert attached.extras["__weights__"].tolist() == [1.0, 2.0, 3.0]
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_windowed_attach_rejects_out_of_bounds(self, rel):
+        handle = share_relation(rel)
+        try:
+            with pytest.raises(MosaicError):
+                attach_relation(handle.descriptor, window=(2, 6))
+        finally:
+            handle.release()
+
+    def test_attached_views_are_read_only(self, rel):
+        handle = share_relation(rel)
+        try:
+            attached = attach_relation(handle.descriptor)
+            try:
+                with pytest.raises(ValueError):
+                    attached.relation.column("id")[0] = 99
+            finally:
+                attached.close()
+        finally:
+            handle.release()
+
+
+class TestLifecycle:
+    def test_release_unlinks_segment(self, rel):
+        handle = share_relation(rel)
+        name = handle.descriptor.segment
+        assert name.startswith(SEGMENT_PREFIX)
+        assert _segment_exists(name)
+        handle.release()
+        assert not _segment_exists(name)
+
+    def test_refcount_keeps_segment_alive(self, rel):
+        handle = share_relation(rel)
+        name = handle.descriptor.segment
+        handle.acquire()
+        handle.release()
+        assert _segment_exists(name)
+        handle.release()
+        assert not _segment_exists(name)
+
+    def test_acquire_after_unlink_raises(self, rel):
+        handle = share_relation(rel)
+        handle.release()
+        with pytest.raises(MosaicError):
+            handle.acquire()
+
+    def test_store_reuses_segments(self, rel):
+        store = SharedRelationStore(max_segments=4)
+        try:
+            first = store.lease(rel)
+            second = store.lease(rel)
+            assert first.descriptor.segment == second.descriptor.segment
+            first.release()
+            second.release()
+            stats = store.stats()
+            assert stats["shares"] == 1
+            assert stats["reuses"] == 1
+            assert stats["live_segments"] == 1
+        finally:
+            store.close_all()
+
+    def test_store_evicts_least_recently_used(self, rel):
+        store = SharedRelationStore(max_segments=2)
+        try:
+            relations = [rel.slice_rows(0, i + 1) for i in range(3)]
+            handles = [store.lease(r) for r in relations]
+            names = [h.descriptor.segment for h in handles]
+            for handle in handles:
+                handle.release()
+            assert store.stats()["evictions"] == 1
+            assert not _segment_exists(names[0])  # oldest evicted
+            assert _segment_exists(names[1]) and _segment_exists(names[2])
+        finally:
+            store.close_all()
+
+    def test_close_all_is_idempotent(self, rel):
+        store = SharedRelationStore()
+        handle = store.lease(rel)
+        name = handle.descriptor.segment
+        handle.release()
+        store.close_all()
+        store.close_all()
+        assert store.closed
+        assert not _segment_exists(name)
+        with pytest.raises(MosaicError):
+            store.lease(rel)
+
+
+def _attach_and_report(descriptor, column, queue):
+    attached = attach_relation(descriptor)
+    try:
+        values = attached.relation.column(column)
+        queue.put((os.getpid(), list(values)))
+    finally:
+        attached.close()
+
+
+class TestConcurrentAttach:
+    def test_two_processes_attach_same_segment(self, rel):
+        handle = share_relation(rel)
+        try:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+            queue = ctx.Queue()
+            workers = [
+                ctx.Process(
+                    target=_attach_and_report,
+                    args=(handle.descriptor, "tag", queue),
+                )
+                for _ in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            reports = [queue.get(timeout=30) for _ in workers]
+            for worker in workers:
+                worker.join(timeout=30)
+                assert worker.exitcode == 0
+            pids = {pid for pid, _ in reports}
+            assert len(pids) == 2  # genuinely two distinct processes
+            for _, values in reports:
+                assert values == list(rel.column("tag"))
+        finally:
+            handle.release()
+        assert not _segment_exists(handle.descriptor.segment)

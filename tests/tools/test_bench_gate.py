@@ -52,6 +52,36 @@ class TestCheck:
         assert failures == ["x_ms: missing from current payload"]
 
 
+class TestCheckScaling:
+    METRICS = ("closed_qps_by_workers.4",)
+
+    def test_ok_and_regressed(self):
+        baseline = {"cpu_count": 4, "closed_qps_by_workers": {"4": 100.0}}
+        good = {"cpu_count": 4, "closed_qps_by_workers": {"4": 60.0}}
+        bad = {"cpu_count": 4, "closed_qps_by_workers": {"4": 40.0}}
+        assert gate.check_scaling(baseline, good, 2.0, self.METRICS) == []
+        failures = gate.check_scaling(baseline, bad, 2.0, self.METRICS)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_cpu_count_mismatch_skips_with_message(self, capsys):
+        baseline = {"cpu_count": 16, "closed_qps_by_workers": {"4": 500.0}}
+        current = {"cpu_count": 1, "closed_qps_by_workers": {"4": 10.0}}
+        assert gate.check_scaling(baseline, current, 2.0, self.METRICS) == []
+        out = capsys.readouterr().out
+        assert "cpu_count differs (baseline 16, current 1)" in out
+        assert "machine-bound" in out
+
+    def test_metric_missing_from_current_fails(self):
+        baseline = {"cpu_count": 2, "closed_qps_by_workers": {"4": 50.0}}
+        failures = gate.check_scaling(baseline, {"cpu_count": 2}, 2.0, self.METRICS)
+        assert failures == ["closed_qps_by_workers.4: missing from current payload"]
+
+    def test_metric_missing_from_baseline_is_a_skip(self, capsys):
+        current = {"cpu_count": 2, "closed_qps_by_workers": {"4": 50.0}}
+        assert gate.check_scaling({"cpu_count": 2}, current, 2.0, self.METRICS) == []
+        assert "missing from baseline, skipping" in capsys.readouterr().out
+
+
 class TestCheckPair:
     def test_missing_baseline_file_is_a_skip(self, tmp_path, capsys):
         current = tmp_path / "BENCH_server.json"
@@ -86,6 +116,18 @@ class TestCheckPair:
             ]
         )
         assert code == 0
+
+    def test_parallel_payload_routes_to_scaling_gate(self, tmp_path, capsys):
+        base = tmp_path / "parallel_base.json"
+        base.write_text(
+            json.dumps({"cpu_count": 1, "open_qps_by_workers": {"2": 50.0}})
+        )
+        now = tmp_path / "BENCH_parallel.json"
+        now.write_text(
+            json.dumps({"cpu_count": 1, "open_qps_by_workers": {"2": 10.0}})
+        )
+        failures = gate.check_pair(str(base), str(now), 2.0)
+        assert any("open_qps_by_workers.2 regressed" in f for f in failures)
 
     def test_regression_fails_main(self, tmp_path):
         base = tmp_path / "base.json"
