@@ -11,10 +11,16 @@ This module provides:
   pipes.  Workers receive ``(plan, segment descriptor, morsel)`` tasks,
   attach the shared segment (O(1), zero row serialization — see
   :mod:`repro.relational.shm`), execute the plan fragment, and ship back
-  the small partial-aggregate arrays.  Plans are sent to each worker once
-  and cached by id; crashed workers are respawned and their tasks retried
-  once before the batch fails with :class:`~repro.errors.WorkerCrashError`
-  — a query never hangs on a dead worker.
+  the small partial-aggregate arrays.  Plans and segment descriptors are
+  sent to each worker once and cached by key; task frames are tiny and at
+  most :data:`_MAX_INFLIGHT` of them are queued into a worker's pipe at a
+  time, with results drained between sends — the parent never blocks
+  writing a pipe whose worker is itself blocked writing a large result,
+  so a batch cannot deadlock on full socket buffers.  Crashed workers are
+  respawned and their tasks retried (``max_task_retries`` times per task)
+  before the batch fails with :class:`~repro.errors.WorkerCrashError` —
+  a query never hangs on a dead worker, and after a failed batch the next
+  query respawns a fresh pool.
 - :class:`ParallelExecution` — the engine-facing context.  It owns the
   pool and the :class:`~repro.relational.shm.SharedRelationStore`, decides
   pool vs. in-process execution, and shards batched OPEN runs across
@@ -29,6 +35,14 @@ worker count — worker scheduling can never reorder a float reduction.  The
 pool is therefore purely a throughput lever; correctness never depends on
 it, which is also why every pool-side refusal (busy, closed, spawn
 failure) silently degrades to the identical local loop.
+
+Answers *are* a function of ``morsel_rows``, however: above the threshold
+float SUM/AVG accumulate per-morsel and merge pairwise, which can differ
+in the last ulp from the single-pass kernels used at or below it.  Bit
+identity is guaranteed across worker counts at a **fixed** ``morsel_rows``;
+changing ``MOSAIC_MORSEL_ROWS`` (or comparing against a pre-morsel
+release) is a numerics-affecting configuration change, the same way a
+different reduction tree would be in any parallel engine.
 """
 
 from __future__ import annotations
@@ -39,7 +53,7 @@ import signal
 import threading
 import time
 import weakref
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from multiprocessing import connection, get_all_start_methods, get_context
 from typing import Sequence
@@ -74,6 +88,22 @@ REP_EXTRA = "__rep__"
 #: distinct relations x morsels a worker keeps mapped.
 _ATTACH_CACHE_SIZE = 32
 
+#: Per-worker cap on cached segment descriptors (LRU).  A descriptor is
+#: sent **once per segment** — it carries the TEXT vocab tuples, which can
+#: be large — and tasks reference it by segment name.  The parent mirrors
+#: each worker's cache exactly (same inserts, same touches, same
+#: evictions, in pipe order), so both sides always agree on which
+#: descriptors a worker holds.
+_REL_CACHE_SIZE = 16
+
+#: Cap on task frames queued into one worker's pipe at a time.  Task
+#: messages are tiny (the descriptor ships separately), so this many
+#: always fit in the OS pipe buffer: the parent's sends never block on a
+#: worker that is itself blocked writing a large partial, which rules out
+#: the send/send deadlock a fire-hose dispatch could produce.  Two keeps
+#: a worker busy (one computing, one buffered) without batching latency.
+_MAX_INFLIGHT = 2
+
 
 @dataclass
 class ExecutionConfig:
@@ -81,11 +111,16 @@ class ExecutionConfig:
 
     ``processes=None`` reads ``MOSAIC_WORKERS`` (unset/0 disables the
     pool); ``morsel_rows=None`` reads ``MOSAIC_MORSEL_ROWS`` (default
-    ``DEFAULT_MORSEL_ROWS``).  ``start_method=None`` prefers ``fork``
-    (workers inherit the loaded interpreter; ~ms spawn) and falls back to
-    ``spawn``; override via ``MOSAIC_WORKER_START_METHOD``.
-    ``max_task_retries`` is the per-task crash-retry budget (0 fails fast,
-    for deterministic crash tests).
+    ``DEFAULT_MORSEL_ROWS``).  ``start_method=None`` picks ``fork`` only
+    from a single-threaded parent (workers inherit the loaded
+    interpreter; ~ms spawn) — the pool spawns lazily on the first
+    qualifying query, by which point the engine's OPEN thread pool or the
+    TCP server's threads may exist, and forking a multithreaded process
+    can deadlock the child on locks held mid-fork (deprecated outright on
+    CPython 3.12+).  Threaded parents get ``forkserver`` (or ``spawn``);
+    ``fork`` stays available as an explicit opt-in via the field or
+    ``MOSAIC_WORKER_START_METHOD``.  ``max_task_retries`` is the per-task
+    crash-retry budget (0 fails fast, for deterministic crash tests).
     """
 
     processes: int | None = None
@@ -124,7 +159,11 @@ class ExecutionConfig:
         available = get_all_start_methods()
         if method and method in available:
             return method
-        return "fork" if "fork" in available else "spawn"
+        if "fork" in available and threading.active_count() == 1:
+            return "fork"
+        if "forkserver" in available:
+            return "forkserver"
+        return "spawn"
 
 
 # --------------------------------------------------------------------- #
@@ -157,10 +196,10 @@ def _attach_cached(
     return attached
 
 
-def _run_worker_task(plan, payload: dict, attachments) -> dict:
+def _run_worker_task(plan, descriptor, payload: dict, attachments) -> dict:
     """Execute one plan fragment over an attached shared-relation window."""
     start, stop = payload["start"], payload["stop"]
-    attached = _attach_cached(attachments, payload["rel"], start, stop)
+    attached = _attach_cached(attachments, descriptor, start, stop)
     window = attached.relation  # rows [start, stop) of the shared relation
     if payload["op"] == "morsel":
         weights = attached.extras.get(WEIGHTS_EXTRA) if payload["weighted"] else None
@@ -201,6 +240,7 @@ def _worker_main(conn) -> None:
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     plans: dict[int, object] = {}
+    rels: "OrderedDict[str, object]" = OrderedDict()  # mirrored by the parent
     attachments: "OrderedDict[tuple, AttachedRelation]" = OrderedDict()
     try:
         while True:
@@ -214,9 +254,18 @@ def _worker_main(conn) -> None:
             if op == "plan":
                 plans[message[1]] = message[2]
                 continue
+            if op == "rel":
+                rels[message[1]] = message[2]
+                while len(rels) > _REL_CACHE_SIZE:
+                    rels.popitem(last=False)
+                continue
             seq, plan_key, payload = message[1], message[2], message[3]
             try:
-                result = _run_worker_task(plans[plan_key], payload, attachments)
+                descriptor = rels[payload["rel"]]
+                rels.move_to_end(payload["rel"])
+                result = _run_worker_task(
+                    plans[plan_key], descriptor, payload, attachments
+                )
                 conn.send(("done", seq, result))
             except BaseException as exc:  # ship *every* failure back
                 conn.send(("error", seq, error_to_wire(exc)))
@@ -234,14 +283,40 @@ def _worker_main(conn) -> None:
 # --------------------------------------------------------------------- #
 
 
+class _PoolUnavailableError(MosaicError):
+    """Internal: the pool cannot accept a batch (it stopped under a racing
+    shutdown or crash).  Never crosses the wire; callers degrade to the
+    bit-identical local loop.  Distinct from task errors, which propagate
+    as their real types."""
+
+
+def _register_crashes(
+    crashes: dict[int, int], tasks: dict[int, dict], budget: int
+) -> list[int]:
+    """Count one crash against every task in ``tasks``; return the seqs
+    whose per-task crash count now exceeds the retry ``budget`` (each task
+    may be re-run up to ``budget`` times after its first crash)."""
+    exhausted = []
+    for seq in tasks:
+        crashes[seq] = crashes.get(seq, 0) + 1
+        if crashes[seq] > budget:
+            exhausted.append(seq)
+    return exhausted
+
+
 class _Worker:
-    __slots__ = ("process", "conn", "plans", "outstanding")
+    __slots__ = ("process", "conn", "plans", "rels", "outstanding", "queue", "inflight")
 
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
         self.plans: set[int] = set()  # plan keys this worker already holds
-        self.outstanding: dict[int, dict] = {}  # seq -> payload, current batch
+        # Exact mirror of the worker's descriptor LRU (insert/touch/evict
+        # happen in pipe order on both sides, so they never disagree).
+        self.rels: "OrderedDict[str, None]" = OrderedDict()
+        self.outstanding: dict[int, dict] = {}  # seq -> payload, unfinished
+        self.queue: "deque[int]" = deque()  # assigned but not yet sent
+        self.inflight = 0  # task frames in the pipe or being computed
 
 
 class WorkerPool:
@@ -250,10 +325,13 @@ class WorkerPool:
     One batch runs at a time (callers serialize); within a batch tasks are
     assigned round-robin by sequence number so the assignment is
     deterministic (results merge by sequence, so assignment only affects
-    load balance, never output).  Crash recovery: a dead worker's
-    unfinished tasks move to a fresh process, at most
-    ``max_task_retries`` times per task; beyond that the pool terminates
-    and the batch raises :class:`WorkerCrashError`.
+    load balance, never output).  Dispatch is flow-controlled: each worker
+    holds at most :data:`_MAX_INFLIGHT` small task frames at a time and
+    the parent drains results between sends, so it never blocks writing
+    to a worker that is blocked writing a large partial back.  Crash
+    recovery: a dead worker's unfinished tasks move to a fresh process,
+    at most ``max_task_retries`` times per task; beyond that the pool
+    terminates and the batch raises :class:`WorkerCrashError`.
     """
 
     def __init__(
@@ -277,6 +355,11 @@ class WorkerPool:
 
     def __len__(self) -> int:
         return self._processes
+
+    @property
+    def stopped(self) -> bool:
+        """True once the pool terminated (crash, timeout, or stop())."""
+        return self._stopped
 
     @property
     def worker_pids(self) -> list[int]:
@@ -307,7 +390,7 @@ class WorkerPool:
         """Execute ``payloads`` (one fragment each) and return results in order."""
         with self._lock:
             if self._stopped or not self._workers:
-                raise MosaicError("worker pool is not running")
+                raise _PoolUnavailableError("worker pool is not running")
             return self._run_batch_locked(plan, payloads)
 
     def _plan_key(self, plan) -> int:
@@ -321,13 +404,14 @@ class WorkerPool:
         plan_key = self._plan_key(plan)
         results: list = [None] * len(payloads)
         for seq, payload in enumerate(payloads):
-            self._workers[seq % len(self._workers)].outstanding[seq] = payload
+            worker = self._workers[seq % len(self._workers)]
+            worker.outstanding[seq] = payload
+            worker.queue.append(seq)
         for worker in self._workers:
-            if worker.outstanding:
-                self._send_tasks(worker, plan_key, plan)
+            self._pump(worker, plan_key, plan)
 
         deadline = time.monotonic() + self._timeout
-        retried: set[int] = set()
+        crashes: dict[int, int] = {}  # seq -> workers that died holding it
         pending = len(payloads)
         while pending:
             active = {w.conn: w for w in self._workers if w.outstanding}
@@ -345,31 +429,56 @@ class WorkerPool:
                 try:
                     message = worker.conn.recv()
                 except (EOFError, OSError):
-                    self._recover(worker, retried, plan_key, plan)
+                    self._recover(worker, crashes, plan_key, plan)
                     continue
                 kind, seq, value = message
                 if seq in worker.outstanding:
                     del worker.outstanding[seq]
+                    worker.inflight -= 1
                     results[seq] = (kind, value)
                     pending -= 1
+                self._pump(worker, plan_key, plan)
 
         for kind, value in results:
             if kind == "error":
                 raise error_from_wire(*value)
         return [value for _, value in results]
 
-    def _send_tasks(self, worker: _Worker, plan_key: int, plan) -> None:
+    def _pump(self, worker: _Worker, plan_key: int, plan) -> None:
+        """Top ``worker`` up to the in-flight cap (the batch's send side).
+
+        Called once at batch start and again after every result, so sends
+        interleave with receives: at most :data:`_MAX_INFLIGHT` tiny task
+        frames sit in the pipe while a worker computes.  Plans and segment
+        descriptors (the only large messages) go to a worker at most once
+        each, and only to a worker that is draining its pipe — at batch
+        start or between tasks — never queued behind an unread backlog.
+        """
         try:
-            if plan_key not in worker.plans:
-                worker.conn.send(("plan", plan_key, plan))
-                worker.plans.add(plan_key)
-            for seq in sorted(worker.outstanding):
-                worker.conn.send(("task", seq, plan_key, worker.outstanding[seq]))
+            while worker.queue and worker.inflight < _MAX_INFLIGHT:
+                seq = worker.queue.popleft()
+                payload = worker.outstanding[seq]
+                if plan_key not in worker.plans:
+                    worker.conn.send(("plan", plan_key, plan))
+                    worker.plans.add(plan_key)
+                descriptor = payload["rel"]
+                segment = descriptor.segment
+                if segment in worker.rels:
+                    worker.rels.move_to_end(segment)
+                else:
+                    worker.conn.send(("rel", segment, descriptor))
+                    worker.rels[segment] = None
+                    while len(worker.rels) > _REL_CACHE_SIZE:
+                        worker.rels.popitem(last=False)
+                worker.conn.send(("task", seq, plan_key, {**payload, "rel": segment}))
+                worker.inflight += 1
         except (OSError, ValueError):
             # Worker already dead: the gather loop observes EOF and retries.
             pass
 
-    def _recover(self, worker: _Worker, retried: set[int], plan_key: int, plan) -> None:
+    def _recover(
+        self, worker: _Worker, crashes: dict[int, int], plan_key: int, plan
+    ) -> None:
         """Respawn a dead worker and retry its tasks, within budget."""
         tasks = dict(worker.outstanding)
         try:
@@ -380,20 +489,17 @@ class WorkerPool:
             worker.process.terminate()
         worker.process.join(timeout=2.0)
         self.restarts += 1
-        exhausted = [
-            seq for seq in tasks if self._retries < 1 or seq in retried
-        ]
-        if exhausted:
+        if _register_crashes(crashes, tasks, self._retries):
             self._terminate_locked()
             raise WorkerCrashError(
                 f"worker process died executing parallel task(s) {sorted(tasks)} "
                 "and the retry budget is exhausted"
             )
-        retried.update(tasks)
         fresh = self._spawn()
         fresh.outstanding = tasks
+        fresh.queue = deque(sorted(tasks))
         self._workers[self._workers.index(worker)] = fresh
-        self._send_tasks(fresh, plan_key, plan)
+        self._pump(fresh, plan_key, plan)
 
     def _terminate_locked(self) -> None:
         for worker in self._workers:
@@ -451,6 +557,7 @@ class ParallelExecution:
         self._pool_lock = threading.Lock()
         self._batch_lock = threading.Lock()
         self._closed = False
+        self._restarts_base = 0  # restarts accumulated by discarded pools
         self._counters = {
             "parallel_batches": 0,
             "local_batches": 0,
@@ -529,9 +636,11 @@ class ParallelExecution:
                     }
                     for start, stop in ranges
                 ]
-                partials = pool.run_batch(plan, payloads)
+                partials = self._run_pool_batch(pool, plan, payloads)
             finally:
                 handle.release()
+            if partials is None:
+                return None
             self._counters["parallel_batches"] += 1
             self._counters["tasks_dispatched"] += len(payloads)
             return partials
@@ -592,9 +701,11 @@ class ParallelExecution:
                             "domain_total": domain_total,
                         }
                     )
-                partials = pool.run_batch(plan, payloads)
+                partials = self._run_pool_batch(pool, plan, payloads)
             finally:
                 handle.release()
+            if partials is None:
+                return None
             self._counters["parallel_batches"] += 1
             self._counters["tasks_dispatched"] += len(payloads)
             return aggregate, merge_composite_partials(
@@ -603,12 +714,49 @@ class ParallelExecution:
         finally:
             self._batch_lock.release()
 
+    def _run_pool_batch(
+        self, pool: WorkerPool, plan, payloads: Sequence[dict]
+    ) -> list[dict] | None:
+        """``pool.run_batch`` with failed-pool hygiene.
+
+        A batch that terminates the pool (crash budget exhausted, stall
+        timeout) must not leave the dead pool wired into the engine —
+        otherwise every later large-scan query would raise instead of
+        degrading.  The crash itself still surfaces to the caller; the
+        discarded reference lets the *next* query respawn a fresh pool.
+        A plain refusal (pool stopped under a racing shutdown) returns
+        ``None``: the caller falls back to the bit-identical local loop.
+        Real task errors (a predicate raising over the data, say)
+        propagate as their own types and leave the pool alone — the local
+        loop would raise them identically.
+        """
+        try:
+            return pool.run_batch(plan, payloads)
+        except WorkerCrashError:
+            self._discard_pool(pool)
+            raise
+        except _PoolUnavailableError:
+            self._discard_pool(pool)
+            return None
+
+    def _discard_pool(self, pool: WorkerPool) -> None:
+        """Forget a terminated pool so the next query can respawn one."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._restarts_base += pool.restarts
+                self._pool = None
+        pool.stop()
+
     # -- lifecycle ----------------------------------------------------- #
 
     def _ensure_pool(self) -> WorkerPool | None:
         with self._pool_lock:
             if self._closed:
                 return None
+            if self._pool is not None and self._pool.stopped:
+                # A failed batch terminated this pool; respawn a fresh one.
+                self._restarts_base += self._pool.restarts
+                self._pool = None
             if self._pool is None:
                 pool = WorkerPool(
                     self._processes,
@@ -649,7 +797,8 @@ class ParallelExecution:
         pool = self._pool
         return {
             "workers": self._processes,
-            "worker_restarts": pool.restarts if pool is not None else 0,
+            "worker_restarts": self._restarts_base
+            + (pool.restarts if pool is not None else 0),
             **self._counters,
             "segments_shared": store["shares"],
             "segment_reuses": store["reuses"],

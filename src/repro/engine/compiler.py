@@ -188,9 +188,15 @@ def execute_plan(
     morsel order.  Crucially the *decomposition is a function of the data
     and the threshold only* — a context with zero worker processes runs the
     identical morsel loop in-process — so results never depend on how many
-    workers (if any) executed the morsels.  Plans the morsel path cannot
-    decompose (projections, numeric/unencoded group keys, degenerate key
-    domains) fall back to the dense single-pass kernels below.
+    workers (if any) executed the morsels.  They *are* a function of the
+    threshold itself: float SUM/AVG partials accumulate per-morsel and
+    merge in morsel order, which can differ in the last ulp from the
+    single-pass kernels (so changing ``MOSAIC_MORSEL_ROWS``, or comparing
+    against a run without a parallel context, is a numerics-affecting
+    configuration change — see ARCHITECTURE.md §7).  Plans the morsel
+    path cannot decompose (projections, numeric/unencoded group keys,
+    degenerate key domains) fall back to the dense single-pass kernels
+    below.
     """
     if relation.schema != plan.source_schema:
         raise SchemaError(

@@ -134,9 +134,11 @@ class WorkerCrashError(MosaicError):
     """A parallel worker process died (or stalled) and the task could not
     be retried.
 
-    The execution layer retries a crashed worker's tasks once on a fresh
-    process; this error surfaces only when the retry also fails or the
-    whole batch times out — queries never hang on a dead worker.
+    The execution layer retries a crashed worker's tasks on a fresh
+    process (``ExecutionConfig.max_task_retries`` times per task); this
+    error surfaces only when the budget is exhausted or the whole batch
+    times out — queries never hang on a dead worker, and the engine
+    respawns a fresh pool for the next query.
     """
 
 

@@ -21,9 +21,14 @@ cache reference per entry, drops entries when the source relation is
 garbage collected (weakref callbacks) or when the LRU capacity is hit, and
 :meth:`SharedRelationStore.close_all` releases everything idempotently —
 the hook ``Engine.shutdown`` uses to guarantee no ``/dev/shm`` leaks.
-Attaching processes never unlink; they also unregister the mapping from
-``multiprocessing.resource_tracker`` (Python 3.11 registers attachments
-too, which would otherwise double-unlink and warn at worker exit).
+Attaching processes never unlink; they also attach *untracked* — on
+Python ≤ 3.12 ``SharedMemory`` registers attachments with
+``multiprocessing.resource_tracker``, which would double-unlink at worker
+exit, and compensating with register-then-unregister corrupts the
+tracker's name set when several attachers interleave (the tracker keys a
+plain set, so ``+owner +w1 -w1 +w2 -w2 -owner`` dies on the last
+unregister).  :func:`_attach_segment` keeps the registration from ever
+reaching the tracker instead.
 """
 
 from __future__ import annotations
@@ -48,6 +53,36 @@ SEGMENT_PREFIX = "mosaic-shm-"
 
 #: Column payloads start on 64-byte boundaries (cache-line aligned loads).
 _ALIGNMENT = 64
+
+#: Serializes the register-suppression window in :func:`_attach_segment`
+#: (pre-3.13 interpreters only; workers are single-threaded, this guards
+#: in-process attachers like tests).
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without resource-tracker registration.
+
+    Attachers never own cleanup, but ``SharedMemory(name=...)`` on
+    Python ≤ 3.12 registers the mapping with the resource tracker anyway.
+    Unregistering afterwards is not enough: the tracker keeps a plain
+    ``set`` of names, so interleaved register/unregister pairs from
+    several attachers leave it unbalanced and the owner's final unlink
+    then spams ``KeyError`` tracebacks at exit.  3.13+ exposes
+    ``track=False``; earlier versions suppress the register call for the
+    duration of the map.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 class ColumnSlot(NamedTuple):
@@ -268,13 +303,7 @@ def attach_relation(
     same way.  Codes still index the full shared vocab, so dictionary
     encodings stay consistent with whole-relation domain layouts.
     """
-    shm = shared_memory.SharedMemory(name=descriptor.segment)
-    # Python 3.11 registers *attachments* with the resource tracker, which
-    # would warn and double-unlink at exit; only the creator owns cleanup.
-    try:
-        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    shm = _attach_segment(descriptor.segment)
     start, stop = (0, descriptor.num_rows) if window is None else window
     if not 0 <= start <= stop <= descriptor.num_rows:
         shm.close()

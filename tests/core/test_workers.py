@@ -9,6 +9,7 @@ and shutdown unlinks every shared segment idempotently.
 
 import os
 import signal
+import threading
 import time
 
 import numpy as np
@@ -20,6 +21,7 @@ from repro.core.workers import (
     DEFAULT_MORSEL_ROWS,
     ExecutionConfig,
     ParallelExecution,
+    _register_crashes,
 )
 from repro.client import Connection
 from repro.engine.open_world import IPFSynthesizer, OpenQueryConfig
@@ -36,6 +38,11 @@ from repro.server.server import MosaicServer
 
 ROWS = 12_000
 MORSEL_ROWS = 1024
+
+#: Engines whose pool wedged mid-batch (regression only): kept alive so
+#: their finalizers never run — a finalizer would block on the held pool
+#: lock and turn a clean failure into a session hang.
+_WEDGED_ENGINES: list = []
 
 CLOSED_SQL = (
     "SELECT CLOSED country, COUNT(*) AS n, SUM(age) AS s, AVG(score) AS a, "
@@ -161,6 +168,69 @@ class TestBitIdentity:
             db.close()
 
 
+class TestPipeFlowControl:
+    def test_high_cardinality_results_do_not_deadlock(self):
+        """Partials larger than the pipe buffer must not wedge a batch.
+
+        Every row is its own group, so each per-morsel partial carries
+        O(30k)-cell arrays (hundreds of KB — far beyond the ~64KB pipe
+        buffer) and the descriptor's vocab is ~30k strings.  A dispatch
+        that queued every task (each once carrying that vocab) before
+        reading any result deadlocked here: the worker blocked sending a
+        partial while the parent blocked sending tasks, and the batch
+        deadline never fired.  Flow-controlled dispatch must finish —
+        with answers identical to the serial engine.
+        """
+        rows = 30_000
+        db = MosaicDB(
+            seed=0,
+            execution=ExecutionConfig(
+                processes=1, morsel_rows=2048, worker_timeout=60.0
+            ),
+        )
+        serial_db = MosaicDB(
+            seed=0, execution=ExecutionConfig(processes=0, morsel_rows=2048)
+        )
+        ddl = """
+            CREATE GLOBAL POPULATION P (k TEXT);
+            CREATE SAMPLE S AS (SELECT * FROM P);
+        """
+        data = Relation.from_columns(
+            Schema.of(k=DType.TEXT), {"k": [f"k{i:05d}" for i in range(rows)]}
+        )
+        sql = "SELECT CLOSED k, COUNT(*) AS n FROM P GROUP BY k ORDER BY k"
+        deadlocked = False
+        try:
+            for engine in (db, serial_db):
+                engine.execute_script(ddl)
+                engine.ingest_relation("S", data)
+            outcome: dict = {}
+
+            def run():
+                try:
+                    outcome["relation"] = db.execute(sql).relation
+                except BaseException as exc:  # pragma: no cover - fail path
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            thread.join(timeout=120)
+            deadlocked = thread.is_alive()
+            if not deadlocked:
+                assert "error" not in outcome, outcome.get("error")
+                assert db.engine.execution.stats()["parallel_batches"] >= 1
+                assert_identical(
+                    outcome["relation"], serial_db.execute(sql).relation
+                )
+        finally:
+            serial_db.close()
+            if not deadlocked:
+                db.close()
+            else:  # closing (or even GC-finalizing) a wedged engine hangs
+                _WEDGED_ENGINES.append(db)
+        assert not deadlocked, "parallel batch deadlocked"
+
+
 class TestBitIdentityOverTcp:
     def test_wire_results_match_serial_engine(self):
         serial_db, parallel_db = make_db(processes=0), make_db(processes=2)
@@ -240,6 +310,38 @@ class TestWorkerCrash:
         finally:
             db.close()
 
+    def test_engine_respawns_pool_after_failed_batch(self):
+        # A batch that exhausts the retry budget terminates the pool; the
+        # engine must discard it so the *next* query respawns a fresh one
+        # and answers normally — not raise "worker pool is not running"
+        # until restart.
+        db = make_db(processes=2, max_task_retries=0)
+        try:
+            reference = db.execute(CLOSED_SQL).relation
+            for pid in db.engine.execution.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrashError):
+                db.execute(CLOSED_SQL)
+            before = db.engine.execution.stats()["parallel_batches"]
+            result = db.execute(CLOSED_SQL).relation
+            assert_identical(result, reference)
+            stats = db.engine.execution.stats()
+            assert stats["parallel_batches"] == before + 1
+            assert stats["worker_restarts"] >= 1  # survives the pool swap
+            assert len(db.engine.execution.worker_pids()) == 2
+        finally:
+            db.close()
+
+    def test_retry_budget_counts_crashes_per_task(self):
+        # max_task_retries=N must allow N re-runs after the first crash,
+        # not collapse to one (a flat "already retried" set did that).
+        crashes: dict[int, int] = {}
+        assert _register_crashes(crashes, {7: {}}, 2) == []
+        assert _register_crashes(crashes, {7: {}}, 2) == []
+        assert _register_crashes(crashes, {7: {}}, 2) == [7]
+        assert _register_crashes({}, {1: {}, 2: {}}, 0) == [1, 2]
+        assert _register_crashes({3: 1}, {3: {}, 4: {}}, 1) == [3]
+
     def test_worker_crash_error_has_stable_wire_code(self):
         code, message, data = error_to_wire(WorkerCrashError("worker died"))
         assert code == "WORKER_CRASH"
@@ -308,6 +410,24 @@ class TestExecutionConfig:
         assert ExecutionConfig().resolved_morsel_rows() == DEFAULT_MORSEL_ROWS
         monkeypatch.setenv("MOSAIC_MORSEL_ROWS", "2048")
         assert ExecutionConfig().resolved_morsel_rows() == 2048
+
+    def test_threaded_parent_never_defaults_to_fork(self):
+        # Pools spawn lazily, typically after the engine's OPEN thread
+        # pool or server threads exist; forking a multithreaded parent
+        # can deadlock the child, so the default must avoid it (explicit
+        # opt-in still honored).
+        release = threading.Event()
+        thread = threading.Thread(target=release.wait, daemon=True)
+        thread.start()
+        try:
+            assert ExecutionConfig().resolved_start_method() != "fork"
+            assert (
+                ExecutionConfig(start_method="fork").resolved_start_method()
+                == "fork"
+            )
+        finally:
+            release.set()
+            thread.join()
 
     def test_context_without_pool_is_cheap_and_closable(self):
         context = ParallelExecution(ExecutionConfig(processes=0))
