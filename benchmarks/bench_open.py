@@ -58,6 +58,13 @@ OPEN_SQL = (
     "FROM Flights GROUP BY carrier"
 )
 
+#: Adaptive streaming comparison: a fixed-R run at this cap versus an
+#: adaptive stream over the same cap that stops when every carrier's CI
+#: half-width is within the relative tolerance.
+ADAPTIVE_CAP = 20
+ADAPTIVE_TOLERANCE = 0.1
+ADAPTIVE_CHUNK = 4
+
 #: Measured at commit c0084e2 (pre-batched-OPEN main) with this exact
 #: workload on the container that produced the committed baselines.
 PRE_PR = {
@@ -82,17 +89,15 @@ def tiny_mswg_config() -> MswgConfig:
     )
 
 
-@pytest.fixture(scope="module")
-def flights_world():
-    rng = np.random.default_rng(0)
-    population = make_flights_population(CONFIG, rng)
+def make_flights_db(population, **open_kwargs) -> MosaicDB:
+    open_kwargs.setdefault("repetitions", REPETITIONS)
     db = MosaicDB(
         seed=0,
         open_config=OpenQueryConfig(
             generator_factory=BayesNetGenerator,
-            repetitions=REPETITIONS,
             rows_per_generation=GENERATION_ROWS,
             max_workers=1,
+            **open_kwargs,
         ),
     )
     db.execute(
@@ -104,7 +109,18 @@ def flights_world():
     db.ingest_relation("S", bucket_flights(sample, CONFIG))
     for marginal in flights_marginals(population, CONFIG):
         db.register_marginal(marginal.name, "Flights", marginal)
+    return db
 
+
+@pytest.fixture(scope="module")
+def flights_population():
+    return make_flights_population(CONFIG, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def flights_world(flights_population):
+    population = flights_population
+    db = make_flights_db(population)
     fit_sample, _, _ = make_biased_flights_sample(
         population, CONFIG, np.random.default_rng(1)
     )
@@ -167,7 +183,95 @@ def test_open_cached_latency(benchmark, flights_world):
     assert result.has_note("generator cache hit")
 
 
-def test_emit_bench_json(flights_world, migrants_world):
+def _adaptive_section(population) -> dict:
+    """Fixed-R versus adaptive streaming at the same repetition cap.
+
+    Both runs share the cap (``ADAPTIVE_CAP``) and the workload; the
+    adaptive stream stops once every carrier's CI half-width is within
+    ``ADAPTIVE_TOLERANCE`` of its running mean.  The section also verifies
+    the reported CI half-widths against the sample std of a 10x
+    oversampled reference run (same session seed, so the reference's
+    repetition streams extend the adaptive run's prefix).
+    """
+    fixed_db = make_flights_db(population, repetitions=ADAPTIVE_CAP)
+    adaptive_db = make_flights_db(
+        population,
+        repetitions=ADAPTIVE_CAP,
+        tolerance=ADAPTIVE_TOLERANCE,
+        chunk_repetitions=ADAPTIVE_CHUNK,
+    )
+
+    def fixed_cold():
+        fixed_db.clear_caches()
+        fixed_db.execute(OPEN_SQL)
+
+    last_adaptive = {}
+
+    def adaptive_cold():
+        adaptive_db.clear_caches()
+        last_adaptive["result"] = adaptive_db.execute(OPEN_SQL)
+
+    fixed_r_open_ms = _time_best_of(fixed_cold, 3)
+    adaptive_open_ms = _time_best_of(adaptive_cold, 3)
+    adaptive_result = last_adaptive["result"]
+    assert adaptive_result.has_note("adaptive streaming")
+    assert adaptive_result.has_note("stopped early"), (
+        "bench workload must meet the tolerance before the repetition cap"
+    )
+    repetitions_used = adaptive_result.repetitions_used
+
+    # CI verification: the adaptive half-widths must agree with a 10x
+    # oversampled reference's sample std (z * std_ref / sqrt(used)).
+    ci_db = make_flights_db(
+        population,
+        repetitions=ADAPTIVE_CAP,
+        tolerance=ADAPTIVE_TOLERANCE,
+        chunk_repetitions=ADAPTIVE_CHUNK,
+        report_ci=True,
+    )
+    ci_result = ci_db.execute(OPEN_SQL)
+    used = ci_result.repetitions_used
+    reference_db = make_flights_db(
+        population, repetitions=10 * used, report_ci=True
+    )
+    reference = reference_db.execute(OPEN_SQL)
+    ref_std = {
+        row["carrier"]: row["n__std__"] for row in reference.to_pylist()
+    }
+    ratios = []
+    for row in ci_result.to_pylist():
+        sigma = ref_std.get(row["carrier"])
+        if sigma is None or sigma == 0.0:
+            continue
+        expected_half = 1.96 * sigma / np.sqrt(used)
+        ratios.append(row["n__ci__"] / expected_half)
+    assert ratios, "no overlapping carriers between adaptive and reference runs"
+    assert all(1 / 3 <= ratio <= 3 for ratio in ratios), (
+        f"adaptive CI half-widths disagree with the oversampled reference: {ratios}"
+    )
+    assert fixed_r_open_ms >= 1.5 * adaptive_open_ms, (
+        f"adaptive streaming must be >=1.5x faster than fixed-R at the cap: "
+        f"fixed {fixed_r_open_ms:.1f} ms vs adaptive {adaptive_open_ms:.1f} ms"
+    )
+
+    return {
+        "cap": ADAPTIVE_CAP,
+        "tolerance": ADAPTIVE_TOLERANCE,
+        "chunk_repetitions": ADAPTIVE_CHUNK,
+        "fixed_r_open_ms": round(fixed_r_open_ms, 4),
+        "adaptive_open_ms": round(adaptive_open_ms, 4),
+        "repetitions_used": repetitions_used,
+        "peak_batch_rows": ADAPTIVE_CHUNK * GENERATION_ROWS,
+        "fixed_peak_batch_rows": ADAPTIVE_CAP * GENERATION_ROWS,
+        "adaptive_speedup_vs_fixed_r": round(
+            fixed_r_open_ms / adaptive_open_ms, 2
+        ),
+        "ci_vs_oversampled_max_ratio": round(max(ratios), 4),
+        "ci_vs_oversampled_min_ratio": round(min(ratios), 4),
+    }
+
+
+def test_emit_bench_json(flights_world, flights_population, migrants_world):
     """Write BENCH_open.json: the OPEN perf trail with pre-PR speedups."""
     db, fit_sample, fit_marginals = flights_world
     migrants_sample, migrants_marginal_list = migrants_world
@@ -200,6 +304,9 @@ def test_emit_bench_json(flights_world, migrants_world):
             "generate_ms": round(generate_ms, 4),
         }
 
+    adaptive = _adaptive_section(flights_population)
+    adaptive_open_ms = adaptive.pop("adaptive_open_ms")
+
     payload = {
         "workload": (
             f"flights rows={CONFIG.rows}, repetitions={REPETITIONS}, "
@@ -207,6 +314,10 @@ def test_emit_bench_json(flights_world, migrants_world):
         ),
         "open_cold_ms": round(open_cold_ms, 4),
         "open_cached_ms": round(open_cached_ms, 4),
+        # Top-level so the perf gate can track it alongside open_cold_ms;
+        # the full fixed-vs-adaptive comparison lives under "adaptive".
+        "adaptive_open_ms": adaptive_open_ms,
+        "adaptive": adaptive,
         "generators": generators,
         "pre_pr": PRE_PR,
         "open_cold_speedup_vs_pre_pr": round(PRE_PR["open_cold_ms"] / open_cold_ms, 2),

@@ -57,6 +57,7 @@ TRACKED_METRICS: dict[str, tuple[str, ...]] = {
     "BENCH_open.json": (
         "open_cold_ms",
         "open_cached_ms",
+        "adaptive_open_ms",
         "generators.bayesnet.generate_ms",
         "generators.ipf-synth.generate_ms",
     ),

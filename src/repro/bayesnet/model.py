@@ -464,14 +464,27 @@ class BayesianNetworkModel:
         result is the serial per-repetition output concatenated, tagged
         with a dense ``__rep__`` id column.
         """
-        self._require_fitted()
-        if n <= 0:
-            raise GenerativeModelError(f"need a positive sample size, got {n}")
         streams = repetition_streams(
             rng if rng is not None else self._rng, repetitions
         )
+        return self.generate_batch_streams(n, streams)
+
+    def generate_batch_streams(
+        self, n: int, streams: list[np.random.Generator]
+    ) -> Relation:
+        """One chunk of repetitions, each drawn from its given stream.
+
+        The chunked sibling of :meth:`generate_batch`: callers slice a
+        pre-spawned stream list, so chunked generation draws exactly what
+        the monolithic batch would for the same repetition indices.
+        """
+        self._require_fitted()
+        if n <= 0:
+            raise GenerativeModelError(f"need a positive sample size, got {n}")
+        if not streams:
+            raise GenerativeModelError("need at least one repetition stream")
         node_names, decode_names = self._uniform_layout()
-        total = n * repetitions
+        total = n * len(streams)
         node_uniforms = {name: np.empty(total) for name in node_names}
         decode_uniforms = {name: np.empty(total) for name in decode_names}
         for index, stream in enumerate(streams):
@@ -485,7 +498,7 @@ class BayesianNetworkModel:
                 stream.random(out=decode_uniforms[name][lo:hi])
         codes = self._ancestral_codes(node_uniforms)
         return with_repetition_ids(
-            self._decode_codes(codes, decode_uniforms), repetitions
+            self._decode_codes(codes, decode_uniforms), len(streams)
         )
 
     def generate_many(

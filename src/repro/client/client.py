@@ -30,6 +30,23 @@ from repro.errors import ProtocolError
 from repro.server import protocol
 
 
+def _merge_open_options(
+    options: dict | None, open_options: dict | None
+) -> dict | None:
+    """Fold the ``open_options`` convenience into HELLO ``options["open"]``.
+
+    The server applies these per-connection OPEN execution knobs —
+    ``tolerance`` / ``min_repetitions`` / ``max_repetitions`` /
+    ``chunk_repetitions`` / ``report_ci`` / ``repetitions`` — to a fresh
+    copy of its session config (see ``MosaicServer._connection_config``).
+    """
+    if open_options is None:
+        return options
+    merged = dict(options or {})
+    merged["open"] = {**merged.get("open", {}), **open_options}
+    return merged
+
+
 class Connection:
     """One socket to a Mosaic server: handshake + blocking request/response."""
 
@@ -39,9 +56,11 @@ class Connection:
         port: int,
         *,
         options: dict | None = None,
+        open_options: dict | None = None,
         timeout: float | None = None,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
     ):
+        options = _merge_open_options(options, open_options)
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
@@ -170,6 +189,7 @@ class Client:
         *,
         pool_size: int = 4,
         options: dict | None = None,
+        open_options: dict | None = None,
         timeout: float | None = None,
     ):
         if pool_size < 1:
@@ -177,7 +197,7 @@ class Client:
         self.host = host
         self.port = port
         self.pool_size = pool_size
-        self.options = options
+        self.options = _merge_open_options(options, open_options)
         self.timeout = timeout
         self._idle: "queue.LifoQueue[Connection]" = queue.LifoQueue()
         self._created = 0

@@ -113,6 +113,10 @@ class Engine:
         self._open_generators: VersionedLRUCache = VersionedLRUCache(
             generator_cache_size
         )
+        # Adaptive streaming OPEN telemetry: runs that took the chunked
+        # path, and how many of those met the tolerance before the cap.
+        self._open_adaptive_runs = 0
+        self._open_adaptive_early_stops = 0
         # The OPEN-repetition pool: one engine-owned executor shared by
         # every concurrent OPEN query (created lazily, drained by
         # shutdown()).  Sharing bounds the process to one set of worker
@@ -551,6 +555,7 @@ class Engine:
             query, sql_text, "population", source.sample.relation.schema, weighted
         )
 
+        repetitions_used = None
         if visibility is Visibility.CLOSED:
             relation, notes = evaluate_closed(
                 query, source, plan, parallel=self._execution
@@ -565,7 +570,12 @@ class Engine:
                 parallel=self._execution,
             )
         else:
-            relation, notes = self._evaluate_open(query, source, session, plan)
+            relation, notes, meta = self._evaluate_open(query, source, session, plan)
+            repetitions_used = meta.get("repetitions_used")
+            if meta.get("adaptive"):
+                self._open_adaptive_runs += 1
+                if meta.get("early_stop"):
+                    self._open_adaptive_early_stops += 1
         notes.append(plan_note)
 
         return QueryResult(
@@ -573,6 +583,7 @@ class Engine:
             visibility=str(visibility),
             sample_name=source.sample.name,
             notes=tuple(notes),
+            repetitions_used=repetitions_used,
         )
 
     def _compiled_plan(
@@ -666,7 +677,7 @@ class Engine:
                 f"OPEN: generator cache hit (sample {source.sample.name!r} "
                 f"v{source.sample.version})"
             )
-        relation, notes = evaluate_open(
+        relation, notes, meta = evaluate_open(
             query,
             source,
             generator,
@@ -688,7 +699,7 @@ class Engine:
         if cache_note is not None:
             notes.insert(0, cache_note)
         notes.insert(0, scope_note)
-        return relation, notes
+        return relation, notes, meta
 
     def _open_fit_inputs(self, source: PlannedSource):
         """Marginals, population size, and fitting tuples for OPEN queries."""
@@ -772,6 +783,10 @@ class Engine:
             # Morsel/worker-pool counters (parallel vs. local batches,
             # shared-segment reuse, crash restarts) — see workers.py.
             "execution": self._execution.stats(),
+            "open_adaptive": {
+                "runs": self._open_adaptive_runs,
+                "early_stops": self._open_adaptive_early_stops,
+            },
             "catalog": {"catalog_version": self.catalog.version},
         }
 

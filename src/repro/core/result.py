@@ -21,11 +21,17 @@ class QueryResult:
         visibility: str | None = None,
         sample_name: str | None = None,
         notes: tuple[str, ...] = (),
+        repetitions_used: int | None = None,
     ):
         self._relation = relation
         self.visibility = visibility
         self.sample_name = sample_name
         self.notes = notes
+        #: OPEN only: how many generated repetitions the answer consumed
+        #: (0 for direct inference, the adaptive stopping point on the
+        #: streaming path, the fixed ``R`` otherwise); ``None`` for
+        #: CLOSED / SEMI-OPEN results.
+        self.repetitions_used = repetitions_used
 
     @property
     def relation(self) -> Relation:

@@ -648,7 +648,13 @@ class ParallelExecution:
             self._batch_lock.release()
 
     def run_open_shards(
-        self, plan, data, rep_ids: np.ndarray, repetitions: int, weight_value: float
+        self,
+        plan,
+        data,
+        rep_ids: np.ndarray,
+        repetitions: int,
+        weight_value: float,
+        layout=None,
     ):
         """Shard a batched OPEN execution across repetitions on the pool.
 
@@ -656,6 +662,12 @@ class ParallelExecution:
         :func:`~repro.engine.compiler.execute_plan_composite`, or ``None``
         when the pool should not (or cannot) run it — the caller then uses
         the one-pass in-process composite, which produces the same answer.
+
+        ``layout`` is an optional precomputed
+        :func:`~repro.engine.compiler.composite_layout` result — the
+        adaptive streaming path resolves it once on its first chunk and
+        passes it for every later chunk (the generator's fitted vocabulary
+        is stable, so the domain never changes mid-stream).
         """
         if (
             self._closed
@@ -664,7 +676,8 @@ class ParallelExecution:
             or data.num_rows <= self.morsel_rows
         ):
             return None
-        layout = composite_layout(plan, data)
+        if layout is None:
+            layout = composite_layout(plan, data)
         if layout is None:
             self.note_fallback()
             return None

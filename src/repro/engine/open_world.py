@@ -33,8 +33,10 @@ from repro.bayesnet.model import BayesianNetworkModel
 from repro.catalog.metadata import Marginal
 from repro.engine.compiler import (
     compile_select,
+    composite_layout,
     execute_plan,
     execute_plan_composite,
+    execute_plan_open_shard,
 )
 from repro.engine.plan import AggregateNode, LogicalPlan
 from repro.engine.planner import PlannedSource
@@ -42,12 +44,13 @@ from repro.errors import GenerativeModelError, VisibilityError
 from repro.generative.mswg import MSWG, MswgConfig
 from repro.generative.streams import (
     REPETITION_COLUMN,
+    repetition_chunks,
     repetition_streams,
     with_repetition_ids,
 )
 from repro.relational.dtypes import DType, object_array
 from repro.relational.groupby import group_codes
-from repro.relational.kernels import CompositeAggregates
+from repro.relational.kernels import CompositeAggregates, WelfordMoments
 from repro.relational.ops import union_all
 from repro.relational.relation import Relation
 from repro.relational.schema import Field, Schema
@@ -76,6 +79,15 @@ class OpenGenerator(Protocol):
     answers aggregate OPEN queries in a single batched pass instead of a
     per-repetition loop; generators without the method keep working
     through the loop.
+
+    ``generate_batch_streams(n, streams)`` extends the contract to
+    *chunked* generation: the engine pre-spawns the full stream list once
+    and hands each chunk its ``streams[start:stop]`` slice, so a chunked
+    emission draws values bit-identical to the monolithic batch over the
+    same repetition indices (RNG stream indexing is per-repetition; see
+    :mod:`repro.generative.streams`).  The adaptive streaming OPEN path
+    requires it; TEXT columns must stay born-encoded against the fitted
+    (stable) vocabulary so group cells mean the same keys in every chunk.
     """
 
     def fit(
@@ -135,6 +147,9 @@ class MswgGenerator:
     def generate_batch(self, n, repetitions, rng=None):
         return self.model.generate_batch(n, repetitions, rng=rng)
 
+    def generate_batch_streams(self, n, streams):
+        return self.model.generate_batch_streams(n, streams)
+
 
 class BayesNetGenerator:
     """Explicit-model alternative (Sec. 4.2): Chow-Liu tree + CPTs."""
@@ -161,6 +176,9 @@ class BayesNetGenerator:
 
     def generate_batch(self, n, repetitions, rng=None):
         return self.model.generate_batch(n, repetitions, rng=rng)
+
+    def generate_batch_streams(self, n, streams):
+        return self.model.generate_batch_streams(n, streams)
 
     def expected_count(self, constraints: dict[str, Callable[[object], bool]]) -> float:
         """COUNT by exact tree inference (enables the Sec. 4.2 fast path)."""
@@ -285,11 +303,18 @@ class IPFSynthesizer:
         stream over the flat cell probabilities (the per-stream draws are
         bit-identical to serial ``generate`` calls), then a single batched
         decode of the stacked cell ids."""
-        if self._result is None or self._schema is None:
-            raise GenerativeModelError("generate() before fit()")
         streams = repetition_streams(
             rng if rng is not None else np.random.default_rng(0), repetitions
         )
+        return self.generate_batch_streams(n, streams)
+
+    def generate_batch_streams(self, n, streams):
+        """One chunk of repetitions, each drawn from its given stream
+        (slice of a pre-spawned list, so chunking never changes draws)."""
+        if self._result is None or self._schema is None:
+            raise GenerativeModelError("generate() before fit()")
+        if not streams:
+            raise GenerativeModelError("need at least one repetition stream")
         probabilities = self._cell_probabilities()
         draws = np.concatenate(
             [
@@ -297,7 +322,7 @@ class IPFSynthesizer:
                 for stream in streams
             ]
         )
-        return with_repetition_ids(self._decode_cells(draws), repetitions)
+        return with_repetition_ids(self._decode_cells(draws), len(streams))
 
     def expected_count(self, constraints: dict[str, Callable[[object], bool]]) -> float:
         """Exact COUNT from the fitted joint (no materialisation)."""
@@ -339,6 +364,19 @@ class OpenQueryConfig:
     ``1`` forces the serial loop.  Each repetition draws from its own
     spawned RNG stream, so batched, concurrent, and serial execution all
     produce bit-identical answers.
+
+    ``tolerance > 0`` switches qualifying aggregate queries to *adaptive
+    streaming* execution: the generator emits repetitions in chunks of
+    ``chunk_repetitions``, per-group running mean/variance update after
+    every chunk (vectorized Welford), and generation stops as soon as —
+    after at least ``min_repetitions`` participating repetitions — every
+    surviving group's CI half-width is within ``tolerance`` of its running
+    mean for every aggregate, up to the ``max_repetitions`` cap (``None``
+    means ``repetitions``).  ``tolerance=0`` (the default) keeps today's
+    fixed-R batched path bit-identically.  ``report_ci=True`` opts result
+    relations into per-group ``{alias}__std__``/``{alias}__ci__`` columns
+    (sample std across participating repetitions and the CI half-width of
+    the reported mean).
     """
 
     generator_factory: Callable[[], OpenGenerator] = field(
@@ -350,11 +388,26 @@ class OpenQueryConfig:
     categorical_columns: set[str] | None = None
     max_workers: int | None = None
     batched: bool = True
+    tolerance: float = 0.0
+    min_repetitions: int = 3
+    max_repetitions: int | None = None  # None -> repetitions
+    chunk_repetitions: int = 4
+    report_ci: bool = False
 
     def resolved_workers(self) -> int:
         if self.max_workers is not None:
             return max(1, min(self.max_workers, self.repetitions))
         return max(1, min(self.repetitions, os.cpu_count() or 1))
+
+    def resolved_max_repetitions(self) -> int:
+        """The adaptive repetition cap (``repetitions`` unless overridden)."""
+        cap = self.repetitions if self.max_repetitions is None else self.max_repetitions
+        return max(1, int(cap))
+
+    def resolved_min_repetitions(self) -> int:
+        """The earliest participating-repetition count that may stop
+        (never above the cap, never below 2 — variance needs two points)."""
+        return min(max(2, int(self.min_repetitions)), self.resolved_max_repetitions())
 
 
 def uses_batched_execution(
@@ -386,6 +439,23 @@ def uses_batched_execution(
     return all(key.lower() in selected for key in query.group_by)
 
 
+def uses_adaptive_execution(
+    generator: OpenGenerator, config: OpenQueryConfig, query: SelectQuery
+) -> bool:
+    """Will ``evaluate_open`` take the adaptive streaming path?
+
+    Adaptive execution is the batched path plus chunked generation and a
+    variance-based stop rule, so it needs everything
+    :func:`uses_batched_execution` needs, a positive ``tolerance``, and a
+    generator with ``generate_batch_streams``.
+    """
+    return (
+        config.tolerance > 0.0
+        and hasattr(generator, "generate_batch_streams")
+        and uses_batched_execution(generator, config, query)
+    )
+
+
 def evaluate_open(
     query: SelectQuery,
     source: PlannedSource,
@@ -396,8 +466,14 @@ def evaluate_open(
     plan: LogicalPlan | None = None,
     executor: Executor | None = None,
     parallel=None,
-) -> tuple[Relation, list[str]]:
+) -> tuple[Relation, list[str], dict]:
     """Answer ``query`` from generated population samples.
+
+    Returns ``(relation, notes, meta)``; ``meta`` carries execution
+    metadata — at least ``repetitions_used`` (how many repetitions were
+    actually generated: the fixed ``R`` on the batched/loop paths, the
+    adaptive stopping point on the streaming path, 0 for direct
+    inference, 1 for the non-aggregate single materialisation).
 
     ``generator`` must already be fitted; ``population_size`` scales the
     uniform weights of each generated sample.  ``plan`` is the compiled form
@@ -431,10 +507,14 @@ def evaluate_open(
 
     inferred = _try_count_inference(query, source, generator)
     if inferred is not None:
-        return inferred, [
-            f"OPEN: COUNT answered by direct inference over {generator_name} "
-            "(no tuples materialised, Sec. 4.2)"
-        ]
+        return (
+            inferred,
+            [
+                f"OPEN: COUNT answered by direct inference over {generator_name} "
+                "(no tuples materialised, Sec. 4.2)"
+            ],
+            {"repetitions_used": 0},
+        )
 
     notes = [f"OPEN: {config.repetitions} generated sample(s) from {generator_name}"]
     generation_lock = _generation_lock(generator)
@@ -453,9 +533,32 @@ def evaluate_open(
             f"non-aggregate OPEN query: materialised one generated sample of "
             f"{rows} row(s)"
         )
-        return execute_plan(plan, generated, parallel=parallel), notes
+        return (
+            execute_plan(plan, generated, parallel=parallel),
+            notes,
+            {"repetitions_used": 1},
+        )
 
     if uses_batched_execution(generator, config, query):
+        if uses_adaptive_execution(generator, config, query):
+            return _evaluate_open_adaptive(
+                query,
+                generator,
+                config,
+                population_size,
+                rng,
+                plan,
+                predicate,
+                rows,
+                notes,
+                generation_lock,
+                parallel,
+            )
+        if config.tolerance > 0.0:
+            notes.append(
+                "OPEN: adaptive execution requested but the generator has no "
+                "generate_batch_streams; running the fixed-R batched path"
+            )
         return _evaluate_open_batched(
             query,
             generator,
@@ -516,7 +619,11 @@ def evaluate_open(
     notes.append(
         f"kept groups present in all {len(answers)} answers, averaged aggregates"
     )
-    return _order_combined(combined, query), notes
+    return (
+        _order_combined(combined, query),
+        notes,
+        {"repetitions_used": config.repetitions},
+    )
 
 
 def _evaluate_open_batched(
@@ -531,7 +638,7 @@ def _evaluate_open_batched(
     notes: list[str],
     generation_lock: threading.Lock | None,
     parallel=None,
-) -> tuple[Relation, list[str]]:
+) -> tuple[Relation, list[str], dict]:
     """The single-pass OPEN path: one batch, one execution, one combine.
 
     The generator emits all ``repetitions`` samples as one relation tagged
@@ -551,6 +658,40 @@ def _evaluate_open_batched(
             batch = generator.generate_batch(rows, repetitions, rng=rng)
     rep_ids = np.asarray(batch.column(REPETITION_COLUMN), dtype=np.int64)
     data = batch.drop_column(REPETITION_COLUMN)
+    return _finish_batched(
+        query,
+        config,
+        data,
+        rep_ids,
+        repetitions,
+        population_size,
+        rows,
+        plan,
+        predicate,
+        notes,
+        parallel,
+    )
+
+
+def _finish_batched(
+    query: SelectQuery,
+    config: OpenQueryConfig,
+    data: Relation,
+    rep_ids: np.ndarray,
+    repetitions: int,
+    population_size: float,
+    rows: int,
+    plan: LogicalPlan,
+    predicate,
+    notes: list[str],
+    parallel,
+) -> tuple[Relation, list[str], dict]:
+    """View-filter, composite-execute and combine one full ``R x n`` batch.
+
+    Shared by the fixed-R batched path and the adaptive path's fallback
+    (whose unioned chunk batch is row-identical to a monolithic one, so
+    both entries produce bit-identical answers).
+    """
     if predicate is not None and data.num_rows:
         bound = bind_expression(predicate, data.schema)
         mask = np.asarray(bound.evaluate(data), dtype=bool)
@@ -591,7 +732,11 @@ def _evaluate_open_batched(
             plan, data, rep_ids, repetitions, weights
         )
     combined = combine_composite_answers(
-        data, aggregate_node, composite, participating
+        data,
+        aggregate_node,
+        composite,
+        participating,
+        report_ci=config.report_ci,
     )
     notes.append(
         "OPEN: batched single-pass execution over composite (rep, group) codes"
@@ -599,7 +744,348 @@ def _evaluate_open_batched(
     notes.append(
         f"kept groups present in all {answered} answers, averaged aggregates"
     )
-    return _order_combined(combined, query), notes
+    return (
+        _order_combined(combined, query),
+        notes,
+        {"repetitions_used": repetitions},
+    )
+
+
+#: z-score of the 95% normal confidence interval the adaptive stop rule
+#: (and the opt-in ``__ci__`` columns) use.
+CONFIDENCE_Z = 1.96
+
+#: Relative-tolerance denominators floor here: a group whose running mean
+#: is exactly zero would otherwise divide by zero.  The floor is tiny on
+#: purpose — near-zero means demand near-zero spread, which is the
+#: conservative reading (such groups keep generating to the cap).
+_TOLERANCE_FLOOR = 1e-12
+
+
+def _evaluate_open_adaptive(
+    query: SelectQuery,
+    generator: OpenGenerator,
+    config: OpenQueryConfig,
+    population_size: float,
+    rng: np.random.Generator,
+    plan: LogicalPlan,
+    predicate,
+    rows: int,
+    notes: list[str],
+    generation_lock: threading.Lock | None,
+    parallel=None,
+) -> tuple[Relation, list[str], dict]:
+    """The adaptive streaming OPEN path: chunked generation, early stop.
+
+    The full repetition-stream list spawns once (one draw on the session
+    RNG, exactly as the fixed paths derive theirs), then repetitions are
+    generated ``chunk_repetitions`` at a time.  Each chunk runs through
+    the composite kernels in *vocab cross-product cell space* — the
+    chunk-stable group identity morsel execution already relies on — and
+    its per-(repetition, cell) partials merge into O(G) running state:
+    present-in-all intersection, per-aggregate totals (accumulated
+    repetition by repetition, the fixed combine's order), and vectorized
+    Welford mean/variance.  After each chunk, once ``min_repetitions``
+    participating repetitions have accumulated, generation stops as soon
+    as every surviving group's CI half-width is within the relative
+    ``tolerance`` of its running mean for every aggregate; otherwise the
+    stream continues to the ``max_repetitions`` cap.  Chunks shard across
+    the worker pool when it is available, and peak batch memory is capped
+    at ``chunk_repetitions x n`` rows instead of ``R x n``.
+
+    Queries whose GROUP BY keys lack a chunk-stable encoded domain
+    (numeric keys, oversized vocab cross-products) fall back to the
+    fixed-R batched path — generating the *remaining* repetitions from
+    the same pre-spawned streams, so the fallback answer is bit-identical
+    to the monolithic batch.
+    """
+    cap = config.resolved_max_repetitions()
+    min_repetitions = config.resolved_min_repetitions()
+    chunk = max(1, int(config.chunk_repetitions))
+    streams = repetition_streams(rng, cap)
+    weight_value = population_size / rows
+
+    def generate_chunk(chunk_streams) -> Relation:
+        if generation_lock is None:
+            return generator.generate_batch_streams(rows, chunk_streams)
+        with generation_lock:
+            return generator.generate_batch_streams(rows, chunk_streams)
+
+    aggregate_node: AggregateNode | None = None
+    domain_sizes: tuple[int, ...] = ()
+    domain_total = 0
+    key_vocabs: list[np.ndarray] = []
+    present_all: np.ndarray | None = None
+    totals: list[np.ndarray] = []
+    moments: list[WelfordMoments] = []
+    answered = 0
+    used = 0
+    sharded_any = False
+
+    for start, stop in repetition_chunks(cap, chunk):
+        chunk_reps = stop - start
+        batch = generate_chunk(streams[start:stop])
+        local_ids = np.asarray(batch.column(REPETITION_COLUMN), dtype=np.int64)
+        data = batch.drop_column(REPETITION_COLUMN)
+
+        if aggregate_node is None:
+            layout = composite_layout(plan, data, planned_rows=rows * cap)
+            if layout is None:
+                notes.append(
+                    "OPEN: adaptive streaming needs chunk-stable group cells "
+                    "(encoded GROUP BY keys, bounded domain); falling back "
+                    "to the fixed-R batched path"
+                )
+                return _adaptive_layout_fallback(
+                    query,
+                    config,
+                    population_size,
+                    rows,
+                    plan,
+                    predicate,
+                    notes,
+                    parallel,
+                    generate_chunk,
+                    data,
+                    local_ids,
+                    streams,
+                    stop,
+                    cap,
+                )
+            aggregate_node, sizes, total = layout
+            domain_sizes, domain_total = tuple(sizes), int(total)
+            key_vocabs = [
+                np.asarray(data.encoding(key)[0])
+                for key in aggregate_node.group_keys
+            ]
+            present_all = np.ones(domain_total, dtype=bool)
+            totals = [
+                np.zeros(domain_total, dtype=np.float64)
+                for _ in aggregate_node.specs
+            ]
+            moments = [WelfordMoments(domain_total) for _ in aggregate_node.specs]
+        else:
+            _check_vocab_stability(data, aggregate_node.group_keys, key_vocabs)
+
+        if predicate is not None and data.num_rows:
+            bound = bind_expression(predicate, data.schema)
+            mask = np.asarray(bound.evaluate(data), dtype=bool)
+            data = data.filter(mask)
+            local_ids = local_ids[mask]
+
+        participating = np.bincount(local_ids, minlength=chunk_reps) > 0
+        sharded = (
+            None
+            if parallel is None
+            else parallel.run_open_shards(
+                plan,
+                data,
+                local_ids,
+                chunk_reps,
+                weight_value,
+                layout=(aggregate_node, domain_sizes, domain_total),
+            )
+        )
+        if sharded is not None:
+            present_block = sharded[1].present
+            value_blocks = sharded[1].values
+            if not sharded_any:
+                sharded_any = True
+                notes.append("OPEN: adaptive chunks sharded across the worker pool")
+        else:
+            partial = execute_plan_open_shard(
+                plan,
+                data,
+                local_ids,
+                chunk_reps,
+                weight_value,
+                domain_sizes,
+                domain_total,
+                0,
+            )
+            present_block = partial["present"]
+            value_blocks = partial["values"]
+
+        used = stop
+        rep_rows = np.flatnonzero(participating)
+        if rep_rows.size:
+            answered += int(rep_rows.size)
+            present_all &= present_block[rep_rows].all(axis=0)
+            for index, matrix in enumerate(value_blocks):
+                # Accumulate repetition by repetition (ascending), the
+                # fixed combine's order, so running to the cap reproduces
+                # the monolithic batch's totals exactly.
+                for repetition in rep_rows:
+                    totals[index] += matrix[repetition]
+                moments[index].update(matrix[rep_rows])
+
+        if answered >= min_repetitions and _converged(
+            moments, present_all, config.tolerance
+        ):
+            break
+
+    if answered == 0:
+        raise VisibilityError(
+            "every generated sample was empty after the population view "
+            "predicate; the generator cannot reach this population"
+        )
+    if used - answered:
+        notes.append(
+            f"warning: {used - answered} generation(s) "
+            "produced no tuples inside the population view"
+        )
+    combined = _combine_adaptive(
+        aggregate_node,
+        domain_sizes,
+        key_vocabs,
+        present_all,
+        totals,
+        moments,
+        answered,
+        config.report_ci,
+    )
+    notes.append(
+        f"OPEN: adaptive streaming execution over {used} of up to {cap} "
+        f"repetition(s) in chunks of {chunk} (tolerance={config.tolerance:g})"
+    )
+    if used < cap:
+        notes.append(
+            "OPEN: stopped early — every group's CI half-width within the "
+            f"relative tolerance after {answered} participating repetition(s)"
+        )
+    else:
+        notes.append("OPEN: repetition cap reached before the tolerance target")
+    notes.append(
+        f"kept groups present in all {answered} answers, averaged aggregates"
+    )
+    meta = {
+        "repetitions_used": used,
+        "repetitions_cap": cap,
+        "adaptive": True,
+        "early_stop": used < cap,
+        "peak_batch_rows": min(chunk, cap) * rows,
+    }
+    return _order_combined(combined, query), notes, meta
+
+
+def _converged(
+    moments: list[WelfordMoments], kept_mask: np.ndarray, tolerance: float
+) -> bool:
+    """Does every aggregate meet the relative-tolerance target on every
+    currently surviving group?"""
+    if not kept_mask.any():
+        return False
+    for tracker in moments:
+        half = tracker.ci_halfwidth(CONFIDENCE_Z)[kept_mask]
+        means = tracker.mean[kept_mask]
+        if not np.all(
+            half <= tolerance * np.maximum(np.abs(means), _TOLERANCE_FLOOR)
+        ):
+            return False
+    return True
+
+
+def _check_vocab_stability(
+    data: Relation, group_keys, key_vocabs: list[np.ndarray]
+) -> None:
+    """Every chunk must carry the same fitted vocabularies — cell ids are
+    only comparable across chunks when the vocab never moves."""
+    for key, vocab in zip(group_keys, key_vocabs):
+        entry = data.encoding(key)
+        if entry is None or not np.array_equal(np.asarray(entry[0]), vocab):
+            raise GenerativeModelError(
+                f"generator changed the vocabulary of GROUP BY key {key!r} "
+                "between repetition chunks; adaptive streaming requires the "
+                "stable fitted vocabulary the chunked-stream contract "
+                "guarantees"
+            )
+
+
+def _combine_adaptive(
+    aggregate_node: AggregateNode,
+    domain_sizes: tuple[int, ...],
+    key_vocabs: list[np.ndarray],
+    present_all: np.ndarray,
+    totals: list[np.ndarray],
+    moments: list[WelfordMoments],
+    answered: int,
+    report_ci: bool,
+) -> Relation:
+    """The adaptive sibling of :func:`combine_composite_answers`.
+
+    Surviving cells are those present in every participating repetition;
+    key values decode straight from the captured vocabularies (chunk rows
+    are long gone — this is what caps peak memory), and ascending cell id
+    is ascending key order, the same key-sorted output the fixed paths
+    produce.
+    """
+    out_schema = _combined_schema(aggregate_node, report_ci)
+    kept_cells = np.flatnonzero(present_all)
+    if kept_cells.size == 0:
+        return Relation.empty(out_schema)
+
+    columns: list[np.ndarray] = []
+    if aggregate_node.group_keys:
+        cell_indices = np.unravel_index(kept_cells, domain_sizes)
+        for vocab, codes in zip(key_vocabs, cell_indices):
+            columns.append(vocab[codes])
+    spread_columns: list[np.ndarray] = []
+    for index, spec_totals in enumerate(totals):
+        columns.append(spec_totals[present_all] / answered)
+        if report_ci:
+            spread_columns.append(moments[index].std()[present_all])
+            spread_columns.append(
+                moments[index].ci_halfwidth(CONFIDENCE_Z)[present_all]
+            )
+    columns.extend(spread_columns)
+    return Relation.from_groups(out_schema, columns)
+
+
+def _adaptive_layout_fallback(
+    query: SelectQuery,
+    config: OpenQueryConfig,
+    population_size: float,
+    rows: int,
+    plan: LogicalPlan,
+    predicate,
+    notes: list[str],
+    parallel,
+    generate_chunk,
+    first_data: Relation,
+    first_ids: np.ndarray,
+    streams,
+    generated: int,
+    cap: int,
+) -> tuple[Relation, list[str], dict]:
+    """Finish an adaptive stream whose layout is not chunk-mergeable.
+
+    The remaining repetitions generate from the same pre-spawned streams
+    and union with the first chunk — row-for-row the monolithic batch —
+    then the shared fixed-R tail runs, so the answer is bit-identical to
+    the non-adaptive batched path.
+    """
+    if generated < cap:
+        rest = generate_chunk(streams[generated:cap])
+        rest_ids = (
+            np.asarray(rest.column(REPETITION_COLUMN), dtype=np.int64) + generated
+        )
+        data = first_data.concat(rest.drop_column(REPETITION_COLUMN))
+        rep_ids = np.concatenate([first_ids, rest_ids])
+    else:
+        data, rep_ids = first_data, first_ids
+    return _finish_batched(
+        query,
+        config,
+        data,
+        rep_ids,
+        cap,
+        population_size,
+        rows,
+        plan,
+        predicate,
+        notes,
+        parallel,
+    )
 
 
 def _order_combined(combined: Relation, query: SelectQuery) -> Relation:
@@ -620,6 +1106,7 @@ def combine_composite_answers(
     aggregate_node: AggregateNode,
     composite: CompositeAggregates,
     participating: np.ndarray,
+    report_ci: bool = False,
 ) -> Relation:
     """Group-intersection + aggregate averaging, straight from composite codes.
 
@@ -632,12 +1119,13 @@ def combine_composite_answers(
     union-then-bincount combine performs, so results are bit-identical.
     Group ids are key-sorted (dictionary order over the whole batch), so
     output rows land in the same key-sorted order as the serial combine.
+
+    ``report_ci`` appends per-aggregate ``{alias}__std__``/``{alias}__ci__``
+    columns (sample std of the per-repetition values across participating
+    repetitions, and the CI half-width of the reported mean).  The default
+    ``False`` leaves the schema — and every byte of the answer — unchanged.
     """
-    value_fields = [
-        Field(spec.alias, DType.FLOAT) for spec in aggregate_node.specs
-    ]
-    key_fields = list(aggregate_node.schema.fields[: len(aggregate_node.key_columns)])
-    out_schema = Schema(key_fields + value_fields)
+    out_schema = _combined_schema(aggregate_node, report_ci)
 
     repetition_rows = composite.present[participating]
     kept = (
@@ -654,14 +1142,47 @@ def combine_composite_answers(
         for name in aggregate_node.key_columns
     ]
     answered = int(participating.sum())
+    spread_columns: list[np.ndarray] = []
     for matrix in composite.values:
         totals = np.zeros(int(kept.sum()), dtype=np.float64)
         # Accumulate repetition by repetition (ascending), mirroring the
         # serial combine's bincount over rep-major union rows.
         for repetition in np.flatnonzero(participating):
             totals = totals + matrix[repetition][kept]
-        columns.append(totals / answered)
+        means = totals / answered
+        columns.append(means)
+        if report_ci:
+            spread_columns.extend(_spread_columns(matrix, participating, kept, means))
+    columns.extend(spread_columns)
     return Relation.from_groups(out_schema, columns)
+
+
+def _combined_schema(aggregate_node: AggregateNode, report_ci: bool) -> Schema:
+    """Key fields + FLOAT aggregate fields (+ std/ci pairs when opted in)."""
+    key_fields = list(aggregate_node.schema.fields[: len(aggregate_node.key_columns)])
+    value_fields = [Field(spec.alias, DType.FLOAT) for spec in aggregate_node.specs]
+    fields = key_fields + value_fields
+    if report_ci:
+        for spec in aggregate_node.specs:
+            fields.append(Field(f"{spec.alias}__std__", DType.FLOAT))
+            fields.append(Field(f"{spec.alias}__ci__", DType.FLOAT))
+    return Schema(fields)
+
+
+def _spread_columns(
+    matrix: np.ndarray,
+    participating: np.ndarray,
+    kept: np.ndarray,
+    means: np.ndarray,
+) -> list[np.ndarray]:
+    """``[std, ci]`` of one aggregate's per-repetition values per kept group."""
+    answered = int(participating.sum())
+    if answered > 1:
+        deviations = matrix[participating][:, kept] - means
+        std = np.sqrt((deviations * deviations).sum(axis=0) / (answered - 1))
+    else:
+        std = np.full(means.shape, np.inf)
+    return [std, CONFIDENCE_Z * std / np.sqrt(answered)]
 
 
 def _try_count_inference(

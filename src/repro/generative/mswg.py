@@ -95,6 +95,11 @@ class MSWG:
         self._softmax: BlockSoftmax | None = None
         self._latent_dim: int | None = None
         self._rng = np.random.default_rng(self.config.seed)
+        # Generation scratch (latents, forward output) keyed by name and
+        # reused across calls of the same shape — the adaptive streaming
+        # path generates many equal-sized repetition chunks back to back,
+        # and none of the decoded output aliases these buffers.
+        self._scratch_buffers: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -294,19 +299,47 @@ class MSWG:
         ``generate`` calls; the result carries the dense ``__rep__``
         column batched OPEN execution keys on.
         """
+        streams = repetition_streams(
+            rng if rng is not None else self._rng, repetitions
+        )
+        return self.generate_batch_streams(n, streams, harden_categoricals)
+
+    def generate_batch_streams(
+        self,
+        n: int,
+        streams: list[np.random.Generator],
+        harden_categoricals: bool = True,
+    ) -> Relation:
+        """One chunk of repetitions, each drawn from its given stream.
+
+        The chunked sibling of :meth:`generate_batch`: callers slice a
+        pre-spawned stream list (``streams[start:stop]``), so a chunked
+        generation draws exactly the values the monolithic batch would —
+        chunking never changes per-repetition randomness.  The local
+        ``__rep__`` ids are 0-based within the chunk.
+        """
         if self.network is None or self.encoder is None:
             raise GenerativeModelError("generate() before fit()")
         if n <= 0:
             raise GenerativeModelError(f"need a positive sample size, got {n}")
-        streams = repetition_streams(
-            rng if rng is not None else self._rng, repetitions
-        )
-        latents = np.concatenate(
-            [stream.normal(size=(n, self._latent_dim)) for stream in streams]
-        )
+        if not streams:
+            raise GenerativeModelError("need at least one repetition stream")
+        latents = self._scratch("latents", (len(streams) * n, self._latent_dim))
+        for index, stream in enumerate(streams):
+            latents[index * n : (index + 1) * n] = stream.normal(
+                size=(n, self._latent_dim)
+            )
         return with_repetition_ids(
-            self._decode_latents(latents, harden_categoricals), repetitions
+            self._decode_latents(latents, harden_categoricals), len(streams)
         )
+
+    def _scratch(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A reusable generation buffer (reallocated on shape change)."""
+        buffer = self._scratch_buffers.get(name)
+        if buffer is None or buffer.shape != shape:
+            buffer = np.empty(shape, dtype=np.float64)
+            self._scratch_buffers[name] = buffer
+        return buffer
 
     #: Rows per eval-mode forward chunk.  A stacked R*n batch pushed
     #: through the network in one piece allocates (rows, units) temporaries
@@ -318,20 +351,30 @@ class MSWG:
     def _decode_latents(
         self, latents: np.ndarray, harden_categoricals: bool
     ) -> Relation:
-        """Latents → tuples: chunked eval-mode forward, harden, decode."""
+        """Latents → tuples: chunked eval-mode forward, decode.
+
+        Forward chunks write straight into a reusable ``(rows, width)``
+        output buffer (no per-chunk pieces list, no concatenate).  The
+        explicit hardening pass is skipped: the decoder picks categorical
+        values by argmax over each softmax block, and the argmax of a
+        hardened one-hot is the argmax of the soft block it was built
+        from, so decoded tuples are bit-identical either way — the paper's
+        "force the output to be binary for data generation" is realised by
+        the argmax decode itself.  ``inverse_transform`` derives fresh
+        arrays (clips, argmax picks), so the returned relation never
+        aliases the scratch buffer.
+        """
         assert self.network is not None and self.encoder is not None
         chunk = self._FORWARD_CHUNK_ROWS
+        output = self._scratch("forward", (latents.shape[0], self.encoder.width))
         self.network.eval()
         try:
-            pieces = [
-                self.network.forward(latents[start : start + chunk])
-                for start in range(0, latents.shape[0], chunk)
-            ]
+            for start in range(0, latents.shape[0], chunk):
+                output[start : start + chunk] = self.network.forward(
+                    latents[start : start + chunk]
+                )
         finally:
             self.network.train()
-        output = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
-        if harden_categoricals and self._softmax is not None:
-            output = self._softmax.harden(output)
         return self.encoder.inverse_transform(output)
 
     def generate_many(

@@ -16,6 +16,17 @@ the two executions are bit-identical:
   batched generation carries (row ``i`` belongs to repetition ``i // n``),
   which the engine later composes with group codes into composite
   ``(rep, group)`` keys.
+- :func:`repetition_chunks` decomposes a repetition budget into the
+  contiguous ``[start, stop)`` ranges the adaptive streaming path
+  generates one chunk at a time.
+
+The chunked-stream contract: :class:`~numpy.random.SeedSequence` children
+depend only on their spawn index, so ``repetition_streams(rng, cap)``
+yields the *same* stream ``r`` regardless of ``cap`` — and a chunked
+generation that consumes ``streams[start:stop]`` per chunk draws values
+bit-identical to one monolithic batch (or the serial loop) over the same
+repetitions.  Chunking never changes a drawn value; it only changes how
+many repetitions are materialised at once.
 """
 
 from __future__ import annotations
@@ -36,6 +47,18 @@ def repetition_streams(
     """``count`` independent RNG streams from a single draw on ``rng``."""
     root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
     return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def repetition_chunks(count: int, chunk: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` repetition ranges of at most ``chunk``.
+
+    The adaptive OPEN path walks these ranges in order, generating
+    ``streams[start:stop]`` per round; the final range may be shorter.
+    """
+    if count <= 0:
+        raise GenerativeModelError(f"need a positive repetition count, got {count}")
+    step = max(1, chunk)
+    return [(start, min(start + step, count)) for start in range(0, count, step)]
 
 
 def with_repetition_ids(relation: Relation, repetitions: int) -> Relation:

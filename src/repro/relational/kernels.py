@@ -747,3 +747,46 @@ def merge_composite_partials(
         present=present,
         values=values,
     )
+
+
+class WelfordMoments:
+    """Vectorized running mean/variance over per-repetition value rows.
+
+    The adaptive OPEN path feeds one ``(domain_total,)`` row per
+    *participating* repetition (a repetition's per-cell aggregate values);
+    the update is Welford's numerically stable recurrence applied to every
+    cell at once.  ``mean``/``variance`` are only meaningful for cells the
+    caller knows are present in every fed repetition — absent cells
+    accumulate the kernels' zero fill and are filtered by the caller.
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self, cells: int):
+        self.count = 0
+        self.mean = np.zeros(cells, dtype=np.float64)
+        self._m2 = np.zeros(cells, dtype=np.float64)
+
+    def update(self, rows: np.ndarray) -> None:
+        """Fold ``rows`` (``(r, cells)`` or ``(cells,)``) in row order."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        for row in rows:
+            self.count += 1
+            delta = row - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (row - self.mean)
+
+    def variance(self) -> np.ndarray:
+        """Per-cell sample variance (ddof=1); ``inf`` below two updates."""
+        if self.count < 2:
+            return np.full(self.mean.shape, np.inf)
+        return self._m2 / (self.count - 1)
+
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance())
+
+    def ci_halfwidth(self, z: float) -> np.ndarray:
+        """``z * std / sqrt(count)`` — the CI half-width of the mean."""
+        if self.count < 2:
+            return np.full(self.mean.shape, np.inf)
+        return z * np.sqrt(self.variance() / self.count)

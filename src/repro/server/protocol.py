@@ -30,7 +30,8 @@ go to the wire as-is::
     u32 header_length | header JSON | column blocks...
 
 The JSON header carries ``visibility`` / ``sample_name`` / ``notes`` /
-``num_rows`` plus one descriptor per column: ``{"name", "dtype",
+``num_rows`` (plus ``repetitions_used`` on OPEN answers — an append-only
+extension older decoders ignore) and one descriptor per column: ``{"name", "dtype",
 "enc": "buf" | "dict"}``.  A ``buf`` block is ``u32 nbytes`` + the raw
 little-endian buffer (``int64`` for INT, ``float64`` for FLOAT, ``uint8``
 for BOOL).  A ``dict`` block is the TEXT column's dictionary encoding:
@@ -209,15 +210,18 @@ def encode_result(result: QueryResult) -> bytes:
             ).tobytes()
             blocks.append(_U32.pack(len(buffer)) + buffer)
             descriptors.append({"name": name, "dtype": dtype.value, "enc": "buf"})
-    header = json_payload(
-        {
-            "visibility": result.visibility,
-            "sample_name": result.sample_name,
-            "notes": list(result.notes),
-            "num_rows": relation.num_rows,
-            "columns": descriptors,
-        }
-    )
+    header = {
+        "visibility": result.visibility,
+        "sample_name": result.sample_name,
+        "notes": list(result.notes),
+        "num_rows": relation.num_rows,
+        "columns": descriptors,
+    }
+    # Append-only header extension (older decoders ignore unknown keys):
+    # OPEN answers report how many repetitions the adaptive stream used.
+    if result.repetitions_used is not None:
+        header["repetitions_used"] = result.repetitions_used
+    header = json_payload(header)
     return b"".join([_U32.pack(len(header)), header, *blocks])
 
 
@@ -276,11 +280,15 @@ def decode_result(payload: bytes) -> QueryResult:
                 )
             plain[name] = values
     relation = Relation.from_codes(Schema(fields), encoded, plain)
+    repetitions_used = header.get("repetitions_used")
     return QueryResult(
         relation,
         visibility=header.get("visibility"),
         sample_name=header.get("sample_name"),
         notes=tuple(header.get("notes") or ()),
+        repetitions_used=(
+            None if repetitions_used is None else int(repetitions_used)
+        ),
     )
 
 

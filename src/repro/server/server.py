@@ -324,7 +324,37 @@ class MosaicServer:
         visibility = options.get("default_visibility")
         if visibility is not None:
             config.default_visibility = Visibility.parse(str(visibility))
+        open_options = options.get("open")
+        if open_options is not None:
+            if not isinstance(open_options, dict):
+                raise ProtocolError('HELLO option "open" must be an object')
+            self._apply_open_options(config.open_config, open_options)
         return config
+
+    #: HELLO "open" keys a connection may tune, with their coercions.
+    #: A whitelist, not setattr-from-JSON: generator factories, row
+    #: budgets and worker counts stay server-controlled.
+    _OPEN_OPTION_FIELDS = {
+        "repetitions": int,
+        "tolerance": float,
+        "min_repetitions": int,
+        "max_repetitions": lambda value: None if value is None else int(value),
+        "chunk_repetitions": int,
+        "report_ci": bool,
+    }
+
+    @classmethod
+    def _apply_open_options(cls, open_config, open_options: dict) -> None:
+        for key, value in open_options.items():
+            coerce = cls._OPEN_OPTION_FIELDS.get(key)
+            if coerce is None:
+                raise ProtocolError(f'unknown HELLO "open" option {key!r}')
+            try:
+                setattr(open_config, key, coerce(value))
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f'bad HELLO "open" option {key!r}: {exc}'
+                ) from exc
 
     async def _read_loop(self, connection: _Connection) -> None:
         while True:
