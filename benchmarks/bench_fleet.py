@@ -1,0 +1,201 @@
+"""Bench: the sharded engine fleet vs. a single direct server.
+
+Boots in-process fleets (real sockets: N ``MosaicServer`` shards behind a
+``FleetRouter``) at 1 / 2 / 4 shards over the flights workload and
+measures, writing ``BENCH_fleet.json``:
+
+- **Router overhead**: p50 latency of a cached CLOSED query through a
+  1-shard fleet vs. the same query against the shard's server directly —
+  the acceptance target is < 2 ms of added p50 (one extra frame hop +
+  the router's executor bridge; tune via
+  ``MOSAIC_FLEET_OVERHEAD_BUDGET_MS`` for slow runners).
+- **Per-shard-count throughput**: qps and p50/p99 latency for
+  whole-query routed (replicated) reads and for scatter/gather PARTIAL
+  aggregates over a sliced relation, at each fleet size.
+
+Scaling is hardware-bound, so the payload records ``cpu_count`` honestly
+and the CI gate (``check_bench_regression.py``) only compares qps across
+runs with matching core counts.  Bit-identity between the fleet and a
+direct single server is asserted in-bench for both read paths.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import MosaicDB
+from repro.client import Connection
+from repro.fleet import FleetRouter, PartitionSpec
+from repro.server.server import MosaicServer
+from repro.workloads.flights import FlightsConfig, make_flights_population
+
+CONFIG = FlightsConfig(rows=5_000)
+SHARD_COUNTS = (1, 2, 4)
+CLOSED_SQL = "SELECT CLOSED carrier, AVG(distance) AS d FROM Flights GROUP BY carrier"
+SCATTER_SQL = (
+    "SELECT name, COUNT(*) AS n, SUM(n) AS s, AVG(n) AS a "
+    "FROM T GROUP BY name"
+)
+SLICED_ROWS = 2_000
+SLICED_BATCH = 500
+REPLICATED_ITERS = 150
+SCATTER_ITERS = 60
+OVERHEAD_ITERS = 200
+
+
+def build_flights_db() -> MosaicDB:
+    population = make_flights_population(CONFIG, np.random.default_rng(0))
+    db = MosaicDB(seed=0)
+    db.execute(
+        "CREATE GLOBAL POPULATION Flights "
+        "(carrier TEXT, taxi_out INT, taxi_in INT, elapsed_time INT, distance INT)"
+    )
+    db.execute("CREATE SAMPLE S AS (SELECT * FROM Flights)")
+    db.ingest_relation("S", population)
+    db.execute(CLOSED_SQL)  # prime plan caches
+    return db
+
+
+def sliced_insert_statements() -> list[str]:
+    statements = []
+    for start in range(0, SLICED_ROWS, SLICED_BATCH):
+        values = ", ".join(
+            f"('g{i % 8}', {i})" for i in range(start, start + SLICED_BATCH)
+        )
+        statements.append(f"INSERT INTO T VALUES {values}")
+    return statements
+
+
+def _measure(run, iterations: int) -> dict:
+    run()  # warm
+    latencies = np.empty(iterations)
+    start = time.perf_counter()
+    for i in range(iterations):
+        t0 = time.perf_counter()
+        run()
+        latencies[i] = time.perf_counter() - t0
+    elapsed = time.perf_counter() - start
+    return {
+        "qps": round(iterations / elapsed, 2),
+        "p50_ms": round(float(np.percentile(latencies * 1000.0, 50)), 4),
+        "p99_ms": round(float(np.percentile(latencies * 1000.0, 99)), 4),
+    }
+
+
+def _p50_ms(run, iterations: int) -> float:
+    run()
+    latencies = np.empty(iterations)
+    for i in range(iterations):
+        t0 = time.perf_counter()
+        run()
+        latencies[i] = time.perf_counter() - t0
+    return float(np.percentile(latencies * 1000.0, 50))
+
+
+def assert_identical(received, expected) -> None:
+    assert received.columns == expected.columns
+    assert received.num_rows == expected.num_rows
+    for name in expected.columns:
+        mine, theirs = received.column(name), expected.column(name)
+        if mine.dtype == object:
+            assert list(mine) == list(theirs)
+        else:
+            assert mine.tobytes() == theirs.tobytes()
+
+
+class InProcessFleet:
+    def __init__(self, shard_count: int):
+        self.dbs = [build_flights_db() for _ in range(shard_count)]
+        self.servers = [
+            MosaicServer(
+                db.engine, port=0, session_config=db.session.config, shard_id=index
+            ).start_in_thread()
+            for index, db in enumerate(self.dbs)
+        ]
+        self.router = FleetRouter(
+            [("127.0.0.1", server.port) for server in self.servers],
+            port=0,
+            partitions={"T": PartitionSpec("T")},
+        ).start_in_thread()
+        self.port = self.router.port
+
+    def close(self):
+        self.router.stop_in_thread()
+        for server in self.servers:
+            server.stop_in_thread()
+
+
+def test_emit_bench_json():
+    # Direct-server baseline for the router-overhead comparison.
+    reference_db = build_flights_db()
+    reference_server = MosaicServer(
+        reference_db.engine, port=0, session_config=reference_db.session.config
+    ).start_in_thread()
+    try:
+        with Connection("127.0.0.1", reference_server.port) as direct:
+            direct_p50 = _p50_ms(lambda: direct.execute(CLOSED_SQL), OVERHEAD_ITERS)
+            reference_closed = direct.execute(CLOSED_SQL)
+    finally:
+        reference_server.stop_in_thread()
+
+    # The sliced-aggregate reference answer comes from one plain engine
+    # holding every row of T.
+    reference_sliced_db = MosaicDB(seed=0)
+    reference_sliced_db.execute("CREATE TEMPORARY TABLE T (name TEXT, n INT)")
+    for statement in sliced_insert_statements():
+        reference_sliced_db.execute(statement)
+    reference_scatter = reference_sliced_db.execute(SCATTER_SQL)
+
+    fleets: dict[str, dict] = {}
+    router_overhead_p50 = None
+    for shard_count in SHARD_COUNTS:
+        fleet = InProcessFleet(shard_count)
+        try:
+            with Connection("127.0.0.1", fleet.port) as conn:
+                conn.execute("CREATE TEMPORARY TABLE T (name TEXT, n INT)")
+                for statement in sliced_insert_statements():
+                    conn.execute(statement)
+
+                # Bit-identity on both read paths before timing anything.
+                assert_identical(conn.execute(CLOSED_SQL), reference_closed)
+                assert_identical(conn.execute(SCATTER_SQL), reference_scatter)
+
+                replicated = _measure(
+                    lambda: conn.execute(CLOSED_SQL), REPLICATED_ITERS
+                )
+                scatter = _measure(
+                    lambda: conn.execute(SCATTER_SQL), SCATTER_ITERS
+                )
+                if shard_count == 1:
+                    router_overhead_p50 = replicated["p50_ms"] - direct_p50
+            fleets[str(shard_count)] = {
+                "replicated": replicated,
+                "scatter": scatter,
+            }
+        finally:
+            fleet.close()
+
+    payload = {
+        "workload": (
+            f"flights rows={CONFIG.rows} cached CLOSED routed whole-query; "
+            f"sliced T rows={SLICED_ROWS} scatter/gather COUNT+SUM+AVG"
+        ),
+        "cpu_count": os.cpu_count(),
+        "direct_p50_ms": round(direct_p50, 4),
+        "router_overhead_p50_ms": round(router_overhead_p50, 4),
+        "fleet": fleets,
+        "bit_identical": True,  # asserted above for every fleet size
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Acceptance: fronting one shard with the router should cost < 2 ms
+    # of p50 over talking to that shard directly.
+    budget = float(os.environ.get("MOSAIC_FLEET_OVERHEAD_BUDGET_MS", "2.0"))
+    assert router_overhead_p50 < budget, (
+        f"router p50 overhead {router_overhead_p50:.3f} ms exceeds "
+        f"{budget:.1f} ms (direct {direct_p50:.3f} ms)"
+    )

@@ -167,6 +167,7 @@ def test_emit_bench_json():
     closed_reference = None
     open_reference = None
     pool_stats = {}
+    closed_pool_stats = {}
 
     for workers in WORKER_COUNTS:
         db = build_db(workers, flights)
@@ -182,6 +183,11 @@ def test_emit_bench_json():
             if workers >= 1:
                 stats = db.engine.execution.stats()
                 assert stats["parallel_batches"] >= 1, stats
+                # Repeated queries over an unchanged relation must reattach
+                # the existing shared segment (stable (relation, version)
+                # share keys), not re-export the rows every time.
+                assert stats["segment_reuses"] > 0, stats
+                closed_pool_stats = stats
         finally:
             db.close()
 
@@ -223,6 +229,7 @@ def test_emit_bench_json():
         ),
         "bit_identical": True,  # asserted above for every configuration
         "pool_stats_8w_open": pool_stats,
+        "pool_stats_8w_closed": closed_pool_stats,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -61,6 +61,13 @@ TRACKED_METRICS: dict[str, tuple[str, ...]] = {
         "generators.bayesnet.generate_ms",
         "generators.ipf-synth.generate_ms",
     ),
+    # Not gated: router_overhead_p50_ms — a difference of two p50s is too
+    # jittery for a ratio gate; bench_fleet.py asserts its absolute <2 ms
+    # budget on every run instead.
+    "BENCH_fleet.json": (
+        "fleet.1.replicated.p50_ms",
+        "fleet.2.scatter.p50_ms",
+    ),
 }
 
 #: Throughput metrics (higher is better), keyed by payload basename.
@@ -76,6 +83,13 @@ SCALING_METRICS: dict[str, tuple[str, ...]] = {
         "open_qps_by_workers.0",
         "open_qps_by_workers.2",
         "open_qps_by_workers.4",
+    ),
+    "BENCH_fleet.json": (
+        "fleet.1.replicated.qps",
+        "fleet.2.replicated.qps",
+        "fleet.4.replicated.qps",
+        "fleet.2.scatter.qps",
+        "fleet.4.scatter.qps",
     ),
 }
 DEFAULT_FACTOR = 2.0

@@ -29,6 +29,12 @@ class Catalog:
 
     def __init__(self) -> None:
         self._auxiliary: dict[str, Relation] = {}
+        # Per-auxiliary data version: bumps on create and on every
+        # replace (INSERT).  Samples carry their own ``version``; this
+        # gives auxiliary tables the same stable (name, version) identity
+        # so caches (e.g. shared-memory segments) can key on data content
+        # instead of Python object identity.
+        self._auxiliary_versions: dict[str, int] = {}
         self._populations: dict[str, PopulationRelation] = {}
         self._samples: dict[str, SampleRelation] = {}
         self._metadata_owner: dict[str, str] = {}  # metadata name -> population name
@@ -70,12 +76,23 @@ class Catalog:
     def create_auxiliary(self, name: str, relation: Relation) -> None:
         self._assert_fresh(name)
         self._auxiliary[name] = relation
+        # Never resets across DROP + CREATE of the same name, so a given
+        # (name, version) pair always refers to one concrete relation.
+        self._auxiliary_versions[name] = self._auxiliary_versions.get(name, 0) + 1
         self._bump()
 
     def replace_auxiliary(self, name: str, relation: Relation) -> None:
         if name not in self._auxiliary:
             raise UnknownRelationError(name)
         self._auxiliary[name] = relation
+        self._auxiliary_versions[name] += 1
+
+    def auxiliary_version(self, name: str) -> int:
+        """Monotonic data version of an auxiliary table (bumps on replace)."""
+        version = self._auxiliary_versions.get(name)
+        if version is None:
+            raise UnknownRelationError(name)
+        return version
 
     def auxiliary(self, name: str) -> Relation:
         relation = self._auxiliary.get(name)

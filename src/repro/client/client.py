@@ -26,7 +26,7 @@ import threading
 from typing import Any
 
 from repro.core.result import QueryResult
-from repro.errors import ProtocolError
+from repro.errors import ConnectionLostError, ProtocolError
 from repro.server import protocol
 
 
@@ -66,6 +66,11 @@ class Connection:
         self.max_frame_bytes = max_frame_bytes
         self._request_ids = 0
         self._closed = False
+        #: True once a request has succeeded on this socket.  The pool uses
+        #: it to tell a *stale* connection (idle across a server restart —
+        #: safe to retry on a fresh socket) from one that failed on its
+        #: very first use (the server itself is likely down).
+        self.used = False
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
@@ -113,6 +118,21 @@ class Connection:
         """Alias of :meth:`execute` for read-only callers."""
         return self.execute(sql)
 
+    def query_extended(self, envelope: dict, sql: str) -> tuple[QueryResult, dict]:
+        """Send a QUERYX frame; returns the result plus its raw JSON header.
+
+        Fleet-internal: the router uses ``{"mode": "partial"}`` to collect
+        a shard's partial aggregate (the header carries the ``"partial"``
+        merge recipe) and ``{"mode": "insert", "indices": [...]}`` to apply
+        one shard's slice of an INSERT.
+        """
+        payload = self._request(
+            protocol.QUERYX,
+            protocol.encode_queryx(envelope, sql),
+            expect=protocol.RESULT,
+        )
+        return protocol.decode_result_with_header(payload)
+
     def stats(self) -> dict:
         """Server counters plus engine cache statistics."""
         payload = self._request(protocol.STATS, expect=protocol.STATS_RESULT)
@@ -133,6 +153,15 @@ class Connection:
             pass  # closing anyway
         finally:
             self._sock.close()
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Adjust the socket timeout after the handshake.
+
+        The constructor's ``timeout`` covers dialing *and* every later
+        recv; callers that want a dial deadline but unbounded queries
+        (e.g. the fleet router) clear it once connected.
+        """
+        self._sock.settimeout(timeout)
 
     def __enter__(self) -> "Connection":
         return self
@@ -169,6 +198,7 @@ class Connection:
                 f"unexpected frame type 0x{response_type:02x} "
                 f"(expected 0x{expect:02x})"
             )
+        self.used = True
         return body
 
 
@@ -248,9 +278,41 @@ class Client:
         connection = self._acquire()
         try:
             result = method(connection, *args)
-        except (OSError, ProtocolError):
+        except (OSError, ProtocolError) as exc:
             # Transport is suspect: drop the connection instead of pooling
             # a socket in an unknown protocol state.
+            stale = connection.used and isinstance(exc, OSError)
+            self._discard(connection)
+            if not stale:
+                raise
+            # The connection had served requests before, so the likeliest
+            # cause is a socket gone stale in the pool (server restarted
+            # between borrows).  Retry exactly once on a *freshly dialed*
+            # connection — another pooled socket could be just as stale.
+            return self._retry_once(method, exc, *args)
+        except BaseException:
+            self._release(connection)
+            raise
+        self._release(connection)
+        return result
+
+    def _retry_once(self, method, cause: OSError, *args) -> Any:
+        try:
+            connection = self._dial()
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} was lost and "
+                f"reconnecting failed: {exc}"
+            ) from cause
+        try:
+            result = method(connection, *args)
+        except OSError as exc:
+            self._discard(connection)
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} was lost and the "
+                f"retry also failed: {exc}"
+            ) from cause
+        except ProtocolError:
             self._discard(connection)
             raise
         except BaseException:
@@ -258,6 +320,21 @@ class Client:
             raise
         self._release(connection)
         return result
+
+    def _dial(self) -> Connection:
+        """Dial a brand-new pooled connection (slot-accounted)."""
+        with self._mutex:
+            if self._closed:
+                raise ProtocolError("client is closed")
+            self._created += 1
+        try:
+            return Connection(
+                self.host, self.port, options=self.options, timeout=self.timeout
+            )
+        except BaseException:
+            with self._mutex:
+                self._created -= 1
+            raise
 
     def _acquire(self) -> Connection:
         # A discarded connection frees a *slot*, not a queue entry, so a

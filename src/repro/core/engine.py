@@ -45,8 +45,13 @@ from repro.core.locks import ReadWriteLock
 from repro.core.result import QueryResult
 from repro.core.visibility import Visibility
 from repro.core.workers import ExecutionConfig, ParallelExecution
-from repro.engine.closed import evaluate_closed
-from repro.engine.compiler import compile_select, execute_plan
+from repro.engine.closed import closed_source, evaluate_closed
+from repro.engine.compiler import (
+    compile_select,
+    execute_plan,
+    execute_plan_partial,
+    partial_aggregate_form,
+)
 from repro.engine.executor import execute_select
 from repro.engine.open_world import evaluate_open, uses_batched_execution
 from repro.engine.plan import LogicalPlan
@@ -54,6 +59,7 @@ from repro.engine.planner import PlannedSource, choose_sample
 from repro.engine.semi_open import evaluate_semi_open, reweighted_sample
 from repro.errors import (
     CatalogError,
+    PartialUnsupportedError,
     SessionClosedError,
     SqlCompileError,
     VisibilityError,
@@ -101,6 +107,10 @@ class Engine:
         # random stream exactly (np.random.SeedSequence spawn semantics).
         self._seed_sequence = np.random.SeedSequence(seed)
         self._spawned_sessions = itertools.count()
+        # Children are cached so connect(spawn_index=k) can deterministically
+        # (re)produce child k regardless of connect order — the fleet router
+        # uses this to replay one logical client's RNG stream on every shard.
+        self._seed_children: list[np.random.SeedSequence] = []
         self._spawn_mutex = threading.Lock()
         # Pipeline caches (see ARCHITECTURE.md).  Statement/plan caches key
         # on immutable inputs (SQL text, relation kind, schema fingerprint,
@@ -183,7 +193,11 @@ class Engine:
     # Sessions
     # ------------------------------------------------------------------ #
 
-    def connect(self, config: "SessionConfig | None" = None) -> "Session":
+    def connect(
+        self,
+        config: "SessionConfig | None" = None,
+        spawn_index: int | None = None,
+    ) -> "Session":
         """Open a new session over this engine.
 
         Each session gets an independent deterministic RNG stream: child
@@ -191,21 +205,45 @@ class Engine:
         where ``k`` counts connections in order.  ``config.seed`` is
         ignored for spawned sessions (set an explicit
         ``np.random.default_rng`` on the session to override).
+
+        An explicit ``spawn_index`` pins the session to child ``k``
+        directly, without advancing the connection counter.  Child ``k`` is
+        the *same* SeedSequence either way (children are cached), so an
+        engine that sees connections ``spawn_index=0..n`` replays exactly
+        the streams an engine with ``n`` plain connects produced — the
+        fleet router relies on this to make every shard's session-``k``
+        RNG identical to the single-engine reference.  Mixing both schemes
+        on one engine can alias streams (a plain connect may land on an
+        index already pinned explicitly).
         """
         from repro.core.session import Session, SessionConfig
 
         if self._closed:
             raise SessionClosedError("engine has been shut down")
         with self._spawn_mutex:
-            index = next(self._spawned_sessions)
-            child = self._seed_sequence.spawn(1)[0]
-            assert child.spawn_key[-1] == index  # spawn order == connect order
+            index = next(self._spawned_sessions) if spawn_index is None else spawn_index
+            if index < 0:
+                raise ValueError(f"spawn_index must be >= 0, got {index}")
+            child = self._seed_child(index)
         return Session(
             engine=self,
             config=config if config is not None else SessionConfig(),
             rng=np.random.default_rng(child),
             spawn_index=index,
         )
+
+    def _seed_child(self, index: int) -> np.random.SeedSequence:
+        """Child ``index`` of the root SeedSequence (caller holds the mutex).
+
+        Successive ``spawn(1)`` calls yield children ``0, 1, 2, ...`` (the
+        root's ``n_children_spawned`` advances), so spawning forward and
+        caching gives random access to the deterministic child sequence.
+        """
+        while len(self._seed_children) <= index:
+            child = self._seed_sequence.spawn(1)[0]
+            assert child.spawn_key[-1] == len(self._seed_children)
+            self._seed_children.append(child)
+        return self._seed_children[index]
 
     def root_session(self, config: "SessionConfig") -> "Session":
         """The facade's default session: RNG seeded exactly like the
@@ -223,13 +261,22 @@ class Engine:
     # SQL entry points
     # ------------------------------------------------------------------ #
 
-    def execute(self, sql: str, session: "Session") -> QueryResult:
-        """Parse and run one statement; DDL returns an empty status result."""
+    def parse_sql(self, sql: str) -> Statement:
+        """Parse one statement through the shared statement cache.
+
+        Public so protocol layers (the server's QUERYX dispatch, the fleet
+        router's statement classification) can reuse cached parses instead
+        of re-tokenising every request.
+        """
         statement = self._statement_cache.get(sql)
         if statement is None:
             statement = parse_statement(sql)
             self._statement_cache.put(sql, statement)
-        return self._execute_statement(statement, session, sql_text=sql)
+        return statement
+
+    def execute(self, sql: str, session: "Session") -> QueryResult:
+        """Parse and run one statement; DDL returns an empty status result."""
+        return self._execute_statement(self.parse_sql(sql), session, sql_text=sql)
 
     def execute_script(self, sql: str, session: "Session") -> list[QueryResult]:
         """Run a ``;``-separated script, returning one result per statement."""
@@ -258,6 +305,102 @@ class Engine:
         AST has no stable text to key on.
         """
         return self._execute_statement(statement, session, sql_text=sql_text)
+
+    def execute_partial(
+        self, sql: str, session: "Session"
+    ) -> tuple[QueryResult, dict]:
+        """Run ``sql`` as one shard's fragment of a scattered aggregate.
+
+        The fleet router slices a relation across shards and sends every
+        shard the *same* SELECT with this entry point; each shard returns
+        its partial-aggregate relation plus the JSON merge recipe (computed
+        from the plan alone, so identical on every shard), and the router
+        re-reduces with :func:`~repro.relational.kernels.merge_partial_aggregates`.
+
+        Only shard-locally computable paths are supported: auxiliary
+        tables, samples queried directly (CLOSED, or SEMI-OPEN with stored
+        weights — each shard holds its rows' weights), and population
+        CLOSED (sample tuples + view predicate).  Population SEMI-OPEN
+        reweights against *global* marginals and population OPEN generates
+        from a globally fitted model — neither decomposes over a sliced
+        relation, so both raise :class:`PartialUnsupportedError` directing
+        the operator to replicate the relation instead.
+        """
+        statement = self.parse_sql(sql)
+        if not isinstance(statement, SelectQuery):
+            raise PartialUnsupportedError(
+                "only SELECT statements can run as cross-shard partials"
+            )
+        with self._lock.read_locked():
+            self._check_open()
+            return self._run_partial_select(statement, session, sql)
+
+    def _run_partial_select(
+        self, query: SelectQuery, session: "Session", sql_text: str
+    ) -> tuple[QueryResult, dict]:
+        kind = self.catalog.kind_of(query.table)
+        weights = None
+        notes: list[str] = []
+        sample_name = None
+        if kind == "auxiliary":
+            if query.visibility not in (None, Visibility.CLOSED):
+                raise VisibilityError(
+                    "visibility keywords only apply to populations and samples; "
+                    f"{query.table!r} is an auxiliary table"
+                )
+            visibility = Visibility.CLOSED
+            relation = self.catalog.auxiliary(query.table)
+        elif kind == "sample":
+            sample = self.catalog.sample(query.table)
+            visibility = query.visibility or Visibility.CLOSED
+            if visibility is Visibility.OPEN:
+                raise VisibilityError(
+                    "OPEN queries target populations, not samples; query the "
+                    f"population {sample.population!r} instead"
+                )
+            if visibility is Visibility.SEMI_OPEN:
+                weights = sample.weights
+                notes.append("sample queried directly with its stored weights")
+            else:
+                notes.append("sample queried directly, unweighted")
+            relation = sample.relation
+            sample_name = sample.name
+        else:
+            population = self.catalog.population(query.table)
+            visibility = query.visibility or session.config.default_visibility
+            if visibility is not Visibility.CLOSED:
+                raise PartialUnsupportedError(
+                    f"{visibility} population queries are not shard-decomposable "
+                    "(weights/generators are fitted against global marginals); "
+                    f"replicate {query.table!r} across shards instead of slicing it"
+                )
+            source = choose_sample(
+                self.catalog,
+                population,
+                combine_samples=session.config.combine_samples,
+            )
+            relation, src_notes = closed_source(source)
+            notes.extend(src_notes)
+            sample_name = source.sample.name
+        plan, plan_note = self._compiled_plan(
+            query, sql_text, kind, relation.schema, weighted=weights is not None
+        )
+        form = partial_aggregate_form(plan)
+        if form is None:
+            raise PartialUnsupportedError(
+                "query is not a decomposable aggregate (need optional WHERE "
+                "filters, one COUNT/SUM/AVG/MIN/MAX aggregate, optional "
+                f"ORDER BY/LIMIT); replicate {query.table!r} to run it whole"
+            )
+        partial = execute_plan_partial(form, relation, weights)
+        notes.append(plan_note)
+        result = QueryResult(
+            partial,
+            visibility=str(visibility),
+            sample_name=sample_name,
+            notes=tuple(notes),
+        )
+        return result, form.recipe
 
     # ------------------------------------------------------------------ #
     # Statement dispatch (the only place the RW lock is taken)
@@ -498,7 +641,12 @@ class Engine:
             plan, plan_note = self._compiled_plan(
                 query, sql_text, kind, auxiliary.schema, weighted=False
             )
-            relation = execute_plan(plan, auxiliary, parallel=self._execution)
+            relation = execute_plan(
+                plan,
+                auxiliary,
+                parallel=self._execution,
+                share_key=("aux", query.table, self.catalog.auxiliary_version(query.table)),
+            )
             return QueryResult(
                 relation, visibility=str(Visibility.CLOSED), notes=(plan_note,)
             )
@@ -525,7 +673,11 @@ class Engine:
             weighted=weights is not None,
         )
         relation = execute_plan(
-            plan, sample.relation, weights, parallel=self._execution
+            plan,
+            sample.relation,
+            weights,
+            parallel=self._execution,
+            share_key=("sample", sample.uid, sample.version, weights is not None),
         )
         return QueryResult(
             relation,
@@ -558,7 +710,11 @@ class Engine:
         repetitions_used = None
         if visibility is Visibility.CLOSED:
             relation, notes = evaluate_closed(
-                query, source, plan, parallel=self._execution
+                query,
+                source,
+                plan,
+                parallel=self._execution,
+                share_key=self._source_share_key("closed", source),
             )
         elif visibility is Visibility.SEMI_OPEN:
             relation, notes = evaluate_semi_open(
@@ -568,6 +724,7 @@ class Engine:
                 plan,
                 self._cached_reweight(source),
                 parallel=self._execution,
+                share_key=self._source_share_key("semiopen", source),
             )
         else:
             relation, notes, meta = self._evaluate_open(query, source, session, plan)
@@ -585,6 +742,27 @@ class Engine:
             notes=tuple(notes),
             repetitions_used=repetitions_used,
         )
+
+    def _source_share_key(
+        self, path: str, source: PlannedSource
+    ) -> tuple | None:
+        """Stable shared-memory identity for a planned source's input data.
+
+        The derived relation handed to ``execute_plan`` (view-filtered
+        CLOSED tuples, reweighted SEMI-OPEN tuples) is a fresh object per
+        query, so identity-keyed segment leases never hit.  These keys name
+        the *content* instead: the CLOSED input changes only with the
+        sample's data version; the SEMI-OPEN input additionally changes
+        with the metadata the reweight was fitted against — exactly the
+        reweight cache's version stamp.  Synthetic sample unions have no
+        stable identity and fall back to id-keying (``None``).
+        """
+        identity = source.cache_identity()
+        if identity is None:
+            return None
+        if path == "closed":
+            return ("closed", *identity, source.sample.version)
+        return ("semiopen", *identity, *source.version_stamp(self.catalog))
 
     def _compiled_plan(
         self,

@@ -588,15 +588,20 @@ class ParallelExecution:
         ranges: Sequence[tuple[int, int]],
         domain_sizes: tuple[int, ...],
         total_cells: int,
+        share_key: tuple | None = None,
     ) -> list[dict]:
         """Partial aggregates for every morsel, pool-executed when possible.
 
         The in-process loop below runs the *same* fragment executor over
         the same ranges, so both paths return identical partial lists.
+        ``share_key`` is the optional stable segment identity forwarded to
+        :meth:`SharedRelationStore.lease` so repeated queries over an
+        unchanged relation reuse the live shared segment even when the
+        relation object itself was re-derived (see shm.py).
         """
         if not self._closed and self._processes >= 1 and len(ranges) >= 2:
             partials = self._pool_morsels(
-                plan, relation, weights, ranges, domain_sizes, total_cells
+                plan, relation, weights, ranges, domain_sizes, total_cells, share_key
             )
             if partials is not None:
                 return partials
@@ -609,7 +614,7 @@ class ParallelExecution:
         ]
 
     def _pool_morsels(
-        self, plan, relation, weights, ranges, domain_sizes, total_cells
+        self, plan, relation, weights, ranges, domain_sizes, total_cells, share_key=None
     ) -> list[dict] | None:
         if not self._batch_lock.acquire(blocking=False):
             self._counters["pool_busy"] += 1
@@ -620,7 +625,7 @@ class ParallelExecution:
                 return None
             extras = {} if weights is None else {WEIGHTS_EXTRA: weights}
             try:
-                handle = self._store.lease(relation, extras)
+                handle = self._store.lease(relation, extras, key=share_key)
             except MosaicError:
                 return None
             try:

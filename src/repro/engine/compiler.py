@@ -174,6 +174,7 @@ def execute_plan(
     weights: np.ndarray | None = None,
     *,
     parallel=None,
+    share_key: tuple | None = None,
 ) -> Relation:
     """Run ``plan`` over ``relation`` (the implicit Scan input).
 
@@ -212,7 +213,9 @@ def execute_plan(
     if parallel is not None and relation.num_rows > parallel.morsel_rows:
         layout = partition_layout(plan, relation)
         if layout is not None:
-            return _execute_plan_partitioned(plan, relation, weights, parallel, layout)
+            return _execute_plan_partitioned(
+                plan, relation, weights, parallel, layout, share_key
+            )
         parallel.note_fallback()
     # Filters never materialise: each FilterNode evaluates to a boolean
     # mask that ANDs into a single selection vector.  The selection is
@@ -415,12 +418,13 @@ def _execute_plan_partitioned(
     weights: np.ndarray | None,
     parallel,
     layout: tuple[AggregateNode, tuple, tuple[int, ...], int],
+    share_key: tuple | None = None,
 ) -> Relation:
     """Morsel-partitioned execution: partition, map, merge, finalize, tail."""
     aggregate, tail, domain_sizes, total_cells = layout
     ranges = morsel_ranges(relation.num_rows, parallel.morsel_rows)
     partials = parallel.map_morsels(
-        plan, relation, weights, ranges, domain_sizes, total_cells
+        plan, relation, weights, ranges, domain_sizes, total_cells, share_key
     )
     merged = merge_grouped_partials(partials, aggregate.specs, weights is not None)
     result = finalize_grouped_partials(
@@ -438,6 +442,176 @@ def _execute_plan_partitioned(
         else:
             result = result.head(node.count)
     return result
+
+
+# --------------------------------------------------------------------- #
+# Cross-shard partial aggregation (fleet scatter/gather)
+# --------------------------------------------------------------------- #
+
+#: Shared denominator column partial AVG specs divide by after the merge:
+#: COUNT(*) of the selected rows (their total weight when weighted) — the
+#: exact denominator the one-pass AVG kernel uses.
+PARTIAL_COUNT_COLUMN = "__partial_count"
+
+_PARTIAL_MERGE_OPS = {"COUNT": "sum", "SUM": "sum", "MIN": "min", "MAX": "max"}
+
+
+class PartialAggregateForm:
+    """A decomposable aggregate plan split for shard-local partial execution.
+
+    ``partial_aggregate`` replaces the plan's aggregate with shard-locally
+    computable pieces (AVG becomes SUM + a shared COUNT denominator); the
+    JSON-safe ``recipe`` tells the gatherer how to merge the shards'
+    partial relations back into the original output — the same COUNT/SUM
+    accumulate + MIN/MAX extremum + AVG-as-sum-over-count algebra the
+    morsel partials use (:func:`merge_grouped_partials`), expressed at the
+    relation level so it can cross the wire.
+    """
+
+    __slots__ = ("filters", "aggregate", "partial_aggregate", "recipe")
+
+    def __init__(self, filters, aggregate, partial_aggregate, recipe):
+        self.filters = filters
+        self.aggregate = aggregate
+        self.partial_aggregate = partial_aggregate
+        self.recipe = recipe
+
+
+def partial_aggregate_form(plan: LogicalPlan) -> PartialAggregateForm | None:
+    """Split ``plan`` into shard-partial form, or ``None`` if not decomposable.
+
+    Decomposable shape mirrors :func:`partition_layout` — optional filters,
+    one aggregate, optional sort/limit tail — but without the encoded-key
+    requirement: the gatherer merges whole relations (vocab union +
+    searchsorted remap in :meth:`Relation.concat`), so group keys need no
+    shared cell domain.  Sort/limit move into the recipe: shards must not
+    apply them (a per-shard LIMIT changes which groups survive), the
+    gatherer applies them after the merge.
+    """
+    filters: list[FilterNode] = []
+    aggregate: AggregateNode | None = None
+    tail: list = []
+    for node in plan.nodes:
+        if isinstance(node, FilterNode) and aggregate is None:
+            filters.append(node)
+        elif isinstance(node, AggregateNode) and aggregate is None:
+            aggregate = node
+        elif isinstance(node, (SortNode, LimitNode)) and aggregate is not None:
+            tail.append(node)
+        else:
+            return None
+    if aggregate is None:
+        return None
+
+    num_keys = len(aggregate.key_columns)
+    key_fields = list(aggregate.schema.fields[:num_keys])
+    partial_specs: list[AggregateSpec] = []
+    partial_fields: list[Field] = list(key_fields)
+    merge: list[dict] = []
+    output: list[dict] = []
+    needs_count = False
+    empty_error: str | None = None
+    count_only = True
+
+    for field in key_fields:
+        output.append({"kind": "key", "name": field.name})
+    source, weighted = plan.source_schema, plan.weighted
+    for spec in aggregate.specs:
+        if spec.func != "COUNT":
+            count_only = False
+            if empty_error is None:
+                empty_error = f"aggregate {spec.to_sql()} over zero rows"
+        if spec.func == "AVG":
+            assert spec.expr is not None
+            sum_alias = f"__partial_sum_{spec.alias}"
+            sum_spec = AggregateSpec("SUM", spec.expr, sum_alias)
+            partial_specs.append(sum_spec)
+            partial_fields.append(Field(sum_alias, sum_spec.output_dtype(source, weighted)))
+            merge.append({"col": sum_alias, "op": "sum"})
+            output.append(
+                {
+                    "kind": "avg",
+                    "name": spec.alias,
+                    "sum": sum_alias,
+                    "count": PARTIAL_COUNT_COLUMN,
+                }
+            )
+            needs_count = True
+        else:
+            partial_specs.append(spec)
+            partial_fields.append(Field(spec.alias, spec.output_dtype(source, weighted)))
+            merge.append({"col": spec.alias, "op": _PARTIAL_MERGE_OPS[spec.func]})
+            output.append({"kind": "agg", "name": spec.alias})
+    if needs_count:
+        count_spec = AggregateSpec("COUNT", None, PARTIAL_COUNT_COLUMN)
+        partial_specs.append(count_spec)
+        partial_fields.append(
+            Field(PARTIAL_COUNT_COLUMN, count_spec.output_dtype(source, weighted))
+        )
+        merge.append({"col": PARTIAL_COUNT_COLUMN, "op": "sum"})
+
+    order_by: list[list] = []
+    limit: int | None = None
+    for node in tail:
+        if isinstance(node, SortNode):
+            order_by = [
+                [column, bool(asc)] for column, asc in zip(node.columns, node.ascending)
+            ]
+        else:
+            limit = node.count
+
+    recipe = {
+        "version": 1,
+        "group_keys": [field.name for field in key_fields],
+        "weighted": bool(weighted),
+        "merge": merge,
+        "output": output,
+        "count_only": count_only,
+        "empty_error": empty_error,
+        "order_by": order_by,
+        "limit": limit,
+    }
+    partial_aggregate = AggregateNode(
+        group_keys=aggregate.group_keys,
+        key_columns=aggregate.key_columns,
+        specs=tuple(partial_specs),
+        schema=Schema(partial_fields),
+    )
+    return PartialAggregateForm(tuple(filters), aggregate, partial_aggregate, recipe)
+
+
+def execute_plan_partial(
+    form: PartialAggregateForm,
+    relation: Relation,
+    weights: np.ndarray | None = None,
+) -> Relation:
+    """One shard's fragment of a scattered aggregate: filters + partials.
+
+    Returns the shard's partial-aggregate relation (partial schema).  An
+    ungrouped aggregate over zero selected rows returns an *empty* partial
+    instead of raising or emitting a zero row: whether the global row set
+    is empty is only known after the merge, so the gatherer reproduces the
+    single-engine raise / COUNT-0 semantics from the merged total (see
+    ``recipe["count_only"]`` / ``recipe["empty_error"]``).
+    """
+    selection: np.ndarray | None = None
+    for node in form.filters:
+        mask = np.asarray(node.predicate.evaluate(relation), dtype=bool)
+        selection = mask if selection is None else selection & mask
+    aggregate = form.partial_aggregate
+    if not aggregate.group_keys:
+        selected = int(selection.sum()) if selection is not None else relation.num_rows
+        if selected == 0:
+            return Relation.empty(aggregate.schema)
+    return grouped_aggregate(
+        relation,
+        aggregate.group_keys,
+        aggregate.key_columns,
+        aggregate.specs,
+        aggregate.schema,
+        weights,
+        selection,
+    )
 
 
 def composite_layout(

@@ -41,6 +41,7 @@ def evaluate_semi_open(
     reweighted: tuple[Relation, np.ndarray, list[str]] | None = None,
     *,
     parallel=None,
+    share_key: tuple | None = None,
 ) -> tuple[Relation, list[str]]:
     """Answer ``query`` from the reweighted sample.
 
@@ -48,14 +49,20 @@ def evaluate_semi_open(
     ``reweighted`` a precomputed ``(relation, weights, notes)`` triple —
     both supplied by :class:`~repro.core.database.MosaicDB` on cache hits,
     recomputed here otherwise.  ``parallel`` is the engine's
-    :class:`~repro.core.workers.ParallelExecution` context.
+    :class:`~repro.core.workers.ParallelExecution` context; ``share_key``
+    the stable shared-memory identity of the reweighted source (keyed on
+    the same version stamp as the reweight cache, so worker processes keep
+    reusing one segment across queries).
     """
     if reweighted is None:
         reweighted = reweighted_sample(source, catalog)
     relation, weights, notes = reweighted
     if plan is None:
         plan = compile_select(query, relation.schema, weighted=True)
-    return execute_plan(plan, relation, weights, parallel=parallel), list(notes)
+    return (
+        execute_plan(plan, relation, weights, parallel=parallel, share_key=share_key),
+        list(notes),
+    )
 
 
 def reweighted_sample(

@@ -142,6 +142,41 @@ class WorkerCrashError(MosaicError):
     """
 
 
+class ConnectionLostError(MosaicError):
+    """A pooled client connection died mid-request and one reconnect-and-
+    retry attempt also failed.
+
+    Raised instead of a raw ``ConnectionResetError`` / ``BrokenPipeError``
+    so callers of :class:`repro.client.Client` (and the fleet router) see
+    a typed, wire-codable transport failure.
+    """
+
+
+class ShardUnavailableError(MosaicError):
+    """A fleet shard could not serve its part of a query.
+
+    Raised by the fleet router when a shard dies mid-scatter or cannot be
+    (re)dialed; ``shard`` identifies the failed shard.  The router keeps
+    serving from the surviving shards (degraded mode) where the routing
+    policy allows it.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class PartialUnsupportedError(MosaicError):
+    """A query cannot run as cross-shard partial aggregates.
+
+    Scatter/gather needs a decomposable aggregate plan (filters + one
+    COUNT/SUM/AVG/MIN/MAX aggregate + optional sort/limit tail) whose
+    weights are shard-locally computable.  Row-level reads and globally
+    fitted SEMI-OPEN reweighting over a *sliced* relation are not — the
+    error message directs callers to replicate the relation instead.
+    """
+
+
 # --------------------------------------------------------------------- #
 # Wire transport
 # --------------------------------------------------------------------- #
@@ -169,6 +204,9 @@ WIRE_CODES: dict[str, type[MosaicError]] = {
     "QUERY_CANCELLED": QueryCancelledError,
     "QUERY_TIMEOUT": QueryTimeoutError,
     "WORKER_CRASH": WorkerCrashError,
+    "CONNECTION_LOST": ConnectionLostError,
+    "SHARD_UNAVAILABLE": ShardUnavailableError,
+    "PARTIAL_UNSUPPORTED": PartialUnsupportedError,
 }
 
 _CODES_BY_CLASS: dict[type[MosaicError], str] = {

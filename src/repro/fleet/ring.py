@@ -1,0 +1,51 @@
+"""Consistent-hash ring for whole-query shard affinity.
+
+OPEN queries must replay one session RNG stream, so every OPEN query a
+client issues against a given table has to land on the *same* shard
+(``ARCHITECTURE.md`` §8).  A consistent-hash ring gives that affinity a
+stable, deterministic answer that survives shard failures: each shard
+owns many virtual points on a 32-bit circle, a key hashes to a point,
+and the lookup walks clockwise to the first point owned by an *up*
+shard — so when a shard dies, only its keys move, and they move to
+deterministic successors.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Iterable
+
+
+def stable_hash(value: str) -> int:
+    """Deterministic 32-bit hash (``zlib.crc32``; Python's ``hash`` is
+    salted per process and would break cross-process routing)."""
+    return zlib.crc32(value.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """Consistent hashing over integer shard ids with virtual nodes."""
+
+    def __init__(self, shard_ids: Iterable[int], replicas: int = 64):
+        points: list[tuple[int, int]] = []
+        for shard in shard_ids:
+            for replica in range(replicas):
+                points.append((stable_hash(f"shard-{shard}-{replica}"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+        if not self._points:
+            raise ValueError("hash ring needs at least one shard")
+
+    def lookup(self, key: str, down: frozenset[int] | set[int] = frozenset()) -> int:
+        """The first up shard clockwise from ``key``'s point.
+
+        Raises :class:`LookupError` when every shard is down.
+        """
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        count = len(self._owners)
+        for step in range(count):
+            owner = self._owners[(start + step) % count]
+            if owner not in down:
+                return owner
+        raise LookupError("no shard is up")

@@ -1,0 +1,734 @@
+""":class:`FleetRouter`: one wire-protocol endpoint over N engine shards.
+
+The router speaks the same framed protocol as
+:class:`~repro.server.server.MosaicServer`, so any client works against a
+fleet unchanged.  Behind it sit ``N`` independent ``repro.server``
+processes ("shards"), each a full engine booted from the same seed.
+
+Routing policy (``ARCHITECTURE.md`` §8):
+
+- **DDL and replicated INSERTs fan out** to every up shard over the
+  issuing client's dedicated connections, in statement order, so every
+  shard's catalog — and every shard's session-``k`` state — stays in
+  lockstep with a single-engine reference.
+- **Sliced INSERTs scatter**: the router assigns each row a home shard
+  (:mod:`repro.fleet.partition`) and ships each shard its index list via
+  a QUERYX ``insert`` frame; the shard re-slices the parsed statement, so
+  values never re-serialize.
+- **SELECTs on replicated relations route whole-query** to one shard:
+  OPEN queries by consistent hash of the table name (shard affinity keeps
+  the session RNG stream replaying exactly one single-engine stream),
+  everything else round-robin across up shards — with replicated data and
+  a shared seed the answer is shard-independent.
+- **SELECTs on sliced relations scatter** as QUERYX ``partial`` frames
+  and gather with :func:`~repro.fleet.merge.gather_partials`; the shards
+  enforce the partial support matrix (:meth:`Engine.execute_partial`) and
+  answer ``PARTIAL_UNSUPPORTED`` for plans that do not decompose.
+
+Sessions: each router client gets a session index (its ``spawn_index``),
+and the router dials one *dedicated* connection per (client, shard),
+pinned to that index via the HELLO ``spawn_index`` option — so session
+``k`` on every shard replays the RNG stream session ``k`` of a
+single-engine server would have, which is what makes OPEN answers
+bit-identical to the reference.
+
+Degraded mode: a shard that cannot be dialed or drops mid-call is marked
+down for the router's lifetime.  Idempotent SELECT-path calls retry once
+on a fresh connection (a redialed session restarts its RNG stream from
+the beginning — OPEN callers should treat a retry as a new stream);
+writes never retry.  Whole-query routing continues on the survivors;
+scatters that *need* a down shard raise
+:class:`~repro.errors.ShardUnavailableError` with its stable wire code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial as bind
+from typing import Sequence
+
+import os
+
+from repro import __version__
+from repro.client.client import Connection
+from repro.core.result import QueryResult
+from repro.core.visibility import Visibility
+from repro.errors import (
+    MosaicError,
+    PartialUnsupportedError,
+    ProtocolError,
+    ServerError,
+    ShardUnavailableError,
+)
+from repro.fleet.merge import gather_partials
+from repro.fleet.partition import PartitionSpec
+from repro.fleet.ring import HashRing
+from repro.relational.relation import Relation
+from repro.server import protocol
+from repro.sql.ast_nodes import CreateTable, Insert, SelectQuery
+from repro.sql.parser import parse_script, parse_statement
+
+
+class _ClientState:
+    """Per-router-client state: identity, options, dedicated shard conns."""
+
+    def __init__(self, reader, writer, index: int, options: dict):
+        self.reader = reader
+        self.writer = writer
+        self.index = index
+        self.options = options
+        visibility = options.get("default_visibility")
+        self.default_visibility = (
+            Visibility.parse(str(visibility))
+            if visibility is not None
+            else Visibility.SEMI_OPEN
+        )
+        #: Dedicated connection per shard, dialed lazily with this
+        #: client's HELLO options + its pinned spawn_index.
+        self.conns: dict[int, Connection] = {}
+        self.round_robin = 0
+
+    def close(self) -> None:
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - shard already gone
+                pass
+        self.conns.clear()
+        if not self.writer.is_closing():
+            self.writer.close()
+
+
+class FleetRouter:
+    """An asyncio router process fronting a fleet of engine shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        partitions: dict[str, PartitionSpec] | None = None,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        handshake_timeout: float = 10.0,
+        dial_timeout: float | None = 10.0,
+        executor_workers: int | None = None,
+    ):
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        self.shards = list(shards)
+        self.host = host
+        self.port = port
+        self.partitions = dict(partitions or {})
+        self.max_frame_bytes = max_frame_bytes
+        self.handshake_timeout = handshake_timeout
+        self.dial_timeout = dial_timeout
+        self.executor_workers = executor_workers or max(
+            8, 4 * len(self.shards), os.cpu_count() or 1
+        )
+
+        self._ring = HashRing(range(len(self.shards)))
+        self._down: set[int] = set()
+        #: Column order of tables created *through* the router — what maps
+        #: a hash-partition key column to its row-tuple position.
+        self._table_columns: dict[str, list[str]] = {}
+        self._session_indices = 0
+        self._parse_cache: dict[str, object] = {}
+
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._clients: set[_ClientState] = set()
+        self._connection_tasks: set[asyncio.Task] = set()
+        self._frame_tasks: set[asyncio.Task] = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+        self._queries_total = 0
+        self._errors_total = 0
+        self._routed_queries = 0
+        self._scatter_queries = 0
+        self._sliced_inserts = 0
+        self._fanout_statements = 0
+        self._retries = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (mirrors MosaicServer)
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "FleetRouter":
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executor_workers, thread_name_prefix="mosaic-fleet"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight frames, close.
+
+        A frame being processed (including a multi-shard scatter/gather)
+        gets up to ``drain_timeout`` seconds to deliver its response; new
+        query frames are refused while draining.
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._frame_tasks if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=drain_timeout)
+        for state in list(self._clients):
+            state.close()
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._stopped.set()
+
+    def start_in_thread(self, timeout: float = 30.0) -> "FleetRouter":
+        started = threading.Event()
+        failures: list[BaseException] = []
+
+        async def main() -> None:
+            try:
+                await self.start()
+            except BaseException as exc:  # pragma: no cover - bind failure
+                failures.append(exc)
+                raise
+            finally:
+                started.set()
+            await self.serve_forever()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(main()), name="mosaic-fleet", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):  # pragma: no cover - startup hang
+            raise ServerError("fleet router failed to start within the timeout")
+        if failures:  # pragma: no cover - bind failure
+            raise ServerError(f"fleet router failed to start: {failures[0]}")
+        return self
+
+    def stop_in_thread(
+        self, drain_timeout: float = 10.0, join_timeout: float = 30.0
+    ) -> None:
+        if self._thread is None or self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.stop(drain_timeout), self._loop)
+        try:
+            future.result(timeout=join_timeout)
+        except (asyncio.CancelledError, RuntimeError):  # loop already closing
+            pass
+        self._thread.join(timeout=join_timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
+        state: _ClientState | None = None
+        try:
+            state = await self._handshake(reader, writer)
+            if state is None:
+                return
+            self._clients.add(state)
+            await self._read_loop(state)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            await self._send_error(writer, 0, exc)
+        finally:
+            if state is not None:
+                self._clients.discard(state)
+                state.close()
+            elif not writer.is_closing():
+                writer.close()
+
+    async def _handshake(self, reader, writer) -> _ClientState | None:
+        try:
+            frame_type, request_id, payload = await asyncio.wait_for(
+                protocol.read_frame_async(reader, self.max_frame_bytes),
+                self.handshake_timeout,
+            )
+        except asyncio.TimeoutError:
+            return None
+        if frame_type != protocol.HELLO:
+            await self._send_error(
+                writer, request_id, ProtocolError("expected a HELLO frame")
+            )
+            return None
+        hello = protocol.parse_json_payload(payload)
+        if hello.get("magic") != protocol.MAGIC:
+            await self._send_error(writer, request_id, ProtocolError("bad magic in HELLO"))
+            return None
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            await self._send_error(
+                writer,
+                request_id,
+                ProtocolError(
+                    f"unsupported protocol version {hello.get('version')!r} "
+                    f"(router speaks {protocol.PROTOCOL_VERSION})"
+                ),
+            )
+            return None
+        if self._stopping:
+            await self._send_error(
+                writer, request_id, ServerError("fleet router is shutting down")
+            )
+            return None
+        options = dict(hello.get("options") or {})
+        index = options.pop("spawn_index", None)
+        if index is None:
+            index = self._session_indices
+            self._session_indices += 1
+        try:
+            state = _ClientState(reader, writer, int(index), options)
+        except MosaicError as exc:
+            await self._send_error(writer, request_id, exc)
+            return None
+        await self._write(
+            writer,
+            protocol.WELCOME,
+            request_id,
+            protocol.json_payload(
+                {
+                    "version": protocol.PROTOCOL_VERSION,
+                    "server": f"mosaic-fleet {__version__}",
+                    "session_index": state.index,
+                    "shard_count": len(self.shards),
+                }
+            ),
+        )
+        return state
+
+    async def _read_loop(self, state: _ClientState) -> None:
+        while True:
+            frame_type, request_id, payload = await protocol.read_frame_async(
+                state.reader, self.max_frame_bytes
+            )
+            if frame_type == protocol.GOODBYE:
+                await self._write(state.writer, protocol.BYE, request_id)
+                return
+            if frame_type == protocol.CANCEL:
+                # The router processes one frame per client at a time, so
+                # by the time a CANCEL arrives its target either finished
+                # or is the frame being processed; ignoring it mirrors the
+                # server's race-tolerant CANCEL semantics.
+                continue
+            # One tracked task per frame, awaited immediately: processing
+            # stays strictly serial per client (statement order drives
+            # shard lockstep), while stop() can observe and drain the
+            # in-flight frame through _frame_tasks.
+            task = asyncio.get_running_loop().create_task(
+                self._handle_frame(state, frame_type, request_id, payload)
+            )
+            self._frame_tasks.add(task)
+            task.add_done_callback(self._frame_tasks.discard)
+            await task
+
+    async def _handle_frame(
+        self, state: _ClientState, frame_type: int, request_id: int, payload: bytes
+    ) -> None:
+        try:
+            if frame_type in (protocol.QUERY, protocol.SCRIPT):
+                if self._stopping:
+                    raise ServerError("fleet router is shutting down")
+                self._queries_total += 1
+                try:
+                    sql = payload.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(f"query payload is not UTF-8: {exc}") from exc
+                if frame_type == protocol.SCRIPT:
+                    body = await self._route_script(state, sql)
+                    await self._write(state.writer, protocol.RESULT_SET, request_id, body)
+                else:
+                    body = await self._route_statement(state, sql)
+                    await self._write(state.writer, protocol.RESULT, request_id, body)
+            elif frame_type == protocol.STATS:
+                stats = await self._stats(state)
+                await self._write(
+                    state.writer,
+                    protocol.STATS_RESULT,
+                    request_id,
+                    protocol.json_payload(stats),
+                )
+            else:
+                raise ProtocolError(f"unexpected frame type 0x{frame_type:02x}")
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            await self._send_error(state.writer, request_id, exc)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def _parse(self, sql: str):
+        statement = self._parse_cache.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            if len(self._parse_cache) >= 512:
+                self._parse_cache.clear()
+            self._parse_cache[sql] = statement
+        return statement
+
+    async def _route_statement(self, state: _ClientState, sql: str) -> bytes:
+        statement = self._parse(sql)
+        if isinstance(statement, SelectQuery):
+            if statement.table in self.partitions:
+                result = await self._scatter_select(state, sql)
+            else:
+                result = await self._route_whole_select(state, statement, sql)
+            return protocol.encode_result(result)
+        if isinstance(statement, Insert) and statement.table in self.partitions:
+            result = await self._scatter_insert(state, statement, sql)
+            return protocol.encode_result(result)
+        result = await self._fan_out(state, Connection.execute, sql)
+        if isinstance(statement, CreateTable):
+            self._table_columns[statement.name] = [
+                column.name for column in statement.columns
+            ]
+        return protocol.encode_result(result)
+
+    async def _route_whole_select(
+        self, state: _ClientState, query: SelectQuery, sql: str
+    ) -> QueryResult:
+        visibility = query.visibility or state.default_visibility
+        up = self._up_shards()
+        if not up:
+            raise ShardUnavailableError("no fleet shard is up")
+        if visibility is Visibility.OPEN:
+            # Consistent-hash shard affinity: all of a client's OPEN
+            # queries over one table replay on one shard, so that shard's
+            # pinned session RNG stream matches the single-engine stream.
+            shard = self._ring.lookup(query.table, self._down)
+        else:
+            # CLOSED / SEMI-OPEN consume no session RNG: with replicated
+            # data and a shared engine seed every shard answers
+            # identically, so spread the load.
+            state.round_robin += 1
+            shard = up[state.round_robin % len(up)]
+        self._routed_queries += 1
+        return await self._shard_call(state, shard, Connection.execute, sql)
+
+    async def _scatter_select(self, state: _ClientState, sql: str) -> QueryResult:
+        self._require_all_up()
+        self._scatter_queries += 1
+        outcomes = await asyncio.gather(
+            *(
+                self._shard_call(
+                    state, shard, Connection.query_extended, {"mode": "partial"}, sql
+                )
+                for shard in range(len(self.shards))
+            ),
+            return_exceptions=True,
+        )
+        self._raise_scatter_failures(range(len(self.shards)), outcomes, mixed_is_fatal=False)
+        pairs = outcomes
+        recipe = pairs[0][1].get("partial")
+        if recipe is None:
+            raise ProtocolError("shard response is missing the partial merge recipe")
+        partials = [result.relation for result, _ in pairs]
+        relation = gather_partials(partials, recipe)
+        first = pairs[0][0]
+        partial_rows = sum(partial.num_rows for partial in partials)
+        return QueryResult(
+            relation,
+            visibility=first.visibility,
+            sample_name=first.sample_name,
+            notes=(
+                *first.notes,
+                f"fleet: scattered across {len(self.shards)} shard(s), merged "
+                f"{partial_rows} partial row(s)",
+            ),
+        )
+
+    async def _scatter_insert(
+        self, state: _ClientState, statement: Insert, sql: str
+    ) -> QueryResult:
+        spec = self.partitions[statement.table]
+        key_index = None
+        if spec.key_column is not None:
+            columns = self._table_columns.get(statement.table)
+            if columns is None or spec.key_column not in columns:
+                raise PartialUnsupportedError(
+                    f"hash-partitioned table {statement.table!r} must be created "
+                    "through the router (its column order is unknown, so "
+                    f"key column {spec.key_column!r} cannot be located)"
+                )
+            key_index = columns.index(spec.key_column)
+        assignment = spec.assign_rows(statement.rows, len(self.shards), key_index)
+        needed = [shard for shard, indices in enumerate(assignment) if indices]
+        for shard in needed:
+            if shard in self._down:
+                raise ShardUnavailableError(
+                    f"sliced INSERT into {statement.table!r} needs shard {shard}, "
+                    "which is down",
+                    shard=shard,
+                )
+        self._sliced_inserts += 1
+        outcomes = await asyncio.gather(
+            *(
+                self._shard_call(
+                    state,
+                    shard,
+                    Connection.query_extended,
+                    {"mode": "insert", "indices": assignment[shard]},
+                    sql,
+                    retry=False,
+                )
+                for shard in needed
+            ),
+            return_exceptions=True,
+        )
+        self._raise_scatter_failures(needed, outcomes, mixed_is_fatal=True)
+        message = (
+            f"inserted {len(statement.rows)} row(s) into sliced relation "
+            f"{statement.table} across {len(needed)} shard(s)"
+        )
+        return QueryResult(Relation.from_dict({"status": [message]}), notes=(message,))
+
+    async def _route_script(self, state: _ClientState, sql: str) -> bytes:
+        statements = parse_script(sql)
+        for statement in statements:
+            table = getattr(statement, "table", None)
+            if table in self.partitions:
+                raise PartialUnsupportedError(
+                    f"scripts cannot reference sliced relation {table!r}; "
+                    "send those statements individually so the router can "
+                    "scatter them"
+                )
+        results = await self._fan_out(state, Connection.execute_script, sql)
+        for statement in statements:
+            if isinstance(statement, CreateTable):
+                self._table_columns[statement.name] = [
+                    column.name for column in statement.columns
+                ]
+        return protocol.encode_result_set(results)
+
+    async def _fan_out(self, state: _ClientState, method, sql: str):
+        """Run one statement on every up shard; writes never retry.
+
+        All-success returns the first shard's result.  All shards failing
+        with errors is a deterministic rejection (the fleet is still in
+        lockstep) and re-raises the first.  A *mixed* outcome means the
+        replicas diverged — surfaced as :class:`ShardUnavailableError`
+        with a per-shard outcome report; shards that succeeded have the
+        statement applied.
+        """
+        up = self._up_shards()
+        if not up:
+            raise ShardUnavailableError("no fleet shard is up")
+        self._fanout_statements += 1
+        outcomes = await asyncio.gather(
+            *(
+                self._shard_call(state, shard, method, sql, retry=False)
+                for shard in up
+            ),
+            return_exceptions=True,
+        )
+        self._raise_scatter_failures(up, outcomes, mixed_is_fatal=True)
+        return outcomes[0]
+
+    @staticmethod
+    def _raise_scatter_failures(shard_ids, outcomes, *, mixed_is_fatal: bool) -> None:
+        """Resolve a ``gather(..., return_exceptions=True)`` outcome list.
+
+        The gather form waits for *every* shard call even when one fails —
+        mandatory, because a cancelled-but-still-running executor call
+        would race a later frame for the same dedicated connection.
+
+        All-success returns; all-failed re-raises the first error (the
+        shards rejected in lockstep).  A mixed outcome re-raises the first
+        error for reads (``mixed_is_fatal=False``; nothing was mutated)
+        but for writes raises :class:`ShardUnavailableError` with a
+        per-shard report, because the shards that reported ok *have*
+        applied the statement and the replicas/slices diverged.
+        """
+        for outcome in outcomes:
+            if isinstance(outcome, asyncio.CancelledError):
+                raise outcome
+        failures = [
+            (shard, outcome)
+            for shard, outcome in zip(shard_ids, outcomes)
+            if isinstance(outcome, BaseException)
+        ]
+        if not failures:
+            return
+        if not mixed_is_fatal or len(failures) == len(outcomes):
+            raise failures[0][1]
+        report = ", ".join(
+            f"shard {shard}: "
+            + (
+                "ok"
+                if not isinstance(outcome, BaseException)
+                else f"{type(outcome).__name__}: {outcome}"
+            )
+            for shard, outcome in zip(shard_ids, outcomes)
+        )
+        raise ShardUnavailableError(
+            f"statement partially applied across the fleet ({report}); "
+            "shards reporting ok have the statement applied",
+            shard=failures[0][0],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shard I/O (blocking Connection calls bridged onto the executor)
+    # ------------------------------------------------------------------ #
+
+    def _up_shards(self) -> list[int]:
+        return [shard for shard in range(len(self.shards)) if shard not in self._down]
+
+    def _require_all_up(self) -> None:
+        for shard in range(len(self.shards)):
+            if shard in self._down:
+                raise ShardUnavailableError(
+                    f"scatter needs every shard; shard {shard} is down",
+                    shard=shard,
+                )
+
+    def _mark_down(self, shard: int) -> None:
+        self._down.add(shard)
+
+    async def _in_executor(self, fn, *args):
+        assert self._executor is not None
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, bind(fn, *args)
+        )
+
+    async def _dedicated(self, state: _ClientState, shard: int) -> Connection:
+        conn = state.conns.get(shard)
+        if conn is not None:
+            return conn
+        if shard in self._down:
+            raise ShardUnavailableError(f"shard {shard} is down", shard=shard)
+        host, port = self.shards[shard]
+        options = {**state.options, "spawn_index": state.index}
+
+        def dial() -> Connection:
+            conn = Connection(host, port, options=options, timeout=self.dial_timeout)
+            # The deadline covers dial + handshake only; shard queries may
+            # legitimately run longer than any dial timeout.
+            conn.settimeout(None)
+            return conn
+
+        try:
+            conn = await self._in_executor(dial)
+        except OSError as exc:
+            self._mark_down(shard)
+            raise ShardUnavailableError(
+                f"cannot reach shard {shard} at {host}:{port}: {exc}", shard=shard
+            ) from exc
+        state.conns[shard] = conn
+        return conn
+
+    async def _shard_call(
+        self, state: _ClientState, shard: int, method, *args, retry: bool = True
+    ):
+        """One blocking Connection call against a shard, on the executor.
+
+        ``retry=True`` (idempotent reads only) redials once on a transport
+        failure and re-runs the call on the fresh connection — note the
+        fresh session's RNG stream restarts from the beginning.  Failures
+        past the retry budget mark the shard down and surface as
+        :class:`ShardUnavailableError`.
+        """
+        conn = await self._dedicated(state, shard)
+        try:
+            return await self._in_executor(method, conn, *args)
+        except ProtocolError:
+            # The shard answered, but the connection's protocol state is
+            # suspect — discard the socket, keep the shard up, re-raise.
+            state.conns.pop(shard, None)
+            conn.close()
+            raise
+        except OSError as exc:
+            state.conns.pop(shard, None)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - socket already dead
+                pass
+            if retry:
+                self._retries += 1
+                return await self._shard_call(state, shard, method, *args, retry=False)
+            self._mark_down(shard)
+            raise ShardUnavailableError(
+                f"shard {shard} connection lost: {exc}", shard=shard
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    async def _stats(self, state: _ClientState) -> dict:
+        shard_stats: dict[str, dict] = {}
+        for shard in range(len(self.shards)):
+            if shard in self._down:
+                shard_stats[str(shard)] = {"error": "down"}
+                continue
+            try:
+                shard_stats[str(shard)] = await self._shard_call(
+                    state, shard, Connection.stats
+                )
+            except MosaicError as exc:
+                shard_stats[str(shard)] = {"error": str(exc)}
+        return {"router": self.router_stats(), "shards": shard_stats}
+
+    def router_stats(self) -> dict:
+        return {
+            "shard_count": len(self.shards),
+            "up": self._up_shards(),
+            "down": sorted(self._down),
+            "clients": len(self._clients),
+            "queries_total": self._queries_total,
+            "errors_total": self._errors_total,
+            "routed_queries": self._routed_queries,
+            "scatter_queries": self._scatter_queries,
+            "sliced_inserts": self._sliced_inserts,
+            "fanout_statements": self._fanout_statements,
+            "retries": self._retries,
+            "partitions": {
+                table: spec.describe() for table, spec in sorted(self.partitions.items())
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Responses
+    # ------------------------------------------------------------------ #
+
+    async def _write(
+        self, writer, frame_type: int, request_id: int, payload: bytes = b""
+    ) -> None:
+        if writer.is_closing():
+            return
+        writer.write(protocol.build_frame(frame_type, request_id, payload))
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    async def _send_error(self, writer, request_id: int, exc: BaseException) -> None:
+        self._errors_total += 1
+        await self._write(writer, protocol.ERROR, request_id, protocol.encode_error(exc))

@@ -654,6 +654,53 @@ def _finalize_spec(
     return item["value"][kept]
 
 
+_PARTIAL_MERGE_FUNCS = {"sum": "SUM", "min": "MIN", "max": "MAX"}
+
+
+def merge_partial_aggregates(
+    partials: Sequence[Relation],
+    group_keys: Sequence[str],
+    merge_ops: Sequence[tuple[str, str]],
+) -> Relation:
+    """Merge shard-level partial-aggregate *relations* into one.
+
+    The cross-shard counterpart of :func:`merge_grouped_partials`: the same
+    COUNT/SUM accumulate + MIN/MAX extremum algebra, but operating on whole
+    relations that crossed the wire rather than in-process accumulator
+    dicts.  ``partials`` share one schema (group keys first, then partial
+    aggregate columns); :meth:`Relation.concat` unions the key vocabularies
+    (searchsorted remap), and one unweighted :func:`grouped_aggregate` pass
+    re-reduces with SUM/MIN/MAX over the partial columns per ``merge_ops``
+    (``[(column, "sum" | "min" | "max"), ...]``).
+
+    Summation order is shard-index order by construction (concat preserves
+    it and the re-reduce accumulates in row order), so float totals are
+    deterministic for a fixed shard decomposition.  Unweighted integer SUM
+    stays exact int64, so COUNT merges are always exact.
+
+    Empty ``concat`` (every shard had zero selected rows) returns the empty
+    partial relation unchanged — the caller owns zero-row semantics (raise
+    vs COUNT-0 row) because only the *global* row count decides them.
+    """
+    combined = partials[0]
+    for partial in partials[1:]:
+        combined = combined.concat(partial)
+    if combined.num_rows == 0:
+        return combined
+    schema = combined.schema
+    specs = tuple(
+        AggregateSpec(_PARTIAL_MERGE_FUNCS[op], ColumnRef(column), column)
+        for column, op in merge_ops
+    )
+    return grouped_aggregate(
+        combined,
+        tuple(group_keys),
+        tuple(group_keys),
+        specs,
+        schema,
+    )
+
+
 def composite_aggregate_partial(
     relation: Relation,
     group_keys: Sequence[str],

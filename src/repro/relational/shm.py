@@ -416,15 +416,31 @@ class SharedRelationStore:
         self._stats = {"shares": 0, "reuses": 0, "evictions": 0}
 
     def lease(
-        self, relation: Relation, extras: Mapping[str, np.ndarray] | None = None
+        self,
+        relation: Relation,
+        extras: Mapping[str, np.ndarray] | None = None,
+        key: tuple | None = None,
     ) -> SharedRelationHandle:
         """A handle for ``relation`` (+1 ref, caller must ``release()``).
 
         Serves a cached segment when the same relation (and extra arrays)
         was shared before; otherwise copies it into a new segment.
+
+        ``key`` is an optional *stable identity* for the relation (+extras)
+        — e.g. ``(sample uid, data version, ...)`` — for callers whose
+        relation object is re-derived per query (view-filtered samples,
+        reweighted tuples): identity-keyed entries can never hit across
+        such queries, a stable key can.  The caller guarantees that equal
+        keys always describe bit-identical content (version stamps make
+        this trivial); stable entries are not weakref-pinned to the source
+        arrays (the segment holds copies), so they survive the source
+        object's death and are reclaimed by LRU eviction or close_all().
         """
         extras = dict(extras or {})
-        key = (id(relation), tuple(sorted((n, id(a)) for n, a in extras.items())))
+        if key is not None:
+            key = ("stable", key, tuple(sorted(extras)))
+        else:
+            key = (id(relation), tuple(sorted((n, id(a)) for n, a in extras.items())))
         with self._lock:
             if self._closed:
                 raise MosaicError("shared-relation store is closed")
@@ -446,10 +462,15 @@ class SharedRelationStore:
                 return raced.acquire()
             self._stats["shares"] += 1
             self._entries[key] = handle
-            self._pins[key] = [
-                weakref.ref(source, lambda _, k=key: self._evict(k))
-                for source in (relation, *extras.values())
-            ]
+            if key[0] != "stable":
+                # Identity-keyed entries are only valid while the exact
+                # source objects live — pin with weakrefs and evict on
+                # death.  Stable-keyed entries outlive their sources by
+                # design (the key, not the object, carries the identity).
+                self._pins[key] = [
+                    weakref.ref(source, lambda _, k=key: self._evict(k))
+                    for source in (relation, *extras.values())
+                ]
             handle.acquire()  # the caller's reference, on top of the cache's
             while len(self._entries) > self._max:
                 stale_key, stale = self._entries.popitem(last=False)

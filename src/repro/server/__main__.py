@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="morsel-execution worker processes (default: MOSAIC_WORKERS or 0)",
     )
+    parser.add_argument(
+        "--shard-id",
+        type=int,
+        default=None,
+        help="fleet shard identity (set by python -m repro.fleet)",
+    )
     return parser
 
 
@@ -75,6 +81,7 @@ async def run(args: argparse.Namespace) -> int:
         executor_workers=args.executor_workers,
         query_timeout=args.query_timeout,
         shutdown_engine=True,
+        shard_id=args.shard_id,
     )
     await server.start()
     print(f"mosaic server listening on {server.host}:{server.port}", file=sys.stderr)

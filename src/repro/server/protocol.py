@@ -21,6 +21,14 @@ Frame types::
     0x04 CANCEL  (u32 target id)         0x84 STATS_RESULT (JSON)
     0x05 STATS   (empty)                 0x85 ERROR        (JSON code/message)
     0x06 GOODBYE (empty)                 0x86 BYE          (empty)
+    0x07 QUERYX  (envelope + SQL)
+
+QUERYX is QUERY with an out-of-band JSON envelope (``u32 json_length |
+envelope JSON | UTF-8 SQL``) for fleet-internal execution modes: the
+router asks a shard to run a SELECT as a cross-shard *partial aggregate*
+(``{"mode": "partial"}`` — the RESULT header gains a ``"partial"`` merge
+recipe) or to apply only its slice of an INSERT (``{"mode": "insert",
+"indices": [...]}``).  The response is an ordinary RESULT frame.
 
 Columnar result payload
 -----------------------
@@ -77,6 +85,7 @@ SCRIPT = 0x03
 CANCEL = 0x04
 STATS = 0x05
 GOODBYE = 0x06
+QUERYX = 0x07
 
 # Server -> client frame types.
 WELCOME = 0x81
@@ -181,11 +190,40 @@ def parse_json_payload(payload: bytes) -> Any:
 
 
 # --------------------------------------------------------------------- #
+# Extended query frames (fleet-internal execution modes)
+# --------------------------------------------------------------------- #
+
+
+def encode_queryx(envelope: dict, sql: str) -> bytes:
+    """QUERYX payload: ``u32 json_length | envelope JSON | UTF-8 SQL``."""
+    body = json_payload(envelope)
+    return _U32.pack(len(body)) + body + sql.encode("utf-8")
+
+
+def decode_queryx(payload: bytes) -> tuple[dict, str]:
+    """``(envelope, sql)`` from a QUERYX payload."""
+    if len(payload) < _U32.size:
+        raise ProtocolError("truncated QUERYX payload")
+    (length,) = _U32.unpack_from(payload)
+    start = _U32.size
+    if start + length > len(payload):
+        raise ProtocolError("truncated QUERYX payload")
+    envelope = parse_json_payload(payload[start : start + length])
+    if not isinstance(envelope, dict):
+        raise ProtocolError("QUERYX envelope must be a JSON object")
+    try:
+        sql = payload[start + length :].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"QUERYX SQL is not valid UTF-8: {exc}") from exc
+    return envelope, sql
+
+
+# --------------------------------------------------------------------- #
 # Columnar result codec
 # --------------------------------------------------------------------- #
 
 
-def encode_result(result: QueryResult) -> bytes:
+def encode_result(result: QueryResult, extra_header: dict | None = None) -> bytes:
     """Serialize a :class:`QueryResult` into a columnar wire payload."""
     relation = result.relation
     descriptors = []
@@ -217,10 +255,14 @@ def encode_result(result: QueryResult) -> bytes:
         "num_rows": relation.num_rows,
         "columns": descriptors,
     }
-    # Append-only header extension (older decoders ignore unknown keys):
-    # OPEN answers report how many repetitions the adaptive stream used.
+    # Append-only header extensions (older decoders ignore unknown keys):
+    # OPEN answers report how many repetitions the adaptive stream used,
+    # and QUERYX partial responses attach their merge recipe via
+    # ``extra_header``.
     if result.repetitions_used is not None:
         header["repetitions_used"] = result.repetitions_used
+    if extra_header:
+        header.update(extra_header)
     header = json_payload(header)
     return b"".join([_U32.pack(len(header)), header, *blocks])
 
@@ -247,6 +289,16 @@ class _Cursor:
 
 def decode_result(payload: bytes) -> QueryResult:
     """Rebuild the :class:`QueryResult` an :func:`encode_result` payload holds."""
+    return decode_result_with_header(payload)[0]
+
+
+def decode_result_with_header(payload: bytes) -> tuple[QueryResult, dict]:
+    """Like :func:`decode_result`, also returning the raw JSON header.
+
+    The header exposes append-only extensions a plain :class:`QueryResult`
+    has no field for — notably the ``"partial"`` merge recipe on QUERYX
+    partial-aggregate responses.
+    """
     cursor = _Cursor(payload)
     header = parse_json_payload(cursor.block())
     num_rows = int(header["num_rows"])
@@ -281,7 +333,7 @@ def decode_result(payload: bytes) -> QueryResult:
             plain[name] = values
     relation = Relation.from_codes(Schema(fields), encoded, plain)
     repetitions_used = header.get("repetitions_used")
-    return QueryResult(
+    result = QueryResult(
         relation,
         visibility=header.get("visibility"),
         sample_name=header.get("sample_name"),
@@ -290,6 +342,7 @@ def decode_result(payload: bytes) -> QueryResult:
             None if repetitions_used is None else int(repetitions_used)
         ),
     )
+    return result, header
 
 
 def encode_result_set(results: list[QueryResult]) -> bytes:

@@ -46,6 +46,7 @@ from repro.errors import (
     ServerError,
 )
 from repro.server import protocol
+from repro.sql.ast_nodes import Insert
 
 
 class _Pending:
@@ -104,10 +105,15 @@ class MosaicServer:
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
         handshake_timeout: float = 10.0,
         shutdown_engine: bool = False,
+        shard_id: int | None = None,
     ):
         self.engine: Engine = getattr(engine, "engine", engine)
         self.host = host
         self.port = port
+        #: Fleet identity: set when this server runs as one shard of a
+        #: sharded fleet (``python -m repro.fleet``).  Surfaced in WELCOME
+        #: and stats so routers and operators can tell shards apart.
+        self.shard_id = shard_id
         self.session_config = session_config or SessionConfig()
         self.max_connections = max_connections
         self.executor_workers = executor_workers or max(4, (os.cpu_count() or 1) * 2)
@@ -293,9 +299,11 @@ class MosaicServer:
                 ),
             )
             return False
+        options = hello.get("options") or {}
         try:
+            spawn_index = self._spawn_index_option(options)
             connection.session = self.engine.connect(
-                self._connection_config(hello.get("options") or {})
+                self._connection_config(options), spawn_index=spawn_index
             )
         except MosaicError as exc:
             await self._send_error(connection, request_id, exc)
@@ -309,10 +317,30 @@ class MosaicServer:
                     "version": protocol.PROTOCOL_VERSION,
                     "server": f"mosaic-repro {__version__}",
                     "session_index": connection.session.spawn_index,
+                    # Append-only handshake extension: which fleet shard
+                    # this server is (null outside a fleet).
+                    "shard_id": self.shard_id,
                 }
             ),
         )
         return True
+
+    @staticmethod
+    def _spawn_index_option(options: dict) -> int | None:
+        """The HELLO ``spawn_index`` option: pin the session's RNG stream.
+
+        The fleet router dials one connection per (logical client, shard)
+        and pins them all to the client's index, so every shard replays
+        the same session RNG stream as a single-engine reference.
+        """
+        spawn_index = options.get("spawn_index")
+        if spawn_index is None:
+            return None
+        if isinstance(spawn_index, bool) or not isinstance(spawn_index, int):
+            raise ProtocolError('HELLO option "spawn_index" must be an integer')
+        if spawn_index < 0:
+            raise ProtocolError('HELLO option "spawn_index" must be >= 0')
+        return spawn_index
 
     def _connection_config(self, options: dict) -> SessionConfig:
         # Fresh OPEN config per connection: one client's generator/worker
@@ -361,10 +389,8 @@ class MosaicServer:
             frame_type, request_id, payload = await protocol.read_frame_async(
                 connection.reader, self.max_frame_bytes
             )
-            if frame_type in (protocol.QUERY, protocol.SCRIPT):
-                self._dispatch_query(
-                    connection, request_id, payload, frame_type == protocol.SCRIPT
-                )
+            if frame_type in (protocol.QUERY, protocol.SCRIPT, protocol.QUERYX):
+                self._dispatch_query(connection, request_id, payload, frame_type)
             elif frame_type == protocol.CANCEL:
                 if len(payload) != 4:
                     await self._send_error(
@@ -395,7 +421,7 @@ class MosaicServer:
                 )
 
     def _dispatch_query(
-        self, connection: _Connection, request_id: int, payload: bytes, script: bool
+        self, connection: _Connection, request_id: int, payload: bytes, frame_type: int
     ) -> None:
         if self._stopping:
             self._fire_and_forget(
@@ -430,7 +456,7 @@ class MosaicServer:
         connection.pending += 1
         self._queries_total += 1
         task = asyncio.get_running_loop().create_task(
-            self._run_query(connection, request_id, payload, record, script)
+            self._run_query(connection, request_id, payload, record, frame_type)
         )
         self._query_tasks.add(task)
         task.add_done_callback(self._query_tasks.discard)
@@ -450,14 +476,27 @@ class MosaicServer:
         request_id: int,
         payload: bytes,
         record: _Pending,
-        script: bool,
+        frame_type: int,
     ) -> None:
+        script = frame_type == protocol.SCRIPT
         try:
-            try:
-                sql = payload.decode("utf-8")
-            except UnicodeDecodeError as exc:
-                raise ProtocolError(f"query payload is not UTF-8: {exc}") from exc
-            body = await self._execute_blocking(connection, record, sql, script)
+            session = connection.session
+            assert session is not None
+            if frame_type == protocol.QUERYX:
+                envelope, sql = protocol.decode_queryx(payload)
+                encode = self._extended_call(session, envelope, sql)
+            else:
+                try:
+                    sql = payload.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(f"query payload is not UTF-8: {exc}") from exc
+                if script:
+                    encode = lambda: protocol.encode_result_set(  # noqa: E731
+                        session.execute_script(sql)
+                    )
+                else:
+                    encode = lambda: protocol.encode_result(session.execute(sql))  # noqa: E731
+            body = await self._execute_blocking(connection, record, encode)
             if record.cancelled:
                 raise QueryCancelledError(
                     "query was cancelled; it completed anyway and the result "
@@ -483,27 +522,69 @@ class MosaicServer:
             connection.inflight.pop(request_id, None)
             connection.pending -= 1
 
+    def _extended_call(self, session: Session, envelope: dict, sql: str):
+        """The executor-thread callable for one QUERYX frame."""
+        mode = envelope.get("mode")
+        if mode == "partial":
+
+            def encode_partial() -> bytes:
+                result, recipe = self.engine.execute_partial(sql, session)
+                return protocol.encode_result(result, extra_header={"partial": recipe})
+
+            return encode_partial
+        if mode == "insert":
+            indices = envelope.get("indices")
+            if not isinstance(indices, list) or not all(
+                isinstance(index, int) and not isinstance(index, bool) and index >= 0
+                for index in indices
+            ):
+                raise ProtocolError(
+                    'QUERYX insert envelope needs "indices": a list of ints >= 0'
+                )
+
+            def encode_insert() -> bytes:
+                statement = self.engine.parse_sql(sql)
+                if not isinstance(statement, Insert):
+                    raise ProtocolError(
+                        "QUERYX insert mode requires an INSERT statement, got "
+                        f"{type(statement).__name__}"
+                    )
+                rows = statement.rows
+                out_of_range = [index for index in indices if index >= len(rows)]
+                if out_of_range:
+                    raise ProtocolError(
+                        f"QUERYX insert index {out_of_range[0]} out of range "
+                        f"for {len(rows)} rows"
+                    )
+                # Re-slice the *parsed* statement: row values never
+                # re-serialize (no float round-trips), and the shard
+                # applies exactly the indices the router assigned it.
+                sliced = dataclasses.replace(
+                    statement, rows=tuple(rows[index] for index in indices)
+                )
+                return protocol.encode_result(session.execute_statement(sliced))
+
+            return encode_insert
+        raise ProtocolError(f"unknown QUERYX mode {mode!r}")
+
     async def _execute_blocking(
-        self, connection: _Connection, record: _Pending, sql: str, script: bool
+        self, connection: _Connection, record: _Pending, encode
     ) -> bytes:
         """Run one statement on the executor, serialized per connection.
 
-        Returns the already-encoded response payload: columnar
-        serialization happens on the executor thread too, so a large
-        result never stalls the event loop.  The per-connection lock is
-        held until the executor thread actually finishes — even past a
-        timeout — so a zombie query can never interleave with its
-        successor on the same session.
+        ``encode`` produces the already-encoded response payload: both
+        execution and columnar serialization happen on the executor
+        thread, so a large result never stalls the event loop.  The
+        per-connection lock is held until the executor thread actually
+        finishes — even past a timeout — so a zombie query can never
+        interleave with its successor on the same session.
         """
-        session = connection.session
-        assert session is not None and self._executor is not None
+        assert self._executor is not None
 
         def call() -> bytes:
             if record.cancelled:
                 raise QueryCancelledError("query cancelled before execution started")
-            if script:
-                return protocol.encode_result_set(session.execute_script(sql))
-            return protocol.encode_result(session.execute(sql))
+            return encode()
 
         await connection.execute_lock.acquire()
         if record.cancelled:
@@ -585,6 +666,7 @@ class MosaicServer:
                 "errors_total": self._errors_total,
                 "executor_workers": self.executor_workers,
                 "query_timeout": self.query_timeout,
+                "shard_id": self.shard_id,
             },
             "engine": self.engine.cache_stats(),
         }

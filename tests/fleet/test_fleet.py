@@ -1,0 +1,599 @@
+"""End-to-end tests for the sharded engine fleet (``repro.fleet``).
+
+Covers the PR acceptance criteria: fleet answers are bit-identical to a
+single engine at fixed seeds for CLOSED, SEMI-OPEN, and OPEN across
+1/2/4 shards over real sockets; sliced relations scatter INSERTs and
+gather decomposable aggregates exactly; shard death surfaces as typed
+:class:`ShardUnavailableError` over the wire and the fleet keeps serving
+from the survivors without a restart; the router drains in-flight work
+on graceful shutdown; pooled clients reconnect once across a server
+restart and raise typed :class:`ConnectionLostError` when the retry
+fails too.
+
+Most tests run the shards in-process (``MosaicServer`` threads over real
+sockets — same wire path, no subprocess latency); the failure-mode tests
+boot genuine ``python -m repro.server`` subprocesses so SIGKILL means
+SIGKILL.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import MosaicDB
+from repro.catalog.metadata import Marginal
+from repro.client import Client, Connection
+from repro.engine.open_world import IPFSynthesizer, OpenQueryConfig
+from repro.errors import (
+    ConnectionLostError,
+    PartialUnsupportedError,
+    SchemaError,
+    ShardUnavailableError,
+    UnknownRelationError,
+)
+from repro.fleet import FleetClient, FleetRouter, HashRing, PartitionSpec
+from repro.fleet.boot import launch_shards, terminate_shards
+from repro.fleet.partition import parse_partition_option
+from repro.fleet.ring import stable_hash
+from repro.server.server import MosaicServer
+
+CLOSED_SQL = "SELECT CLOSED country, COUNT(*) AS n FROM S GROUP BY country"
+SEMI_SQL = (
+    "SELECT SEMI-OPEN country, email, COUNT(*) AS n "
+    "FROM EuropeMigrants GROUP BY country, email"
+)
+OPEN_SQL = (
+    "SELECT OPEN country, email, COUNT(*) AS n "
+    "FROM EuropeMigrants GROUP BY country, email"
+)
+SEED = 7
+
+
+def build_tiny_db(seed: int = SEED, ingest: bool = True) -> MosaicDB:
+    """Migrants-style database small enough for fast OPEN queries."""
+    db = MosaicDB(
+        seed=seed,
+        open_config=OpenQueryConfig(
+            generator_factory=IPFSynthesizer, repetitions=3
+        ),
+    )
+    db.execute_script(
+        """
+        CREATE GLOBAL POPULATION EuropeMigrants (country TEXT, email TEXT);
+        CREATE SAMPLE S AS (SELECT * FROM EuropeMigrants);
+        """
+    )
+    db.register_marginal(
+        "M1", "EuropeMigrants", Marginal(["country"], {("UK",): 700, ("FR",): 300})
+    )
+    db.register_marginal(
+        "M2", "EuropeMigrants", Marginal(["email"], {("Yahoo",): 600, ("AOL",): 400})
+    )
+    if ingest:
+        db.ingest_rows("S", [("UK", "Yahoo")] * 60 + [("FR", "Yahoo")] * 40)
+    return db
+
+
+def assert_results_identical(received, expected, compare_notes=False):
+    assert received.visibility == expected.visibility
+    assert received.sample_name == expected.sample_name
+    if compare_notes:
+        assert received.notes == expected.notes
+    assert received.columns == expected.columns
+    assert received.num_rows == expected.num_rows
+    for name in expected.columns:
+        mine, theirs = received.column(name), expected.column(name)
+        if mine.dtype == object:
+            assert list(mine) == list(theirs)
+        else:
+            # Bit-for-bit, not approximately: the wire ships raw buffers.
+            assert mine.tobytes() == theirs.tobytes()
+
+
+class InProcessFleet:
+    """N MosaicServer shards + a FleetRouter, all over real sockets."""
+
+    def __init__(self, shard_count: int, partitions=None, ingest: bool = True):
+        self.dbs = [build_tiny_db(ingest=ingest) for _ in range(shard_count)]
+        self.servers = [
+            MosaicServer(
+                db.engine, port=0, session_config=db.session.config, shard_id=index
+            ).start_in_thread()
+            for index, db in enumerate(self.dbs)
+        ]
+        self.router = FleetRouter(
+            [("127.0.0.1", server.port) for server in self.servers],
+            port=0,
+            partitions=partitions,
+        ).start_in_thread()
+        self.port = self.router.port
+
+    def close(self):
+        self.router.stop_in_thread()
+        for server in self.servers:
+            server.stop_in_thread()
+
+
+@pytest.fixture(params=[1, 2, 4])
+def fleet(request):
+    fleet = InProcessFleet(request.param)
+    try:
+        yield fleet
+    finally:
+        fleet.close()
+
+
+@pytest.fixture()
+def sliced_fleet():
+    fleet = InProcessFleet(
+        2,
+        partitions={
+            "T": PartitionSpec("T"),
+            "H": PartitionSpec("H", key_column="name"),
+        },
+    )
+    try:
+        yield fleet
+    finally:
+        fleet.close()
+
+
+class TestBitIdentity:
+    def test_whole_query_routing_matches_single_engine(self, fleet):
+        """CLOSED/SEMI-OPEN/OPEN answers over the fleet are bit-identical
+        to an in-process single-engine session at the same seed.
+
+        The two OPEN calls also prove shard affinity: the second OPEN must
+        consume RNG draw #1 of the *same* stream, which only happens if
+        both land on the same shard session.
+        """
+        reference = build_tiny_db().connect()
+        with Connection("127.0.0.1", fleet.port) as conn:
+            assert conn.session_index == 0
+            assert "mosaic-fleet" in conn.server_info
+            for sql in (CLOSED_SQL, SEMI_SQL, OPEN_SQL, CLOSED_SQL, OPEN_SQL):
+                assert_results_identical(
+                    conn.execute(sql), reference.execute(sql)
+                )
+
+    def test_second_client_replays_second_session_stream(self, fleet):
+        reference_db = build_tiny_db()
+        sessions = [reference_db.connect() for _ in range(2)]
+        with Connection("127.0.0.1", fleet.port) as first:
+            with Connection("127.0.0.1", fleet.port) as second:
+                assert (first.session_index, second.session_index) == (0, 1)
+                assert_results_identical(
+                    first.execute(OPEN_SQL), sessions[0].execute(OPEN_SQL)
+                )
+                assert_results_identical(
+                    second.execute(OPEN_SQL), sessions[1].execute(OPEN_SQL)
+                )
+
+    def test_scripts_fan_out_in_lockstep(self, fleet):
+        reference = build_tiny_db().connect()
+        script = (
+            "CREATE TEMPORARY TABLE R (name TEXT, n INT);"
+            "INSERT INTO R VALUES ('a', 1), ('b', 2), ('a', 3)"
+        )
+        with Connection("127.0.0.1", fleet.port) as conn:
+            fleet_results = conn.execute_script(script)
+            reference_results = reference.execute_script(script)
+            assert len(fleet_results) == len(reference_results) == 2
+            sql = "SELECT name, SUM(n) AS total FROM R GROUP BY name"
+            assert_results_identical(conn.execute(sql), reference.execute(sql))
+
+
+class TestScatterGather:
+    SLICED_STATEMENTS = (
+        "CREATE TEMPORARY TABLE T (name TEXT, n INT)",
+        "INSERT INTO T VALUES ('a', 1), ('b', 2), ('a', 3), ('c', 9), "
+        "('b', 5), ('a', 7), ('c', 1)",
+    )
+    AGGREGATES = (
+        "SELECT name, SUM(n) AS total FROM T GROUP BY name",
+        "SELECT name, COUNT(*) AS c, AVG(n) AS avg_n, MIN(n) AS mn, "
+        "MAX(n) AS mx FROM T GROUP BY name",
+        "SELECT COUNT(*) AS c FROM T",
+        "SELECT SUM(n) AS s FROM T WHERE name = 'a'",
+        "SELECT COUNT(*) AS c FROM T WHERE name = 'zzz'",
+        "SELECT name, SUM(n) AS total FROM T GROUP BY name "
+        "ORDER BY total DESC LIMIT 2",
+    )
+
+    def test_sliced_aggregates_match_single_engine(self, sliced_fleet):
+        reference = build_tiny_db().connect()
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            for sql in self.SLICED_STATEMENTS:
+                conn.execute(sql)
+                reference.execute(sql)
+            for sql in self.AGGREGATES:
+                assert_results_identical(conn.execute(sql), reference.execute(sql))
+
+    def test_rows_actually_slice_across_shards(self, sliced_fleet):
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            for sql in self.SLICED_STATEMENTS:
+                conn.execute(sql)
+        per_shard = []
+        for server in sliced_fleet.servers:
+            with Connection("127.0.0.1", server.port) as direct:
+                per_shard.append(
+                    direct.execute("SELECT COUNT(*) AS c FROM T").rows()[0][0]
+                )
+        assert sum(per_shard) == 7
+        assert all(count < 7 for count in per_shard), per_shard
+
+    def test_hash_partitioning_groups_by_key(self, sliced_fleet):
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            conn.execute("CREATE TEMPORARY TABLE H (name TEXT, n INT)")
+            conn.execute(
+                "INSERT INTO H VALUES ('a', 1), ('b', 2), ('a', 3), ('b', 4)"
+            )
+            result = conn.execute(
+                "SELECT name, SUM(n) AS total FROM H GROUP BY name"
+            )
+            assert result.rows() == [("a", 4), ("b", 6)]
+        # Each key's rows live on exactly one shard — the hash contract.
+        for key in ("a", "b"):
+            holders = 0
+            for server in sliced_fleet.servers:
+                with Connection("127.0.0.1", server.port) as direct:
+                    count = direct.execute(
+                        f"SELECT COUNT(*) AS c FROM H WHERE name = '{key}'"
+                    ).rows()[0][0]
+                    holders += 1 if count == 2 else 0
+                    assert count in (0, 2), (key, count)
+            assert holders == 1, key
+
+    def test_hash_partitioned_table_must_be_created_through_router(
+        self, sliced_fleet
+    ):
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            fresh_router = FleetRouter(
+                [("127.0.0.1", server.port) for server in sliced_fleet.servers],
+                port=0,
+                partitions={"H": PartitionSpec("H", key_column="name")},
+            ).start_in_thread()
+            try:
+                with Connection("127.0.0.1", fresh_router.port) as other:
+                    with pytest.raises(
+                        PartialUnsupportedError, match="created through the router"
+                    ):
+                        other.execute("INSERT INTO H VALUES ('a', 1)")
+            finally:
+                fresh_router.stop_in_thread()
+
+    def test_empty_ungrouped_sum_raises_like_single_engine(self, sliced_fleet):
+        reference = build_tiny_db().connect()
+        sql = "SELECT SUM(n) AS s FROM T WHERE name = 'zzz'"
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            for statement in self.SLICED_STATEMENTS:
+                conn.execute(statement)
+                reference.execute(statement)
+            with pytest.raises(SchemaError) as fleet_error:
+                conn.execute(sql)
+        with pytest.raises(SchemaError) as reference_error:
+            reference.execute(sql)
+        assert str(fleet_error.value) == str(reference_error.value)
+
+    def test_non_decomposable_over_sliced_raises_typed(self, sliced_fleet):
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            for statement in self.SLICED_STATEMENTS:
+                conn.execute(statement)
+            with pytest.raises(PartialUnsupportedError, match="decomposable"):
+                conn.execute("SELECT name FROM T")
+
+    def test_scripts_touching_sliced_relations_are_refused(self, sliced_fleet):
+        with Connection("127.0.0.1", sliced_fleet.port) as conn:
+            with pytest.raises(PartialUnsupportedError, match="scripts"):
+                conn.execute_script(
+                    "CREATE TEMPORARY TABLE T (name TEXT, n INT);"
+                    "INSERT INTO T VALUES ('a', 1)"
+                )
+
+
+class TestSlicedPopulation:
+    """Population CLOSED over a sliced sample scatters; SEMI-OPEN/OPEN
+    need globally fitted weights and are refused with the typed error."""
+
+    @pytest.fixture()
+    def population_fleet(self):
+        fleet = InProcessFleet(
+            2,
+            partitions={
+                "S": PartitionSpec("S"),
+                "EuropeMigrants": PartitionSpec("EuropeMigrants"),
+            },
+            ingest=False,
+        )
+        try:
+            yield fleet
+        finally:
+            fleet.close()
+
+    def test_population_closed_scatters_exactly(self, population_fleet):
+        reference = build_tiny_db(ingest=False).connect()
+        insert = (
+            "INSERT INTO S VALUES " +
+            ", ".join(["('UK', 'Yahoo')"] * 6 + ["('FR', 'AOL')"] * 4)
+        )
+        sql = (
+            "SELECT CLOSED country, COUNT(*) AS n "
+            "FROM EuropeMigrants GROUP BY country"
+        )
+        with Connection("127.0.0.1", population_fleet.port) as conn:
+            conn.execute(insert)
+            reference.execute(insert)
+            assert_results_identical(conn.execute(sql), reference.execute(sql))
+
+    def test_population_semi_open_over_sliced_is_refused(self, population_fleet):
+        with Connection("127.0.0.1", population_fleet.port) as conn:
+            conn.execute("INSERT INTO S VALUES ('UK', 'Yahoo'), ('FR', 'AOL')")
+            with pytest.raises(PartialUnsupportedError, match="replicate"):
+                conn.execute(
+                    "SELECT SEMI-OPEN country, COUNT(*) AS n "
+                    "FROM EuropeMigrants GROUP BY country"
+                )
+
+
+class TestStats:
+    def test_fleet_client_stats_surface(self, sliced_fleet):
+        with FleetClient("127.0.0.1", sliced_fleet.port, pool_size=1) as client:
+            client.execute(CLOSED_SQL)
+            for sql in TestScatterGather.SLICED_STATEMENTS:
+                client.execute(sql)
+            client.execute("SELECT COUNT(*) AS c FROM T")
+
+            router_stats = client.router_stats()
+            assert router_stats["shard_count"] == 2
+            assert router_stats["up"] == [0, 1]
+            assert router_stats["down"] == []
+            assert router_stats["routed_queries"] >= 1
+            assert router_stats["scatter_queries"] >= 1
+            assert router_stats["sliced_inserts"] == 1
+            assert router_stats["fanout_statements"] >= 1
+            assert "T: sliced round-robin" in router_stats["partitions"].values()
+
+            shard_stats = client.shard_stats()
+            assert sorted(shard_stats) == ["0", "1"]
+            for payload in shard_stats.values():
+                assert payload["server"]["shard_id"] in (0, 1)
+                assert "open_adaptive" in payload["engine"]
+
+            rollup = client.shard_rollup()
+            assert rollup["shards_reporting"] == 2
+            assert set(rollup) == {"shards_reporting", "execution", "open_adaptive"}
+            assert rollup["execution"]["worker_restarts"] == 0
+            assert rollup["open_adaptive"]["runs"] >= 0
+
+
+class TestFailureModes:
+    """Real subprocess shards: SIGKILL means SIGKILL."""
+
+    INIT_ROWS = "('a', 1), ('b', 2), ('a', 3), ('c', 9)"
+
+    @pytest.fixture()
+    def subprocess_fleet(self, tmp_path):
+        init_sql = tmp_path / "init.sql"
+        init_sql.write_text(
+            "CREATE TEMPORARY TABLE Base (name TEXT, n INT);\n"
+            f"INSERT INTO Base VALUES {self.INIT_ROWS}\n"
+        )
+        shards = launch_shards(2, seed=SEED, init_sql=str(init_sql))
+        router = FleetRouter(
+            [shard.address for shard in shards],
+            port=0,
+            partitions={"T": PartitionSpec("T")},
+        ).start_in_thread()
+        try:
+            yield router, shards
+        finally:
+            router.stop_in_thread()
+            terminate_shards(shards)
+
+    def test_shard_death_mid_scatter_is_typed_and_survivable(
+        self, subprocess_fleet
+    ):
+        router, shards = subprocess_fleet
+        with Connection("127.0.0.1", router.port) as conn:
+            conn.execute("CREATE TEMPORARY TABLE T (name TEXT, n INT)")
+            conn.execute(f"INSERT INTO T VALUES {self.INIT_ROWS}")
+            assert conn.execute("SELECT COUNT(*) AS c FROM T").rows() == [(4,)]
+
+            shards[1].kill()
+
+            # The scatter needs shard 1 and must fail with the typed,
+            # wire-coded error — not a raw socket exception.
+            with pytest.raises(ShardUnavailableError):
+                conn.execute("SELECT COUNT(*) AS c FROM T")
+
+            # The fleet recovers without a restart: replicated relations
+            # keep serving from the survivor on the very next query.
+            assert conn.execute(
+                "SELECT name, SUM(n) AS total FROM Base GROUP BY name"
+            ).rows() == [("a", 4), ("b", 2), ("c", 9)]
+            # DDL now fans out to the survivors only.
+            conn.execute("CREATE TEMPORARY TABLE After (name TEXT, n INT)")
+            conn.execute("INSERT INTO After VALUES ('x', 1)")
+            assert conn.execute(
+                "SELECT COUNT(*) AS c FROM After"
+            ).rows() == [(1,)]
+
+        with Client("127.0.0.1", router.port, pool_size=1) as client:
+            router_stats = client.stats()["router"]
+            assert router_stats["down"] == [1]
+            assert client.stats()["shards"]["1"] == {"error": "down"}
+
+    def test_sliced_insert_needing_dead_shard_is_refused(self, subprocess_fleet):
+        router, shards = subprocess_fleet
+        with Connection("127.0.0.1", router.port) as conn:
+            conn.execute("CREATE TEMPORARY TABLE T (name TEXT, n INT)")
+            shards[0].kill()
+            with pytest.raises(ShardUnavailableError) as error:
+                for _ in range(2):  # first call may only discover the death
+                    conn.execute(f"INSERT INTO T VALUES {self.INIT_ROWS}")
+            assert error.value.shard in (0, None)
+
+    def test_graceful_shutdown_drains_inflight_query(self, subprocess_fleet):
+        router, shards = subprocess_fleet
+        results, errors = [], []
+
+        def run_query():
+            try:
+                with Connection("127.0.0.1", router.port) as conn:
+                    results.append(
+                        conn.execute(
+                            "SELECT name, SUM(n) AS total FROM Base GROUP BY name"
+                        ).rows()
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=run_query)
+        thread.start()
+        time.sleep(0.05)
+        router.stop_in_thread()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert not errors, errors
+        assert results == [[("a", 4), ("b", 2), ("c", 9)]]
+
+
+class TestFanoutOutcomePolicy:
+    """Unit tests for the fan-out divergence report (hard to time E2E)."""
+
+    def _boom(self, message):
+        return UnknownRelationError(message)
+
+    def test_all_failed_reraises_first(self):
+        with pytest.raises(UnknownRelationError, match="first"):
+            FleetRouter._raise_scatter_failures(
+                [0, 1],
+                [self._boom("first"), self._boom("second")],
+                mixed_is_fatal=True,
+            )
+
+    def test_mixed_write_outcome_reports_divergence(self):
+        with pytest.raises(ShardUnavailableError, match="partially applied"):
+            FleetRouter._raise_scatter_failures(
+                [0, 1], ["ok-result", self._boom("boom")], mixed_is_fatal=True
+            )
+
+    def test_mixed_read_outcome_reraises_original(self):
+        with pytest.raises(UnknownRelationError, match="boom"):
+            FleetRouter._raise_scatter_failures(
+                [0, 1], ["ok-result", self._boom("boom")], mixed_is_fatal=False
+            )
+
+    def test_all_ok_returns(self):
+        FleetRouter._raise_scatter_failures(
+            [0, 1], ["a", "b"], mixed_is_fatal=True
+        )
+
+
+class TestClientReconnect:
+    """Satellite: pooled clients survive a server restart (reconnect once)
+    and raise typed ConnectionLostError when the retry fails too."""
+
+    def test_stale_pooled_socket_reconnects_once(self):
+        db = build_tiny_db()
+        server = MosaicServer(
+            db.engine, port=0, session_config=db.session.config
+        ).start_in_thread()
+        port = server.port
+        client = Client("127.0.0.1", port, pool_size=1)
+        try:
+            assert client.execute(CLOSED_SQL).num_rows >= 1
+            server.stop_in_thread()
+            # Same engine, same port: the pooled socket is now stale.
+            server = MosaicServer(
+                db.engine, "127.0.0.1", port, session_config=db.session.config
+            ).start_in_thread()
+            assert client.execute(CLOSED_SQL).num_rows >= 1
+        finally:
+            client.close()
+            server.stop_in_thread()
+
+    def test_retry_failure_raises_typed_connection_lost(self):
+        db = build_tiny_db()
+        server = MosaicServer(
+            db.engine, port=0, session_config=db.session.config
+        ).start_in_thread()
+        client = Client("127.0.0.1", server.port, pool_size=1)
+        try:
+            assert client.execute(CLOSED_SQL).num_rows >= 1
+            server.stop_in_thread()
+            with pytest.raises(ConnectionLostError, match="reconnecting failed"):
+                client.execute(CLOSED_SQL)
+        finally:
+            client.close()
+
+
+class TestRingAndPartition:
+    def test_ring_lookup_is_deterministic_and_fails_over(self):
+        ring = HashRing(range(4))
+        owner = ring.lookup("EuropeMigrants")
+        assert ring.lookup("EuropeMigrants") == owner
+        moved = ring.lookup("EuropeMigrants", down={owner})
+        assert moved != owner
+        # Keys not owned by the dead shard do not move.
+        for key in ("A", "B", "C", "D", "E"):
+            before = ring.lookup(key)
+            if before != owner:
+                assert ring.lookup(key, down={owner}) == before
+        with pytest.raises(LookupError):
+            ring.lookup("x", down={0, 1, 2, 3})
+
+    def test_stable_hash_is_process_independent(self):
+        # crc32, not the salted builtin hash.
+        assert stable_hash("EuropeMigrants") == 558082901
+
+    def test_round_robin_assignment_is_contiguous_and_complete(self):
+        spec = PartitionSpec("T")
+        assignment = spec.assign_rows(tuple(range(10)), 3)
+        assert assignment == [[0, 1, 2], [3, 4, 5], [6, 7, 8, 9]]
+
+    def test_hash_assignment_keys_on_column(self):
+        spec = PartitionSpec("T", key_column="name")
+        rows = (("a", 1), ("b", 2), ("a", 3))
+        assignment = spec.assign_rows(rows, 2, key_index=0)
+        flat = sorted(i for indices in assignment for i in indices)
+        assert flat == [0, 1, 2]
+        shard_of_a = stable_hash("a") % 2
+        assert 0 in assignment[shard_of_a] and 2 in assignment[shard_of_a]
+        with pytest.raises(ValueError, match="needs the index"):
+            spec.assign_rows(rows, 2)
+
+    def test_parse_partition_option(self):
+        assert parse_partition_option("T") == ("T", PartitionSpec("T"))
+        assert parse_partition_option("T:uid") == (
+            "T",
+            PartitionSpec("T", key_column="uid"),
+        )
+        with pytest.raises(ValueError):
+            parse_partition_option(":uid")
+
+
+class TestSpawnIndexDeterminism:
+    def test_pinned_spawn_index_matches_sequential_connects(self):
+        reference_db = build_tiny_db()
+        sessions = [reference_db.connect() for _ in range(3)]
+        pinned_db = build_tiny_db()
+        # Ask for stream 2 first — out of order — then 0.
+        pinned_2 = pinned_db.engine.connect(
+            pinned_db.session.config, spawn_index=2
+        )
+        pinned_0 = pinned_db.engine.connect(
+            pinned_db.session.config, spawn_index=0
+        )
+        assert_results_identical(
+            pinned_2.execute(OPEN_SQL), sessions[2].execute(OPEN_SQL)
+        )
+        assert_results_identical(
+            pinned_0.execute(OPEN_SQL), sessions[0].execute(OPEN_SQL)
+        )
+
+    def test_negative_spawn_index_rejected(self):
+        db = build_tiny_db()
+        with pytest.raises(ValueError):
+            db.engine.connect(db.session.config, spawn_index=-1)

@@ -83,6 +83,39 @@ def round_trip(result: QueryResult) -> QueryResult:
     return protocol.decode_result(protocol.encode_result(result))
 
 
+class TestQueryxCodec:
+    def test_envelope_and_sql_round_trip(self):
+        envelope = {"mode": "insert", "indices": [0, 2, 5]}
+        sql = "INSERT INTO T VALUES ('é', 1), ('b', 2)"
+        assert protocol.decode_queryx(
+            protocol.encode_queryx(envelope, sql)
+        ) == (envelope, sql)
+
+    def test_truncated_payload_raises(self):
+        payload = protocol.encode_queryx({"mode": "partial"}, "SELECT 1")
+        with pytest.raises(ProtocolError):
+            protocol.decode_queryx(payload[:3])
+
+    def test_non_object_envelope_raises(self):
+        body = protocol.json_payload([1, 2])
+        payload = len(body).to_bytes(4, "little") + body + b"SELECT 1"
+        with pytest.raises(ProtocolError, match="envelope"):
+            protocol.decode_queryx(payload)
+
+    def test_extra_header_survives_and_stays_optional(self):
+        result = QueryResult(Relation.from_dict({"n": [1, 2]}))
+        recipe = {"version": 1, "group_keys": [], "merge": [["n", "sum"]]}
+        body = protocol.encode_result(result, extra_header={"partial": recipe})
+        decoded, header = protocol.decode_result_with_header(body)
+        assert header["partial"] == recipe
+        assert decoded.relation.num_rows == 2
+        # Plain results have no extra keys and old decode still works.
+        plain = protocol.encode_result(result)
+        _, plain_header = protocol.decode_result_with_header(plain)
+        assert "partial" not in plain_header
+        assert protocol.decode_result(body).relation.num_rows == 2
+
+
 class TestResultCodec:
     def test_all_dtypes_bit_identical(self):
         schema = Schema(
