@@ -94,6 +94,14 @@ SCALING_METRICS: dict[str, tuple[str, ...]] = {
 }
 DEFAULT_FACTOR = 2.0
 
+#: The PR 9 always-on tracing budget, gated on the *current* payload
+#: alone (no baseline needed): CLOSED p50 with the default 1-in-64
+#: sampler must stay within ``MOSAIC_TRACING_OVERHEAD_BUDGET_PCT``
+#: (default 3%) of the tracing-off p50, with a 0.05 ms absolute floor so
+#: sub-ms latencies cannot flake the gate on timer jitter.
+TRACING_BUDGET_PCT = 3.0
+TRACING_NOISE_FLOOR_MS = 0.05
+
 
 def lookup(payload: dict, dotted: str):
     """Resolve a dotted metric path; ``None`` when any segment is missing."""
@@ -177,6 +185,42 @@ def check_scaling(
     return failures
 
 
+def check_tracing_overhead(current: dict) -> list[str]:
+    """Gate the always-on tracing overhead in ``BENCH_server.json``.
+
+    This is an absolute budget on the current payload, not a baseline
+    ratio: a difference of two p50s is too jittery for the 2x gate, but
+    the <3% product promise must hold on every run.  A payload emitted
+    before the tracing fields existed (or a benchmark that silently
+    stopped emitting them) is a loud skip, not a crash.
+    """
+    on = lookup(current, "closed_p50_tracing_on_ms")
+    off = lookup(current, "closed_p50_tracing_off_ms")
+    if on is None or off is None or off <= 0:
+        print(
+            "  tracing overhead: closed_p50_tracing_{on,off}_ms missing from "
+            "the payload — SKIPPING the tracing budget gate (re-run "
+            "bench_server.py to emit them)"
+        )
+        return []
+    budget_pct = float(
+        os.environ.get("MOSAIC_TRACING_OVERHEAD_BUDGET_PCT", TRACING_BUDGET_PCT)
+    )
+    allowed = max(budget_pct / 100.0 * off, TRACING_NOISE_FLOOR_MS)
+    delta = on - off
+    verdict = "ok" if delta < allowed else f"OVER BUDGET (>= {budget_pct:.1f}%)"
+    print(
+        f"  tracing overhead: off {off:.4f} ms -> on {on:.4f} ms "
+        f"(+{delta:.4f} ms, allowed {allowed:.4f} ms)  [{verdict}]"
+    )
+    if delta >= allowed:
+        return [
+            f"tracing overhead {delta:.4f} ms exceeds {budget_pct:.1f}% of the "
+            f"untraced CLOSED p50 ({off:.4f} ms; allowed {allowed:.4f} ms)"
+        ]
+    return []
+
+
 def check_pair(baseline_path: str, current_path: str, factor: float) -> list[str]:
     name = os.path.basename(current_path)
     metrics = TRACKED_METRICS.get(name)
@@ -185,14 +229,17 @@ def check_pair(baseline_path: str, current_path: str, factor: float) -> list[str
     if metrics is None and scaling is None:
         print(f"  no tracked metrics for {name}, skipping")
         return []
-    if not os.path.exists(baseline_path):
-        print(f"  no committed baseline at {baseline_path} yet, skipping")
-        return []
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
+    failures: list[str] = []
     with open(current_path) as handle:
         current = json.load(handle)
-    failures: list[str] = []
+    if name == "BENCH_server.json":
+        # Absolute gate: needs only the current payload.
+        failures.extend(check_tracing_overhead(current))
+    if not os.path.exists(baseline_path):
+        print(f"  no committed baseline at {baseline_path} yet, skipping")
+        return failures
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
     if metrics is not None:
         failures.extend(check(baseline, current, factor, metrics))
     if scaling is not None:

@@ -250,6 +250,13 @@ class Client:
     def stats(self) -> dict:
         return self._call(Connection.stats)
 
+    def metrics(self) -> dict:
+        """The server's flat metrics-registry snapshot (the same numbers
+        the Prometheus endpoint renders).  Works against both a plain
+        server and a fleet router — each puts its registry snapshot under
+        the ``metrics`` key of its STATS payload."""
+        return self.stats().get("metrics", {})
+
     def close(self) -> None:
         """Close every pooled connection.  Idempotent.
 

@@ -32,6 +32,7 @@ import itertools
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
@@ -66,6 +67,7 @@ from repro.errors import (
 )
 from repro.mechanisms import StratifiedMechanism, UniformMechanism
 from repro.mechanisms.base import SamplingMechanism
+from repro.observability import MetricsRegistry, QueryTrace, current_trace
 from repro.relational.relation import Relation, dictionary_stats
 from repro.relational.schema import Field, Schema
 from repro.sql.ast_nodes import (
@@ -74,6 +76,7 @@ from repro.sql.ast_nodes import (
     CreateSample,
     CreateTable,
     Drop,
+    ExplainAnalyze,
     Insert,
     MechanismSpec,
     SelectQuery,
@@ -123,10 +126,38 @@ class Engine:
         self._open_generators: VersionedLRUCache = VersionedLRUCache(
             generator_cache_size
         )
-        # Adaptive streaming OPEN telemetry: runs that took the chunked
-        # path, and how many of those met the tolerance before the cap.
-        self._open_adaptive_runs = 0
-        self._open_adaptive_early_stops = 0
+        # Unified metrics registry (ARCHITECTURE.md §9).  Counters use
+        # lock-free per-thread shards, so concurrent SELECTs under the
+        # *read* lock can never lose increments (the race the old plain
+        # ``self._x += 1`` telemetry ints had); cache stats surface as
+        # fn-backed gauges evaluated at scrape time — zero hot-path cost.
+        self.metrics = MetricsRegistry()
+        self._open_adaptive_runs = self.metrics.counter(
+            "mosaic_open_adaptive_runs_total",
+            "OPEN queries that took the adaptive streaming path",
+        )
+        self._open_adaptive_early_stops = self.metrics.counter(
+            "mosaic_open_adaptive_early_stops_total",
+            "Adaptive OPEN runs that met the CI tolerance before the cap",
+        )
+        for cache_name, cache in (
+            ("statements", self._statement_cache),
+            ("plans", self._plan_cache),
+            ("reweights", self._reweight_cache),
+            ("generators", self._open_generators),
+        ):
+            for stat in ("size", "hits", "misses"):
+                self.metrics.gauge(
+                    f"mosaic_cache_{stat}",
+                    f"Pipeline cache {stat} (per cache)",
+                    labels={"cache": cache_name},
+                    fn=lambda c=cache, s=stat: c.stats()[s],
+                )
+        self.metrics.gauge(
+            "mosaic_catalog_version",
+            "DDL counter (bumps on every catalog mutation)",
+            fn=lambda: self.catalog.version,
+        )
         # The OPEN-repetition pool: one engine-owned executor shared by
         # every concurrent OPEN query (created lazily, drained by
         # shutdown()).  Sharing bounds the process to one set of worker
@@ -138,7 +169,7 @@ class Engine:
         # With processes=0 (the default unless MOSAIC_WORKERS is set) no
         # processes ever start, but large scans still take the morsel
         # path, so answers are bit-identical across worker counts.
-        self._execution = ParallelExecution(execution)
+        self._execution = ParallelExecution(execution, registry=self.metrics)
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -276,7 +307,13 @@ class Engine:
 
     def execute(self, sql: str, session: "Session") -> QueryResult:
         """Parse and run one statement; DDL returns an empty status result."""
-        return self._execute_statement(self.parse_sql(sql), session, sql_text=sql)
+        trace = current_trace()
+        if trace is None:
+            return self._execute_statement(self.parse_sql(sql), session, sql_text=sql)
+        with trace.span("parse") as span:
+            statement = self.parse_sql(sql)
+            span["statement"] = type(statement).__name__
+        return self._execute_statement(statement, session, sql_text=sql)
 
     def execute_script(self, sql: str, session: "Session") -> list[QueryResult]:
         """Run a ``;``-separated script, returning one result per statement."""
@@ -421,6 +458,11 @@ class Engine:
             with self._lock.read_locked():
                 self._check_open()
                 return self._run_select(statement, session, sql_text)
+        if isinstance(statement, ExplainAnalyze):
+            # EXPLAIN ANALYZE executes the inner SELECT, so it is a read.
+            with self._lock.read_locked():
+                self._check_open()
+                return self._run_explain_analyze(statement, session)
         with self._lock.write_locked():
             self._check_open()
             return self._run_write_statement(statement)
@@ -641,18 +683,100 @@ class Engine:
             plan, plan_note = self._compiled_plan(
                 query, sql_text, kind, auxiliary.schema, weighted=False
             )
-            relation = execute_plan(
-                plan,
-                auxiliary,
-                parallel=self._execution,
-                share_key=("aux", query.table, self.catalog.auxiliary_version(query.table)),
-            )
+            trace = current_trace()
+            with (
+                trace.span("execute", visibility=str(Visibility.CLOSED), table=query.table)
+                if trace is not None
+                else nullcontext({})
+            ) as span:
+                relation = execute_plan(
+                    plan,
+                    auxiliary,
+                    parallel=self._execution,
+                    share_key=(
+                        "aux",
+                        query.table,
+                        self.catalog.auxiliary_version(query.table),
+                    ),
+                )
+                span["rows"] = relation.num_rows
             return QueryResult(
                 relation, visibility=str(Visibility.CLOSED), notes=(plan_note,)
             )
         if kind == "sample":
             return self._select_from_sample(query, sql_text)
         return self._select_from_population(query, session, sql_text)
+
+    def _run_explain_analyze(
+        self, statement: ExplainAnalyze, session: "Session"
+    ) -> QueryResult:
+        """Execute the inner SELECT under a forced trace and render it.
+
+        The query runs exactly as a bare SELECT would — same plan-cache
+        key, same execution path — so the reported provenance ("plan:
+        cache hit", "OPEN: generator cache hit", ...) is what the next
+        plain run of the query will experience.  ``explain=True`` also
+        switches on the per-plan-node row/timing recording that sampled
+        traces skip.
+        """
+        trace = current_trace()
+        if trace is not None:
+            trace.explain = True
+        else:
+            trace = QueryTrace(explain=True)
+        with trace.activate():
+            inner = self._run_select(statement.query, session, statement.sql)
+        trace.finish()
+        trace_dict = trace.to_dict()
+
+        steps: list[str] = []
+        details: list[str] = []
+        timings: list[float | None] = []
+
+        steps.append("trace")
+        details.append(f"id {trace.trace_id}")
+        timings.append(trace_dict["total_ms"])
+        for span in trace.spans:
+            extras = {
+                k: v for k, v in span.items() if k not in ("name", "start_ms", "ms")
+            }
+            steps.append(span["name"])
+            details.append(", ".join(f"{k}={v}" for k, v in sorted(extras.items())))
+            timings.append(span["ms"])
+        for node in trace.meta.get("plan_nodes", ()):
+            steps.append(f"node: {node['node']}")
+            details.append(f"rows={node['rows']}")
+            timings.append(node["ms"])
+        for key, value in trace.meta.items():
+            if key == "plan_nodes":
+                continue
+            steps.append(f"meta: {key}")
+            details.append(
+                ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+                if isinstance(value, dict)
+                else str(value)
+            )
+            timings.append(None)
+        for note in inner.notes:
+            steps.append("note")
+            details.append(note)
+            timings.append(None)
+
+        relation = Relation.from_dict(
+            {
+                "step": steps,
+                "detail": details,
+                "ms": [float("nan") if t is None else float(t) for t in timings],
+            }
+        )
+        return QueryResult(
+            relation,
+            visibility=inner.visibility,
+            sample_name=inner.sample_name,
+            notes=(*inner.notes, f"EXPLAIN ANALYZE: trace {trace.trace_id}"),
+            repetitions_used=inner.repetitions_used,
+            trace=trace_dict,
+        )
 
     def _select_from_sample(
         self, query: SelectQuery, sql_text: str | None
@@ -672,13 +796,20 @@ class Engine:
             sample.relation.schema,
             weighted=weights is not None,
         )
-        relation = execute_plan(
-            plan,
-            sample.relation,
-            weights,
-            parallel=self._execution,
-            share_key=("sample", sample.uid, sample.version, weights is not None),
-        )
+        trace = current_trace()
+        with (
+            trace.span("execute", visibility=str(visibility), table=query.table)
+            if trace is not None
+            else nullcontext({})
+        ) as span:
+            relation = execute_plan(
+                plan,
+                sample.relation,
+                weights,
+                parallel=self._execution,
+                share_key=("sample", sample.uid, sample.version, weights is not None),
+            )
+            span["rows"] = relation.num_rows
         return QueryResult(
             relation,
             visibility=str(visibility),
@@ -707,32 +838,43 @@ class Engine:
             query, sql_text, "population", source.sample.relation.schema, weighted
         )
 
+        trace = current_trace()
         repetitions_used = None
-        if visibility is Visibility.CLOSED:
-            relation, notes = evaluate_closed(
-                query,
-                source,
-                plan,
-                parallel=self._execution,
-                share_key=self._source_share_key("closed", source),
-            )
-        elif visibility is Visibility.SEMI_OPEN:
-            relation, notes = evaluate_semi_open(
-                query,
-                source,
-                self.catalog,
-                plan,
-                self._cached_reweight(source),
-                parallel=self._execution,
-                share_key=self._source_share_key("semiopen", source),
-            )
-        else:
-            relation, notes, meta = self._evaluate_open(query, source, session, plan)
-            repetitions_used = meta.get("repetitions_used")
-            if meta.get("adaptive"):
-                self._open_adaptive_runs += 1
-                if meta.get("early_stop"):
-                    self._open_adaptive_early_stops += 1
+        with (
+            trace.span("execute", visibility=str(visibility), table=query.table)
+            if trace is not None
+            else nullcontext({})
+        ) as span:
+            if visibility is Visibility.CLOSED:
+                relation, notes = evaluate_closed(
+                    query,
+                    source,
+                    plan,
+                    parallel=self._execution,
+                    share_key=self._source_share_key("closed", source),
+                )
+            elif visibility is Visibility.SEMI_OPEN:
+                relation, notes = evaluate_semi_open(
+                    query,
+                    source,
+                    self.catalog,
+                    plan,
+                    self._cached_reweight(source),
+                    parallel=self._execution,
+                    share_key=self._source_share_key("semiopen", source),
+                )
+            else:
+                relation, notes, meta = self._evaluate_open(
+                    query, source, session, plan
+                )
+                repetitions_used = meta.get("repetitions_used")
+                if meta.get("adaptive"):
+                    self._open_adaptive_runs.inc()
+                    if meta.get("early_stop"):
+                        self._open_adaptive_early_stops.inc()
+                if trace is not None:
+                    trace.annotate("open", _open_trace_meta(meta))
+            span["rows"] = relation.num_rows
         notes.append(plan_note)
 
         return QueryResult(
@@ -780,6 +922,24 @@ class Engine:
         to a different key.  Statements without SQL text (programmatic ASTs)
         are compiled fresh each time.
         """
+        trace = current_trace()
+        if trace is not None:
+            with trace.span("plan") as span:
+                plan, note = self._compiled_plan_impl(
+                    query, sql_text, kind, schema, weighted
+                )
+                span["provenance"] = note
+            return plan, note
+        return self._compiled_plan_impl(query, sql_text, kind, schema, weighted)
+
+    def _compiled_plan_impl(
+        self,
+        query: SelectQuery,
+        sql_text: str | None,
+        kind: str,
+        schema: Schema,
+        weighted: bool,
+    ) -> tuple[LogicalPlan, str]:
         if sql_text is None:
             return (
                 compile_select(query, schema, weighted=weighted),
@@ -840,20 +1000,35 @@ class Engine:
             key = (*identity, factory)
             stamp = source.version_stamp(self.catalog)
             generator = self._open_generators.get(key, stamp)
+        trace = current_trace()
         cache_note = None
         if generator is None:
             generator = factory() if callable(factory) else factory
-            generator.fit(
-                fit_relation,
-                marginals,
-                categorical_columns=open_config.categorical_columns,
-            )
+            with (
+                trace.span("open.fit", rows=fit_relation.num_rows)
+                if trace is not None
+                else nullcontext({})
+            ) as span:
+                generator.fit(
+                    fit_relation,
+                    marginals,
+                    categorical_columns=open_config.categorical_columns,
+                )
+                span["generator"] = getattr(generator, "name", type(generator).__name__)
             if key is not None:
                 self._open_generators.put(key, stamp, generator)
         else:
             cache_note = (
                 f"OPEN: generator cache hit (sample {source.sample.name!r} "
                 f"v{source.sample.version})"
+            )
+        if trace is not None:
+            trace.annotate(
+                "generator",
+                {
+                    "name": getattr(generator, "name", type(generator).__name__),
+                    "cache_hit": cache_note is not None,
+                },
             )
         relation, notes, meta = evaluate_open(
             query,
@@ -962,8 +1137,8 @@ class Engine:
             # shared-segment reuse, crash restarts) — see workers.py.
             "execution": self._execution.stats(),
             "open_adaptive": {
-                "runs": self._open_adaptive_runs,
-                "early_stops": self._open_adaptive_early_stops,
+                "runs": int(self._open_adaptive_runs.value()),
+                "early_stops": int(self._open_adaptive_early_stops.value()),
             },
             "catalog": {"catalog_version": self.catalog.version},
         }
@@ -1046,6 +1221,28 @@ class Engine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Engine({self.catalog!r})"
+
+
+def _open_trace_meta(meta: dict) -> dict:
+    """Condense :func:`evaluate_open` metadata into the trace annotation
+    (repetition counts plus a human-readable stop reason)."""
+    used = int(meta.get("repetitions_used", 0))
+    if meta.get("adaptive"):
+        stop_reason = (
+            "tolerance reached before cap"
+            if meta.get("early_stop")
+            else "repetition cap reached"
+        )
+    elif used == 0:
+        stop_reason = "direct inference (no generation)"
+    else:
+        stop_reason = "fixed repetitions"
+    return {
+        "repetitions_used": used,
+        "repetitions_cap": int(meta.get("repetitions_cap", used)),
+        "early_stop": bool(meta.get("early_stop", False)),
+        "stop_reason": stop_reason,
+    }
 
 
 def _status(message: str) -> QueryResult:

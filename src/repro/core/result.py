@@ -22,6 +22,7 @@ class QueryResult:
         sample_name: str | None = None,
         notes: tuple[str, ...] = (),
         repetitions_used: int | None = None,
+        trace: dict | None = None,
     ):
         self._relation = relation
         self.visibility = visibility
@@ -32,6 +33,10 @@ class QueryResult:
         #: streaming path, the fixed ``R`` otherwise); ``None`` for
         #: CLOSED / SEMI-OPEN results.
         self.repetitions_used = repetitions_used
+        #: Serialized :class:`~repro.observability.QueryTrace` when this
+        #: query was sampled for tracing (or ran under EXPLAIN ANALYZE);
+        #: crosses the wire as the append-only ``trace`` header field.
+        self.trace = trace
 
     @property
     def relation(self) -> Relation:

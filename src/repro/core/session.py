@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.visibility import Visibility
 from repro.engine.open_world import OpenQueryConfig
 from repro.errors import SessionClosedError
+from repro.observability.trace import maybe_trace
 
 if TYPE_CHECKING:
     from repro.catalog.metadata import Marginal
@@ -126,9 +127,26 @@ class Session:
     # ------------------------------------------------------------------ #
 
     def execute(self, sql: str) -> "QueryResult":
-        """Parse and run one statement; DDL returns an empty status result."""
+        """Parse and run one statement; DDL returns an empty status result.
+
+        This is the tracing root: when the deterministic sampler elects
+        this query (``MOSAIC_TRACE_SAMPLE``), a
+        :class:`~repro.observability.QueryTrace` is activated around the
+        whole parse→bind→compile→execute pipeline and its serialized form
+        rides out on ``result.trace``.  Unsampled queries take the
+        original untraced path (one env read + one counter bump).
+        """
         self._check_open()
-        return self.engine.execute(sql, self)
+        trace = maybe_trace()
+        if trace is None:
+            return self.engine.execute(sql, self)
+        with trace.activate():
+            result = self.engine.execute(sql, self)
+        trace.finish()
+        if result.trace is None:
+            # EXPLAIN ANALYZE builds its own trace payload; keep it.
+            result.trace = trace.to_dict()
+        return result
 
     def execute_script(self, sql: str) -> list["QueryResult"]:
         """Run a ``;``-separated script, returning one result per statement."""

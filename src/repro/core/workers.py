@@ -54,6 +54,7 @@ import threading
 import time
 import weakref
 from collections import OrderedDict, deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import connection, get_all_start_methods, get_context
 from typing import Sequence
@@ -66,6 +67,8 @@ from repro.engine.compiler import (
     execute_plan_open_shard,
 )
 from repro.errors import MosaicError, WorkerCrashError, error_from_wire, error_to_wire
+from repro.observability import MetricsRegistry
+from repro.observability.trace import current_trace
 from repro.relational.kernels import merge_composite_partials
 from repro.relational.shm import (
     AttachedRelation,
@@ -548,7 +551,11 @@ class ParallelExecution:
     (bit-identical) morsel loop in-process instead of queueing.
     """
 
-    def __init__(self, config: ExecutionConfig | None = None):
+    def __init__(
+        self,
+        config: ExecutionConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.config = config or ExecutionConfig()
         self._processes = self.config.resolved_processes()
         self.morsel_rows = self.config.resolved_morsel_rows()
@@ -558,13 +565,24 @@ class ParallelExecution:
         self._batch_lock = threading.Lock()
         self._closed = False
         self._restarts_base = 0  # restarts accumulated by discarded pools
+        # Counters live in the engine's metrics registry (or a private one
+        # when constructed standalone) so the Prometheus endpoint and
+        # cache_stats() read the same numbers.
+        registry = registry if registry is not None else MetricsRegistry()
         self._counters = {
-            "parallel_batches": 0,
-            "local_batches": 0,
-            "tasks_dispatched": 0,
-            "plan_fallbacks": 0,
-            "pool_busy": 0,
+            name: registry.counter(f"mosaic_pool_{name}_total", help=help_text)
+            for name, help_text in (
+                ("parallel_batches", "Morsel batches executed on the worker pool"),
+                ("local_batches", "Morsel batches executed in-process"),
+                ("tasks_dispatched", "Individual tasks shipped to pool workers"),
+                ("plan_fallbacks", "Size-qualified plans that could not be morsel-decomposed"),
+                ("pool_busy", "Batches that found the pool busy and ran locally"),
+            )
         }
+        self._worker_crashes = registry.counter(
+            "mosaic_pool_worker_crashes_total",
+            help="Pool batches terminated by a worker crash or stall",
+        )
         # Engines dropped without shutdown() must not leak /dev/shm
         # segments: the finalizer releases the store when this context is
         # collected (the pool's daemon processes die with the parent).
@@ -578,7 +596,7 @@ class ParallelExecution:
 
     def note_fallback(self) -> None:
         """A size-qualified plan could not be morsel-decomposed."""
-        self._counters["plan_fallbacks"] += 1
+        self._counters["plan_fallbacks"].inc()
 
     def map_morsels(
         self,
@@ -605,7 +623,7 @@ class ParallelExecution:
             )
             if partials is not None:
                 return partials
-        self._counters["local_batches"] += 1
+        self._counters["local_batches"].inc()
         return [
             execute_plan_morsel(
                 plan, relation, start, stop, weights, domain_sizes, total_cells
@@ -617,17 +635,23 @@ class ParallelExecution:
         self, plan, relation, weights, ranges, domain_sizes, total_cells, share_key=None
     ) -> list[dict] | None:
         if not self._batch_lock.acquire(blocking=False):
-            self._counters["pool_busy"] += 1
+            self._counters["pool_busy"].inc()
             return None
+        trace = current_trace()
         try:
             pool = self._ensure_pool()
             if pool is None:
                 return None
             extras = {} if weights is None else {WEIGHTS_EXTRA: weights}
-            try:
-                handle = self._store.lease(relation, extras, key=share_key)
-            except MosaicError:
-                return None
+            with (
+                trace.span("pool.attach", rows=relation.num_rows)
+                if trace is not None
+                else nullcontext({})
+            ):
+                try:
+                    handle = self._store.lease(relation, extras, key=share_key)
+                except MosaicError:
+                    return None
             try:
                 payloads = [
                     {
@@ -641,13 +665,20 @@ class ParallelExecution:
                     }
                     for start, stop in ranges
                 ]
-                partials = self._run_pool_batch(pool, plan, payloads)
+                with (
+                    trace.span(
+                        "pool.gather", tasks=len(payloads), workers=self._processes
+                    )
+                    if trace is not None
+                    else nullcontext({})
+                ):
+                    partials = self._run_pool_batch(pool, plan, payloads)
             finally:
                 handle.release()
             if partials is None:
                 return None
-            self._counters["parallel_batches"] += 1
-            self._counters["tasks_dispatched"] += len(payloads)
+            self._counters["parallel_batches"].inc()
+            self._counters["tasks_dispatched"].inc(len(payloads))
             return partials
         finally:
             self._batch_lock.release()
@@ -688,17 +719,23 @@ class ParallelExecution:
             return None
         aggregate, domain_sizes, domain_total = layout
         if not self._batch_lock.acquire(blocking=False):
-            self._counters["pool_busy"] += 1
+            self._counters["pool_busy"].inc()
             return None
+        trace = current_trace()
         try:
             pool = self._ensure_pool()
             if pool is None:
                 return None
             rep_ids = np.ascontiguousarray(rep_ids, dtype=np.int64)
-            try:
-                handle = self._store.lease(data, {REP_EXTRA: rep_ids})
-            except MosaicError:
-                return None
+            with (
+                trace.span("pool.attach", rows=data.num_rows, repetitions=repetitions)
+                if trace is not None
+                else nullcontext({})
+            ):
+                try:
+                    handle = self._store.lease(data, {REP_EXTRA: rep_ids})
+                except MosaicError:
+                    return None
             try:
                 payloads = []
                 shards = min(self._processes, repetitions)
@@ -719,13 +756,20 @@ class ParallelExecution:
                             "domain_total": domain_total,
                         }
                     )
-                partials = self._run_pool_batch(pool, plan, payloads)
+                with (
+                    trace.span(
+                        "pool.gather", tasks=len(payloads), workers=self._processes
+                    )
+                    if trace is not None
+                    else nullcontext({})
+                ):
+                    partials = self._run_pool_batch(pool, plan, payloads)
             finally:
                 handle.release()
             if partials is None:
                 return None
-            self._counters["parallel_batches"] += 1
-            self._counters["tasks_dispatched"] += len(payloads)
+            self._counters["parallel_batches"].inc()
+            self._counters["tasks_dispatched"].inc(len(payloads))
             return aggregate, merge_composite_partials(
                 partials, repetitions, domain_total
             )
@@ -750,7 +794,17 @@ class ParallelExecution:
         """
         try:
             return pool.run_batch(plan, payloads)
-        except WorkerCrashError:
+        except WorkerCrashError as exc:
+            self._worker_crashes.inc()
+            trace = current_trace()
+            if trace is not None:
+                # Stamp the failing query's trace id into the error so the
+                # crash report and the trace can be correlated.  The id
+                # rides error_to_wire's scalar-attribute shipping across
+                # the server boundary for free.
+                exc.trace_id = trace.trace_id
+                if exc.args:
+                    exc.args = (f"{exc.args[0]} [trace {trace.trace_id}]",)
             self._discard_pool(pool)
             raise
         except _PoolUnavailableError:
@@ -817,7 +871,8 @@ class ParallelExecution:
             "workers": self._processes,
             "worker_restarts": self._restarts_base
             + (pool.restarts if pool is not None else 0),
-            **self._counters,
+            **{name: int(c.value()) for name, c in self._counters.items()},
+            "worker_crashes": int(self._worker_crashes.value()),
             "segments_shared": store["shares"],
             "segment_reuses": store["reuses"],
             "segment_evictions": store["evictions"],

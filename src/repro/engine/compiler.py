@@ -15,7 +15,11 @@ exist"), and aggregation consumes the weights via the vectorized kernels.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
+
+from repro.observability.trace import current_trace
 
 from repro.engine.plan import (
     AggregateNode,
@@ -223,8 +227,16 @@ def execute_plan(
     # copy, with dictionary encodings sliced along), while Aggregate hands
     # it straight to the grouped kernels, which slice the scan relation's
     # memoized group codes instead of re-encoding filtered columns.
+    trace = current_trace()
+    node_log: list | None = None
+    if trace is not None and trace.explain:
+        # EXPLAIN ANALYZE only: per-node surviving-row counts and timings
+        # (the sampled hot path pays just the two None checks per node).
+        node_log = trace.meta.setdefault("plan_nodes", [])
+        node_log.append({"node": "Scan", "rows": relation.num_rows, "ms": 0.0})
     selection: np.ndarray | None = None
     for node in plan.nodes:
+        node_started = perf_counter() if node_log is not None else 0.0
         if isinstance(node, FilterNode):
             mask = np.asarray(node.predicate.evaluate(relation), dtype=bool)
             selection = mask if selection is None else selection & mask
@@ -260,6 +272,17 @@ def execute_plan(
             relation = relation.head(node.count)
         else:  # pragma: no cover - exhaustive over PlanNode
             raise SqlCompileError(f"unknown plan node {type(node).__name__}")
+        if node_log is not None:
+            rows = (
+                int(selection.sum()) if selection is not None else relation.num_rows
+            )
+            node_log.append(
+                {
+                    "node": node.describe(),
+                    "rows": rows,
+                    "ms": round((perf_counter() - node_started) * 1e3, 4),
+                }
+            )
     return relation
 
 

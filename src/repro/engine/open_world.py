@@ -42,6 +42,7 @@ from repro.engine.plan import AggregateNode, LogicalPlan
 from repro.engine.planner import PlannedSource
 from repro.errors import GenerativeModelError, VisibilityError
 from repro.generative.mswg import MSWG, MswgConfig
+from repro.observability.trace import current_trace
 from repro.generative.streams import (
     REPETITION_COLUMN,
     repetition_chunks,
@@ -821,10 +822,21 @@ def _evaluate_open_adaptive(
     answered = 0
     used = 0
     sharded_any = False
+    trace = current_trace()
+    chunk_log = (
+        trace.meta.setdefault("open_chunks", []) if trace is not None else None
+    )
 
     for start, stop in repetition_chunks(cap, chunk):
         chunk_reps = stop - start
-        batch = generate_chunk(streams[start:stop])
+        if trace is not None:
+            with trace.span(
+                "open.generate", rep_start=start, rep_stop=stop
+            ) as span:
+                batch = generate_chunk(streams[start:stop])
+                span["rows"] = batch.num_rows
+        else:
+            batch = generate_chunk(streams[start:stop])
         local_ids = np.asarray(batch.column(REPETITION_COLUMN), dtype=np.int64)
         data = batch.drop_column(REPETITION_COLUMN)
 
@@ -919,6 +931,21 @@ def _evaluate_open_adaptive(
                     totals[index] += matrix[repetition]
                 moments[index].update(matrix[rep_rows])
 
+        if chunk_log is not None:
+            # Per-chunk convergence telemetry: the worst (largest) relative
+            # CI half-width across surviving groups and aggregates — what
+            # the stopping rule compares against the tolerance.
+            chunk_log.append(
+                {
+                    "rep_start": start,
+                    "rep_stop": stop,
+                    "answered": answered,
+                    "max_rel_ci_half_width": _max_rel_halfwidth(
+                        moments, present_all
+                    ),
+                }
+            )
+
         if answered >= min_repetitions and _converged(
             moments, present_all, config.tolerance
         ):
@@ -966,6 +993,25 @@ def _evaluate_open_adaptive(
         "peak_batch_rows": min(chunk, cap) * rows,
     }
     return _order_combined(combined, query), notes, meta
+
+
+def _max_rel_halfwidth(
+    moments: list[WelfordMoments], kept_mask: np.ndarray
+) -> float | None:
+    """The largest relative CI half-width across surviving groups, or
+    ``None`` before any repetition participated (trace telemetry only)."""
+    if not kept_mask.any():
+        return None
+    worst = 0.0
+    for tracker in moments:
+        if tracker.count == 0:
+            return None
+        half = tracker.ci_halfwidth(CONFIDENCE_Z)[kept_mask]
+        means = tracker.mean[kept_mask]
+        rel = half / np.maximum(np.abs(means), _TOLERANCE_FLOOR)
+        if rel.size:
+            worst = max(worst, float(rel.max()))
+    return round(worst, 6)
 
 
 def _converged(

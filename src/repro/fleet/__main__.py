@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="slice TABLE across shards (hash of COLUMN, else round-robin); "
         "repeatable; unlisted relations replicate to every shard",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve the router's Prometheus /metrics on this port "
+        "(0 picks a free one)",
+    )
     return parser
 
 
@@ -73,6 +80,7 @@ async def run(args: argparse.Namespace) -> int:
             args.host,
             args.port,
             partitions=partitions,
+            metrics_port=args.metrics_port,
         )
         await router.start()
         print(
@@ -80,6 +88,12 @@ async def run(args: argparse.Namespace) -> int:
             f"({args.shards} shard(s))",
             file=sys.stderr,
         )
+        if router.metrics_exporter is not None:
+            print(
+                f"mosaic fleet metrics on "
+                f"http://{router.host}:{router.metrics_exporter.port}/metrics",
+                file=sys.stderr,
+            )
         loop = asyncio.get_running_loop()
         for signal_number in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError):  # non-unix loops

@@ -19,6 +19,7 @@ _ROLLUP_COUNTERS = {
     "execution": (
         "workers",
         "worker_restarts",
+        "worker_crashes",
         "parallel_batches",
         "local_batches",
         "tasks_dispatched",
@@ -57,16 +58,21 @@ class FleetClient(Client):
     def shard_rollup(self) -> dict:
         """Engine counters summed across every reporting shard.
 
-        Returns ``{"shards_reporting": n, "execution": {...},
-        "open_adaptive": {...}}`` where each section sums the counters in
-        :data:`_ROLLUP_COUNTERS` over shards whose STATS included them.
+        Returns ``{"shards_reporting": n, "shards_down": [...],
+        "execution": {...}, "open_adaptive": {...}}`` where each section
+        sums the counters in :data:`_ROLLUP_COUNTERS` over shards whose
+        STATS included them.  A down or erroring shard never skews the
+        sums: it contributes nothing (missing counters default to 0) and
+        is named in ``shards_down`` so callers can tell "small total"
+        from "partial fleet".
         """
-        rollup: dict = {"shards_reporting": 0}
+        rollup: dict = {"shards_reporting": 0, "shards_down": []}
         for section, counters in _ROLLUP_COUNTERS.items():
             rollup[section] = {counter: 0 for counter in counters}
-        for payload in self.shard_stats().values():
+        for shard_id, payload in sorted(self.shard_stats().items()):
             engine = payload.get("engine") if isinstance(payload, dict) else None
             if not isinstance(engine, dict):
+                rollup["shards_down"].append(shard_id)
                 continue
             rollup["shards_reporting"] += 1
             for section, counters in _ROLLUP_COUNTERS.items():

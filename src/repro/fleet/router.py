@@ -65,9 +65,11 @@ from repro.errors import (
 from repro.fleet.merge import gather_partials
 from repro.fleet.partition import PartitionSpec
 from repro.fleet.ring import HashRing
+from repro.observability import MetricsExporter, MetricsRegistry
+from repro.observability.trace import new_trace_id
 from repro.relational.relation import Relation
 from repro.server import protocol
-from repro.sql.ast_nodes import CreateTable, Insert, SelectQuery
+from repro.sql.ast_nodes import CreateTable, ExplainAnalyze, Insert, SelectQuery
 from repro.sql.parser import parse_script, parse_statement
 
 
@@ -115,6 +117,7 @@ class FleetRouter:
         handshake_timeout: float = 10.0,
         dial_timeout: float | None = 10.0,
         executor_workers: int | None = None,
+        metrics_port: int | None = None,
     ):
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -147,13 +150,60 @@ class FleetRouter:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
 
-        self._queries_total = 0
-        self._errors_total = 0
-        self._routed_queries = 0
-        self._scatter_queries = 0
-        self._sliced_inserts = 0
-        self._fanout_statements = 0
-        self._retries = 0
+        #: When set, :meth:`start` serves Prometheus text exposition on
+        #: this port (``0`` picks a free one).
+        self.metrics_port = metrics_port
+        self.metrics_exporter: MetricsExporter | None = None
+
+        # Router counters live in a metrics registry so router_stats(),
+        # the STATS ``metrics`` key, and the Prometheus endpoint all read
+        # the same numbers.
+        self.metrics = MetricsRegistry()
+        counter = self.metrics.counter
+        self._queries_total = counter(
+            "mosaic_fleet_queries_total", help="Query/script frames received"
+        )
+        self._errors_total = counter(
+            "mosaic_fleet_errors_total", help="Error frames sent to clients"
+        )
+        self._routed_queries = counter(
+            "mosaic_fleet_routed_queries_total",
+            help="SELECTs routed whole-query to one shard",
+        )
+        self._scatter_queries = counter(
+            "mosaic_fleet_scatter_queries_total",
+            help="SELECTs scattered as partial-aggregate frames",
+        )
+        self._sliced_inserts = counter(
+            "mosaic_fleet_sliced_inserts_total",
+            help="INSERTs sliced across shards by partition",
+        )
+        self._fanout_statements = counter(
+            "mosaic_fleet_fanout_statements_total",
+            help="Statements fanned out to every up shard",
+        )
+        self._retries = counter(
+            "mosaic_fleet_retries_total",
+            help="Idempotent shard calls retried on a fresh connection",
+        )
+        self._shards_down_total = counter(
+            "mosaic_fleet_shards_down_total",
+            help="Shards marked down for the router's lifetime",
+        )
+        self._shard_failures_total = counter(
+            "mosaic_fleet_shard_failures_total",
+            help="ShardUnavailableError responses sent to clients",
+        )
+        self.metrics.gauge(
+            "mosaic_fleet_up_shards",
+            help="Shards currently believed up",
+            fn=lambda: len(self._up_shards()),
+        )
+        self.metrics.gauge(
+            "mosaic_fleet_clients",
+            help="Currently connected router clients",
+            fn=lambda: len(self._clients),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle (mirrors MosaicServer)
@@ -168,6 +218,11 @@ class FleetRouter:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None and self.metrics_exporter is None:
+            self.metrics_exporter = MetricsExporter(
+                self.metrics.render_prometheus, host=self.host, port=self.metrics_port
+            )
+            self.metrics_exporter.start()
         return self
 
     async def serve_forever(self) -> None:
@@ -198,6 +253,9 @@ class FleetRouter:
             await asyncio.gather(*self._connection_tasks, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
+            self.metrics_exporter = None
         self._stopped.set()
 
     def start_in_thread(self, timeout: float = 30.0) -> "FleetRouter":
@@ -355,7 +413,7 @@ class FleetRouter:
             if frame_type in (protocol.QUERY, protocol.SCRIPT):
                 if self._stopping:
                     raise ServerError("fleet router is shutting down")
-                self._queries_total += 1
+                self._queries_total.inc()
                 try:
                     sql = payload.decode("utf-8")
                 except UnicodeDecodeError as exc:
@@ -402,6 +460,18 @@ class FleetRouter:
             else:
                 result = await self._route_whole_select(state, statement, sql)
             return protocol.encode_result(result)
+        if isinstance(statement, ExplainAnalyze):
+            # EXPLAIN ANALYZE routes whole-query like its inner SELECT (a
+            # read; the shard executes and returns the annotated trace);
+            # scattered plans have no single executing node to explain.
+            if statement.query.table in self.partitions:
+                raise PartialUnsupportedError(
+                    f"EXPLAIN ANALYZE cannot target sliced relation "
+                    f"{statement.query.table!r}; the scattered query has no "
+                    "single shard-side plan to report"
+                )
+            result = await self._route_whole_select(state, statement.query, sql)
+            return protocol.encode_result(result)
         if isinstance(statement, Insert) and statement.table in self.partitions:
             result = await self._scatter_insert(state, statement, sql)
             return protocol.encode_result(result)
@@ -430,12 +500,20 @@ class FleetRouter:
             # identically, so spread the load.
             state.round_robin += 1
             shard = up[state.round_robin % len(up)]
-        self._routed_queries += 1
-        return await self._shard_call(state, shard, Connection.execute, sql)
+        self._routed_queries.inc()
+        result = await self._shard_call(state, shard, Connection.execute, sql)
+        if result.trace is not None:
+            # Annotate in place: _route_statement re-encodes the result, so
+            # the fleet section rides the header out to the client.
+            result.trace["fleet"] = {"mode": "routed", "shard": shard}
+        return result
 
     async def _scatter_select(self, state: _ClientState, sql: str) -> QueryResult:
         self._require_all_up()
-        self._scatter_queries += 1
+        self._scatter_queries.inc()
+        # The gather's trace id is minted up-front so a failing scatter can
+        # stamp it into the error it surfaces.
+        gather_id = new_trace_id()
         outcomes = await asyncio.gather(
             *(
                 self._shard_call(
@@ -445,7 +523,15 @@ class FleetRouter:
             ),
             return_exceptions=True,
         )
-        self._raise_scatter_failures(range(len(self.shards)), outcomes, mixed_is_fatal=False)
+        try:
+            self._raise_scatter_failures(
+                range(len(self.shards)), outcomes, mixed_is_fatal=False
+            )
+        except ShardUnavailableError as exc:
+            exc.trace_id = gather_id
+            if exc.args:
+                exc.args = (f"{exc.args[0]} [trace {gather_id}]",)
+            raise
         pairs = outcomes
         recipe = pairs[0][1].get("partial")
         if recipe is None:
@@ -454,6 +540,22 @@ class FleetRouter:
         relation = gather_partials(partials, recipe)
         first = pairs[0][0]
         partial_rows = sum(partial.num_rows for partial in partials)
+        # Stitch shard traces (shards sample independently) under one
+        # scatter/gather parent so a traced fleet query reads as a tree.
+        children = [
+            header["trace"] for _, header in pairs if header.get("trace") is not None
+        ]
+        trace = None
+        if children:
+            trace = {
+                "trace_id": gather_id,
+                "total_ms": None,
+                "spans": [],
+                "meta": {
+                    "fleet": {"mode": "scatter", "shards": len(self.shards)}
+                },
+                "children": children,
+            }
         return QueryResult(
             relation,
             visibility=first.visibility,
@@ -463,6 +565,7 @@ class FleetRouter:
                 f"fleet: scattered across {len(self.shards)} shard(s), merged "
                 f"{partial_rows} partial row(s)",
             ),
+            trace=trace,
         )
 
     async def _scatter_insert(
@@ -488,7 +591,7 @@ class FleetRouter:
                     "which is down",
                     shard=shard,
                 )
-        self._sliced_inserts += 1
+        self._sliced_inserts.inc()
         outcomes = await asyncio.gather(
             *(
                 self._shard_call(
@@ -541,7 +644,7 @@ class FleetRouter:
         up = self._up_shards()
         if not up:
             raise ShardUnavailableError("no fleet shard is up")
-        self._fanout_statements += 1
+        self._fanout_statements.inc()
         outcomes = await asyncio.gather(
             *(
                 self._shard_call(state, shard, method, sql, retry=False)
@@ -610,6 +713,8 @@ class FleetRouter:
                 )
 
     def _mark_down(self, shard: int) -> None:
+        if shard not in self._down:
+            self._shards_down_total.inc()
         self._down.add(shard)
 
     async def _in_executor(self, fn, *args):
@@ -671,7 +776,7 @@ class FleetRouter:
             except OSError:  # pragma: no cover - socket already dead
                 pass
             if retry:
-                self._retries += 1
+                self._retries.inc()
                 return await self._shard_call(state, shard, method, *args, retry=False)
             self._mark_down(shard)
             raise ShardUnavailableError(
@@ -694,7 +799,11 @@ class FleetRouter:
                 )
             except MosaicError as exc:
                 shard_stats[str(shard)] = {"error": str(exc)}
-        return {"router": self.router_stats(), "shards": shard_stats}
+        return {
+            "router": self.router_stats(),
+            "shards": shard_stats,
+            "metrics": self.metrics.snapshot(),
+        }
 
     def router_stats(self) -> dict:
         return {
@@ -702,13 +811,14 @@ class FleetRouter:
             "up": self._up_shards(),
             "down": sorted(self._down),
             "clients": len(self._clients),
-            "queries_total": self._queries_total,
-            "errors_total": self._errors_total,
-            "routed_queries": self._routed_queries,
-            "scatter_queries": self._scatter_queries,
-            "sliced_inserts": self._sliced_inserts,
-            "fanout_statements": self._fanout_statements,
-            "retries": self._retries,
+            "queries_total": int(self._queries_total.value()),
+            "errors_total": int(self._errors_total.value()),
+            "routed_queries": int(self._routed_queries.value()),
+            "scatter_queries": int(self._scatter_queries.value()),
+            "sliced_inserts": int(self._sliced_inserts.value()),
+            "fanout_statements": int(self._fanout_statements.value()),
+            "retries": int(self._retries.value()),
+            "shard_failures": int(self._shard_failures_total.value()),
             "partitions": {
                 table: spec.describe() for table, spec in sorted(self.partitions.items())
             },
@@ -730,5 +840,7 @@ class FleetRouter:
             pass
 
     async def _send_error(self, writer, request_id: int, exc: BaseException) -> None:
-        self._errors_total += 1
+        self._errors_total.inc()
+        if isinstance(exc, ShardUnavailableError):
+            self._shard_failures_total.inc()
         await self._write(writer, protocol.ERROR, request_id, protocol.encode_error(exc))

@@ -1,0 +1,48 @@
+"""Zero-dependency tracing + metrics for every layer of the stack.
+
+Three pieces (ARCHITECTURE.md §9):
+
+- :mod:`repro.observability.trace` — per-query spans.  A
+  :class:`QueryTrace` is activated around a query (a ``contextvars``
+  context, so the engine, kernels, and worker dispatch can annotate it
+  without threading a handle through every signature), serialized into
+  the append-only ``trace`` response-header field, and stitched across
+  processes by the fleet router.  ``MOSAIC_TRACE_SAMPLE`` keeps the
+  CLOSED hot path fast: untraced queries pay one env read and one
+  counter bump.
+- :mod:`repro.observability.metrics` — a typed registry of counters,
+  gauges, and fixed-bucket histograms.  Writes are lock-free (per-thread
+  shards merged on read); reads snapshot under one registry lock, so a
+  scrape never observes a half-registered family.
+- :mod:`repro.observability.exporter` — a stdlib HTTP endpoint serving
+  the registry in Prometheus text exposition format
+  (``--metrics-port`` on ``repro.server`` and ``repro.fleet``).
+"""
+
+from repro.observability.exporter import MetricsExporter
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.trace import (
+    QueryTrace,
+    current_trace,
+    maybe_trace,
+    new_trace_id,
+    trace_sample_rate,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsExporter",
+    "MetricsRegistry",
+    "QueryTrace",
+    "current_trace",
+    "maybe_trace",
+    "new_trace_id",
+    "trace_sample_rate",
+]

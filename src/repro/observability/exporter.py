@@ -1,0 +1,77 @@
+"""Stdlib HTTP endpoint serving metrics in Prometheus text format.
+
+A :class:`MetricsExporter` wraps a ``render`` callable (typically one or
+more :meth:`MetricsRegistry.render_prometheus` outputs concatenated) in
+a threaded ``http.server`` listening on its own port — deliberately
+independent of the asyncio query loop, so a scrape can never be starved
+by (or starve) query traffic, and the same exporter serves
+``repro.server`` and ``repro.fleet`` unchanged (``--metrics-port``).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["MetricsExporter"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsExporter:
+    """Serve ``GET /metrics`` (and ``/``) from a render callable."""
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._render = render
+        self.host = host
+        self.port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "MetricsExporter":
+        render = self._render
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                try:
+                    body = render().encode("utf-8")
+                except Exception as exc:  # render must never kill the scrape
+                    self.send_error(500, f"metrics render failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", _CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # keep stderr quiet
+                pass
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="mosaic-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

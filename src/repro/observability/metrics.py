@@ -1,0 +1,290 @@
+"""Typed metrics: counters, gauges, fixed-bucket histograms, a registry.
+
+Write path: lock-free.  Each :class:`Counter`/:class:`Histogram` keeps
+per-thread shards (a dict keyed by thread id — a thread only ever
+mutates its own entry, and CPython dict operations are atomic under the
+GIL), merged on read.  A hot-loop increment is therefore a dict store,
+never a lock acquisition, and two threads incrementing the same counter
+can never lose an update — the race the old ``self._x += 1`` pattern
+under the engine's *read* lock allowed.
+
+Read path: consistent.  :meth:`MetricsRegistry.snapshot` and
+:meth:`MetricsRegistry.render_prometheus` iterate the metric families
+under the registry lock, so a scrape never sees a half-registered
+family; individual values are single merged reads.
+
+Exposition: :meth:`MetricsRegistry.render_prometheus` emits Prometheus
+text format 0.0.4 (``# HELP`` / ``# TYPE`` / samples, histograms as
+cumulative ``_bucket{le=...}`` plus ``_sum``/``_count``) — scrapeable by
+any Prometheus-compatible collector with zero dependencies here.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default latency buckets (milliseconds): sub-ms kernel work through
+#: multi-second OPEN generation.
+DEFAULT_BUCKETS_MS = (
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+)
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class Counter:
+    """Monotonic counter with lock-free per-thread sharded writes."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labels", "_shards")
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._shards: dict[int, float] = {}
+
+    def inc(self, amount: float = 1) -> None:
+        shards = self._shards
+        ident = threading.get_ident()
+        shards[ident] = shards.get(ident, 0) + amount
+
+    def value(self) -> float:
+        return sum(self._shards.values())
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        yield self.name, self.labels, self.value()
+
+
+class Gauge:
+    """Point-in-time value: either set explicitly or backed by a callable
+    evaluated at read time (cache sizes, live connections, ...)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        fn: Callable[[], float] | None = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        yield self.name, self.labels, self.value()
+
+
+class Histogram:
+    """Fixed-bucket histogram with lock-free per-thread sharded writes.
+
+    Each thread owns a ``[bucket counts..., sum, count]`` list; observes
+    mutate only that thread's list, reads merge all of them.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "labels", "buckets", "_shards")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.buckets = tuple(sorted(buckets))
+        self._shards: dict[int, list[float]] = {}
+
+    def observe(self, value: float) -> None:
+        shards = self._shards
+        ident = threading.get_ident()
+        shard = shards.get(ident)
+        if shard is None:
+            shard = [0.0] * (len(self.buckets) + 3)  # buckets + inf + sum + count
+            shards[ident] = shard
+        shard[bisect_left(self.buckets, value)] += 1
+        shard[-2] += value
+        shard[-1] += 1
+
+    def value(self) -> dict:
+        """Merged view: cumulative bucket counts, sum, count."""
+        merged = [0.0] * (len(self.buckets) + 3)
+        for shard in list(self._shards.values()):
+            for index, count in enumerate(shard):
+                merged[index] += count
+        cumulative: list[tuple[float, float]] = []
+        running = 0.0
+        for index, upper in enumerate(self.buckets):
+            running += merged[index]
+            cumulative.append((upper, running))
+        running += merged[len(self.buckets)]
+        cumulative.append((float("inf"), running))
+        return {"buckets": cumulative, "sum": merged[-2], "count": merged[-1]}
+
+    def samples(self) -> Iterable[tuple[str, dict, float]]:
+        merged = self.value()
+        for upper, cumulative in merged["buckets"]:
+            le = "+Inf" if upper == float("inf") else _format_value(upper)
+            yield f"{self.name}_bucket", {**self.labels, "le": le}, cumulative
+        yield f"{self.name}_sum", self.labels, merged["sum"]
+        yield f"{self.name}_count", self.labels, merged["count"]
+
+
+class MetricsRegistry:
+    """A named, labeled set of metrics with consistent reads.
+
+    Registration is idempotent: asking for an existing ``(name, labels)``
+    pair returns the live metric (a name registered as one kind cannot be
+    re-registered as another).  ``snapshot()`` and ``render_prometheus()``
+    take the registry lock so the family set is stable for the whole
+    read — the "consistent registry view" the scattered per-subsystem
+    dicts could not give.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+
+    def _register(self, factory, name: str, labels: dict[str, str] | None, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, factory):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = factory(name, labels=labels, **kwargs)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Counter:
+        return self._register(Counter, name, labels, help=help)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        fn: Callable[[], float] | None = None,
+    ) -> Gauge:
+        gauge = self._register(Gauge, name, labels, help=help)
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS,
+    ) -> Histogram:
+        return self._register(Histogram, name, labels, help=help, buckets=buckets)
+
+    def snapshot(self) -> dict:
+        """One consistent, JSON-safe read of every registered metric.
+
+        Keys are ``name`` or ``name{label="v",...}``; counter/gauge
+        values are numbers, histograms nested dicts.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        payload: dict = {}
+        for metric in metrics:
+            key = metric.name + _label_text(metric.labels)
+            if isinstance(metric, Histogram):
+                merged = metric.value()
+                payload[key] = {
+                    "count": merged["count"],
+                    "sum": merged["sum"],
+                    "buckets": [
+                        ["+Inf" if upper == float("inf") else upper, cumulative]
+                        for upper, cumulative in merged["buckets"]
+                    ],
+                }
+            else:
+                payload[key] = metric.value()
+        return payload
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4 for every metric."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in metrics:
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, labels, value in metric.samples():
+                lines.append(f"{sample_name}{_label_text(labels)} {_format_value(value)}")
+        return "\n".join(lines) + "\n"

@@ -59,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fleet shard identity (set by python -m repro.fleet)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus /metrics on this port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log queries at or above this execution time to stderr",
+    )
     return parser
 
 
@@ -82,9 +94,16 @@ async def run(args: argparse.Namespace) -> int:
         query_timeout=args.query_timeout,
         shutdown_engine=True,
         shard_id=args.shard_id,
+        slow_query_ms=args.slow_query_ms,
+        metrics_port=args.metrics_port,
     )
     await server.start()
     print(f"mosaic server listening on {server.host}:{server.port}", file=sys.stderr)
+    if server.metrics_exporter is not None:
+        print(
+            f"mosaic metrics on http://{server.host}:{server.metrics_exporter.port}/metrics",
+            file=sys.stderr,
+        )
 
     loop = asyncio.get_running_loop()
     for signal_number in (signal.SIGINT, signal.SIGTERM):

@@ -257,14 +257,38 @@ def encode_result(result: QueryResult, extra_header: dict | None = None) -> byte
     }
     # Append-only header extensions (older decoders ignore unknown keys):
     # OPEN answers report how many repetitions the adaptive stream used,
-    # and QUERYX partial responses attach their merge recipe via
-    # ``extra_header``.
+    # traced queries carry their serialized QueryTrace, and QUERYX partial
+    # responses attach their merge recipe via ``extra_header``.
     if result.repetitions_used is not None:
         header["repetitions_used"] = result.repetitions_used
+    if result.trace is not None:
+        header["trace"] = result.trace
     if extra_header:
         header.update(extra_header)
     header = json_payload(header)
     return b"".join([_U32.pack(len(header)), header, *blocks])
+
+
+def replace_header(payload: bytes, updates: dict) -> bytes:
+    """Splice ``updates`` into a result payload's JSON header.
+
+    Re-encodes only the length-prefixed header block, leaving the column
+    blocks byte-identical — the server uses this to stamp post-encoding
+    phase timings (``encode_ms``) into the ``trace`` header field without
+    re-serializing the relation.
+    """
+    if len(payload) < _U32.size:
+        raise ProtocolError("truncated result payload")
+    (length,) = _U32.unpack_from(payload, 0)
+    body_start = _U32.size + length
+    if body_start > len(payload):
+        raise ProtocolError("truncated result payload")
+    header = parse_json_payload(payload[_U32.size : body_start])
+    header.update(updates)
+    header_bytes = json_payload(header)
+    return b"".join(
+        [_U32.pack(len(header_bytes)), header_bytes, payload[body_start:]]
+    )
 
 
 class _Cursor:
@@ -341,6 +365,7 @@ def decode_result_with_header(payload: bytes) -> tuple[QueryResult, dict]:
         repetitions_used=(
             None if repetitions_used is None else int(repetitions_used)
         ),
+        trace=header.get("trace"),
     )
     return result, header
 

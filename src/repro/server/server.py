@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import Any
 
 import os
@@ -38,6 +40,8 @@ from repro import __version__
 from repro.core.engine import Engine
 from repro.core.session import Session, SessionConfig
 from repro.core.visibility import Visibility
+from repro.observability import MetricsExporter, MetricsRegistry
+from repro.observability.trace import maybe_trace
 from repro.errors import (
     MosaicError,
     ProtocolError,
@@ -106,6 +110,8 @@ class MosaicServer:
         handshake_timeout: float = 10.0,
         shutdown_engine: bool = False,
         shard_id: int | None = None,
+        slow_query_ms: float | None = None,
+        metrics_port: int | None = None,
     ):
         self.engine: Engine = getattr(engine, "engine", engine)
         self.host = host
@@ -122,6 +128,37 @@ class MosaicServer:
         self.max_frame_bytes = max_frame_bytes
         self.handshake_timeout = handshake_timeout
         self.shutdown_engine = shutdown_engine
+        #: Execution times at or above this (ms) are logged to stderr with
+        #: the query's trace id; ``None`` disables the slow-query log.
+        self.slow_query_ms = slow_query_ms
+        #: When set, :meth:`start` serves Prometheus text exposition on
+        #: this port (``0`` picks a free one — read ``metrics_exporter.port``).
+        self.metrics_port = metrics_port
+        self.metrics_exporter: MetricsExporter | None = None
+
+        # Server-level counters live in their own registry (per-server, not
+        # per-engine: two servers sharing an engine keep separate request
+        # counts) and are merged with the engine's registry in stats() and
+        # the Prometheus endpoint.
+        self.metrics = MetricsRegistry()
+        self._queries_total = self.metrics.counter(
+            "mosaic_server_queries_total", help="Query/script frames dispatched"
+        )
+        self._errors_total = self.metrics.counter(
+            "mosaic_server_errors_total", help="Error frames sent to clients"
+        )
+        self._slow_queries = self.metrics.counter(
+            "mosaic_server_slow_queries_total",
+            help="Queries at or above the slow_query_ms threshold",
+        )
+        self._query_ms = self.metrics.histogram(
+            "mosaic_server_query_ms", help="Per-query execution time (ms)"
+        )
+        self.metrics.gauge(
+            "mosaic_server_connections",
+            help="Currently open client connections",
+            fn=lambda: len(self._connections),
+        )
 
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -130,8 +167,6 @@ class MosaicServer:
         self._query_tasks: set[asyncio.Task] = set()
         self._stopping = False
         self._stopped = asyncio.Event()
-        self._queries_total = 0
-        self._errors_total = 0
         # Set by start_in_thread for cross-thread stop scheduling.
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -150,6 +185,11 @@ class MosaicServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None and self.metrics_exporter is None:
+            self.metrics_exporter = MetricsExporter(
+                self.render_metrics, host=self.host, port=self.metrics_port
+            )
+            self.metrics_exporter.start()
         return self
 
     async def serve_forever(self) -> None:
@@ -185,6 +225,9 @@ class MosaicServer:
             # connection lock), but stop() honours drain_timeout instead
             # of blocking until it finishes.
             self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
+            self.metrics_exporter = None
         if self.shutdown_engine:
             # Engine.shutdown drains under the engine write lock, so with
             # shutdown_engine=True a still-running zombie statement is
@@ -454,7 +497,7 @@ class MosaicServer:
         record = _Pending()
         connection.inflight[request_id] = record
         connection.pending += 1
-        self._queries_total += 1
+        self._queries_total.inc()
         task = asyncio.get_running_loop().create_task(
             self._run_query(connection, request_id, payload, record, frame_type)
         )
@@ -479,12 +522,13 @@ class MosaicServer:
         frame_type: int,
     ) -> None:
         script = frame_type == protocol.SCRIPT
+        enqueued = perf_counter()
         try:
             session = connection.session
             assert session is not None
             if frame_type == protocol.QUERYX:
                 envelope, sql = protocol.decode_queryx(payload)
-                encode = self._extended_call(session, envelope, sql)
+                encode = self._extended_call(session, envelope, sql, enqueued)
             else:
                 try:
                     sql = payload.decode("utf-8")
@@ -495,7 +539,7 @@ class MosaicServer:
                         session.execute_script(sql)
                     )
                 else:
-                    encode = lambda: protocol.encode_result(session.execute(sql))  # noqa: E731
+                    encode = self._query_call(session, sql, enqueued)
             body = await self._execute_blocking(connection, record, encode)
             if record.cancelled:
                 raise QueryCancelledError(
@@ -522,14 +566,102 @@ class MosaicServer:
             connection.inflight.pop(request_id, None)
             connection.pending -= 1
 
-    def _extended_call(self, session: Session, envelope: dict, sql: str):
+    def _query_call(self, session: Session, sql: str, enqueued: float):
+        """The executor-thread callable for one QUERY frame.
+
+        Runs on the executor: measures the queue-wait (dispatch to thread
+        start), execution, and encoding phases, stamps them into the
+        result's ``trace`` header when the query was traced, feeds the
+        latency histogram, and writes the slow-query log line.
+        """
+
+        def encode_query() -> bytes:
+            started = perf_counter()
+            result = session.execute(sql)
+            executed = perf_counter()
+            body = self._finish_encode(
+                result,
+                lambda: protocol.encode_result(result),
+                enqueued,
+                started,
+                executed,
+            )
+            self._observe_query(sql, result, (executed - started) * 1e3)
+            return body
+
+        return encode_query
+
+    def _finish_encode(
+        self, result, encode, enqueued: float, started: float, executed: float
+    ) -> bytes:
+        """Encode ``result``, stamping server phase timings into its trace.
+
+        The ``server`` section is written into ``result.trace`` *before*
+        encoding (so it rides the header out), then ``encode_ms`` — only
+        measurable after encoding — is spliced in via
+        :func:`protocol.replace_header`, which rewrites the header block
+        and leaves the column blocks byte-identical.
+        """
+        if result.trace is None:
+            return encode()
+        server_phase = {
+            "queue_wait_ms": round((started - enqueued) * 1e3, 4),
+            "execute_ms": round((executed - started) * 1e3, 4),
+        }
+        if self.shard_id is not None:
+            server_phase["shard_id"] = self.shard_id
+        result.trace["server"] = server_phase
+        body = encode()
+        server_phase["encode_ms"] = round((perf_counter() - executed) * 1e3, 4)
+        return protocol.replace_header(body, {"trace": result.trace})
+
+    def _observe_query(self, sql: str, result, execute_ms: float) -> None:
+        self._query_ms.observe(execute_ms)
+        if self.slow_query_ms is not None and execute_ms >= self.slow_query_ms:
+            self._slow_queries.inc()
+            trace_id = (result.trace or {}).get("trace_id", "-")
+            shard = "" if self.shard_id is None else f" shard={self.shard_id}"
+            text = sql if len(sql) <= 200 else sql[:197] + "..."
+            print(
+                f"mosaic slow query{shard}: {execute_ms:.1f}ms "
+                f"trace={trace_id} sql={text!r}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def _extended_call(
+        self, session: Session, envelope: dict, sql: str, enqueued: float
+    ):
         """The executor-thread callable for one QUERYX frame."""
         mode = envelope.get("mode")
         if mode == "partial":
 
             def encode_partial() -> bytes:
-                result, recipe = self.engine.execute_partial(sql, session)
-                return protocol.encode_result(result, extra_header={"partial": recipe})
+                # Partial (scatter) calls trace under the same sampler so a
+                # traced fleet query can stitch shard traces; the trace is
+                # created here — not inherited — because run_in_executor
+                # does not copy the event loop's context.
+                started = perf_counter()
+                trace = maybe_trace()
+                if trace is None:
+                    result, recipe = self.engine.execute_partial(sql, session)
+                else:
+                    with trace.activate():
+                        result, recipe = self.engine.execute_partial(sql, session)
+                    trace.finish()
+                    result.trace = trace.to_dict()
+                executed = perf_counter()
+                body = self._finish_encode(
+                    result,
+                    lambda: protocol.encode_result(
+                        result, extra_header={"partial": recipe}
+                    ),
+                    enqueued,
+                    started,
+                    executed,
+                )
+                self._observe_query(sql, result, (executed - started) * 1e3)
+                return body
 
             return encode_partial
         if mode == "insert":
@@ -640,7 +772,7 @@ class MosaicServer:
     async def _send_error(
         self, connection: _Connection, request_id: int, exc: BaseException
     ) -> None:
-        self._errors_total += 1
+        self._errors_total.inc()
         await self._send(
             connection, protocol.ERROR, request_id, protocol.encode_error(exc)
         )
@@ -654,7 +786,12 @@ class MosaicServer:
     # ------------------------------------------------------------------ #
 
     def stats(self) -> dict:
-        """Server counters plus the engine's cache statistics."""
+        """Server counters plus the engine's cache statistics.
+
+        ``metrics`` is the flat registry snapshot (engine + server
+        families merged) — the same numbers the Prometheus endpoint
+        renders, exposed to wire clients via :meth:`Client.metrics`.
+        """
         return {
             "server": {
                 "connections": len(self._connections),
@@ -662,14 +799,25 @@ class MosaicServer:
                 "active_queries": sum(
                     1 for task in self._query_tasks if not task.done()
                 ),
-                "queries_total": self._queries_total,
-                "errors_total": self._errors_total,
+                "queries_total": int(self._queries_total.value()),
+                "errors_total": int(self._errors_total.value()),
+                "slow_queries_total": int(self._slow_queries.value()),
                 "executor_workers": self.executor_workers,
                 "query_timeout": self.query_timeout,
                 "shard_id": self.shard_id,
             },
             "engine": self.engine.cache_stats(),
+            "metrics": {
+                **self.engine.metrics.snapshot(),
+                **self.metrics.snapshot(),
+            },
         }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition for this server: the engine's
+        registry (caches, pool, OPEN adaptive) plus the server's own
+        (requests, errors, latency histogram)."""
+        return self.engine.metrics.render_prometheus() + self.metrics.render_prometheus()
 
 
 async def serve(engine: Engine | Any, host: str = "127.0.0.1", port: int = 7744, **kwargs) -> MosaicServer:

@@ -181,6 +181,18 @@ class Drop:
     name: str
 
 
+@dataclass(frozen=True)
+class ExplainAnalyze:
+    """``EXPLAIN ANALYZE <select>``: execute the query and return its
+    trace — per-stage/per-node timings and cache provenance."""
+
+    query: SelectQuery
+    #: The inner SELECT's source text when known (it keys the plan cache
+    #: exactly as running the bare SELECT would); ``None`` for
+    #: programmatic statements.
+    sql: str | None = None
+
+
 Statement = (
     SelectQuery
     | CreateTable
@@ -190,4 +202,5 @@ Statement = (
     | CreateMetadata
     | UpdateWeights
     | Drop
+    | ExplainAnalyze
 )

@@ -25,6 +25,7 @@ from repro.sql.ast_nodes import (
     CreateSample,
     CreateTable,
     Drop,
+    ExplainAnalyze,
     Identifier,
     Insert,
     MechanismSpec,
@@ -43,7 +44,7 @@ _DROP_KINDS = frozenset(["TABLE", "POPULATION", "SAMPLE", "METADATA"])
 
 def parse_statement(text: str) -> Statement:
     """Parse a single SQL statement."""
-    parser = _Parser(tokenize(text))
+    parser = _Parser(tokenize(text), text=text)
     statement = parser.parse_statement()
     parser.accept(TokenType.SEMICOLON)
     parser.expect(TokenType.EOF)
@@ -52,7 +53,7 @@ def parse_statement(text: str) -> Statement:
 
 def parse_script(text: str) -> list[Statement]:
     """Parse a ``;``-separated script into a list of statements."""
-    parser = _Parser(tokenize(text))
+    parser = _Parser(tokenize(text), text=text)
     statements: list[Statement] = []
     while not parser.at(TokenType.EOF):
         statements.append(parser.parse_statement())
@@ -63,8 +64,9 @@ def parse_script(text: str) -> list[Statement]:
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], text: str = ""):
         self._tokens = tokens
+        self._text = text
         self._pos = 0
 
     # ------------------------------------------------------------------ #
@@ -139,6 +141,8 @@ class _Parser:
     def parse_statement(self) -> Statement:
         if self.at_keyword("SELECT"):
             return self.parse_select()
+        if self.at_keyword("EXPLAIN"):
+            return self._parse_explain()
         if self.at_keyword("CREATE"):
             return self._parse_create()
         if self.at_keyword("INSERT"):
@@ -153,6 +157,35 @@ class _Parser:
             token.line,
             token.column,
         )
+
+    def _parse_explain(self) -> ExplainAnalyze:
+        """``EXPLAIN ANALYZE <select>`` (plain EXPLAIN is not supported:
+        this engine always executes, so the annotated plan is the cheap
+        byproduct, not a separate estimation mode)."""
+        self.expect_keyword("EXPLAIN")
+        self.expect_keyword("ANALYZE")
+        start = self._offset_of(self.current)
+        query = self.parse_select()
+        stop = self._offset_of(self.current)
+        sql = None
+        if self._text and start is not None and stop is not None:
+            sql = self._text[start:stop].strip()
+        return ExplainAnalyze(query=query, sql=sql or None)
+
+    def _offset_of(self, token: Token) -> int | None:
+        """Character offset of ``token`` in the source text (tokens carry
+        1-based line/column)."""
+        if not self._text:
+            return None
+        offset = 0
+        line = 1
+        while line < token.line:
+            newline = self._text.find("\n", offset)
+            if newline < 0:
+                return None
+            offset = newline + 1
+            line += 1
+        return offset + token.column - 1
 
     def parse_select(self, allow_mechanism: bool = False) -> SelectQuery | tuple:
         """Parse a SELECT.

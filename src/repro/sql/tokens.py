@@ -33,6 +33,7 @@ KEYWORDS = frozenset(
         "COUNT", "SUM", "AVG", "MIN", "MAX",
         "TRUE", "FALSE",
         "DISTINCT",
+        "EXPLAIN", "ANALYZE",
     ]
 )
 

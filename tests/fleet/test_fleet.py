@@ -362,7 +362,13 @@ class TestStats:
 
             rollup = client.shard_rollup()
             assert rollup["shards_reporting"] == 2
-            assert set(rollup) == {"shards_reporting", "execution", "open_adaptive"}
+            assert set(rollup) == {
+                "shards_reporting",
+                "shards_down",
+                "execution",
+                "open_adaptive",
+            }
+            assert rollup["shards_down"] == []
             assert rollup["execution"]["worker_restarts"] == 0
             assert rollup["open_adaptive"]["runs"] >= 0
 

@@ -1,0 +1,160 @@
+"""Fleet-level observability tests (PR 9).
+
+Covers the acceptance criteria that involve the router: a traced
+scattered query stitches the per-shard traces as children under one
+gather trace (all ids distinct), routed whole-table queries annotate the
+serving shard, ``EXPLAIN ANALYZE`` works through a 2-shard fleet (and
+refuses sliced tables with a typed error), ``shard_rollup`` tolerates a
+down shard without skewing the sums, :class:`ShardUnavailableError`
+carries the failing trace id, and the router's Prometheus endpoint
+scrapes.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.client import Connection
+from repro.errors import PartialUnsupportedError, ShardUnavailableError
+from repro.fleet import FleetClient, FleetRouter, PartitionSpec
+from repro.server.server import MosaicServer
+
+from test_fleet import CLOSED_SQL, build_tiny_db
+
+SLICED_SETUP = (
+    "CREATE TEMPORARY TABLE T (name TEXT, n INT)",
+    "INSERT INTO T VALUES ('a', 1), ('b', 2), ('a', 3), ('c', 9), "
+    "('b', 5), ('a', 7), ('c', 1)",
+)
+SCATTER_SQL = "SELECT name, SUM(n) AS total FROM T GROUP BY name"
+
+
+class ObservedFleet:
+    """Two MosaicServer shards + a FleetRouter with metrics enabled."""
+
+    def __init__(self, shard_count: int = 2):
+        self.dbs = [build_tiny_db() for _ in range(shard_count)]
+        self.servers = [
+            MosaicServer(
+                db.engine, port=0, session_config=db.session.config, shard_id=index
+            ).start_in_thread()
+            for index, db in enumerate(self.dbs)
+        ]
+        self.router = FleetRouter(
+            [("127.0.0.1", server.port) for server in self.servers],
+            port=0,
+            partitions={"T": PartitionSpec("T")},
+            metrics_port=0,
+        ).start_in_thread()
+        self.port = self.router.port
+
+    def close(self):
+        self.router.stop_in_thread()
+        for server in self.servers:
+            server.stop_in_thread()
+
+
+@pytest.fixture()
+def observed_fleet(monkeypatch):
+    monkeypatch.setenv("MOSAIC_TRACE_SAMPLE", "1")
+    fleet = ObservedFleet(2)
+    try:
+        yield fleet
+    finally:
+        fleet.close()
+
+
+class TestFleetTracing:
+    def test_scatter_trace_stitches_one_child_per_shard(self, observed_fleet):
+        with Connection("127.0.0.1", observed_fleet.port) as conn:
+            for sql in SLICED_SETUP:
+                conn.execute(sql)
+            result = conn.execute(SCATTER_SQL)
+        trace = result.trace
+        assert trace is not None
+        assert trace["meta"]["fleet"] == {"mode": "scatter", "shards": 2}
+        children = trace["children"]
+        assert len(children) == 2
+        # Gather id plus both shard ids: three distinct traces in the tree.
+        ids = {trace["trace_id"]} | {child["trace_id"] for child in children}
+        assert len(ids) == 3
+        # Each child is a shard-side trace (partial execution records the
+        # plan span) with the shard server's phase timings stamped in.
+        for child in children:
+            assert "plan" in {span["name"] for span in child["spans"]}
+            assert "execute_ms" in child["server"]
+            assert child["server"]["shard_id"] in (0, 1)
+
+    def test_routed_query_annotates_serving_shard(self, observed_fleet):
+        with Connection("127.0.0.1", observed_fleet.port) as conn:
+            result = conn.execute(CLOSED_SQL)
+        fleet_meta = result.trace["fleet"]
+        assert fleet_meta["mode"] == "routed"
+        assert fleet_meta["shard"] in (0, 1)
+
+
+class TestFleetExplainAnalyze:
+    def test_explain_analyze_routes_whole_query(self, observed_fleet):
+        with Connection("127.0.0.1", observed_fleet.port) as conn:
+            result = conn.execute(f"EXPLAIN ANALYZE {CLOSED_SQL}")
+        assert list(result.columns) == ["step", "detail", "ms"]
+        assert "trace" in list(result.column("step"))
+        assert result.trace is not None
+        assert result.trace["fleet"]["mode"] == "routed"
+
+    def test_explain_analyze_on_sliced_table_is_typed_error(self, observed_fleet):
+        with Connection("127.0.0.1", observed_fleet.port) as conn:
+            for sql in SLICED_SETUP:
+                conn.execute(sql)
+            with pytest.raises(PartialUnsupportedError):
+                conn.execute(f"EXPLAIN ANALYZE {SCATTER_SQL}")
+
+
+class TestFleetFailureObservability:
+    def test_shard_rollup_tolerates_down_shard(self, observed_fleet):
+        with FleetClient("127.0.0.1", observed_fleet.port, pool_size=1) as client:
+            client.execute(CLOSED_SQL)
+            healthy = client.shard_rollup()
+            assert healthy["shards_reporting"] == 2
+            assert healthy["shards_down"] == []
+            observed_fleet.servers[1].stop_in_thread()
+            rollup = client.shard_rollup()
+        assert rollup["shards_reporting"] == 1
+        assert rollup["shards_down"] == ["1"]
+        # Sums come from the surviving shard only — never skewed by junk.
+        assert all(
+            isinstance(value, int) for value in rollup["execution"].values()
+        )
+        assert rollup["open_adaptive"]["runs"] >= 0
+
+    def test_shard_unavailable_error_carries_trace_id(self, observed_fleet):
+        with Connection("127.0.0.1", observed_fleet.port) as conn:
+            for sql in SLICED_SETUP:
+                conn.execute(sql)
+            observed_fleet.servers[1].stop_in_thread()
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                conn.execute(SCATTER_SQL)
+        exc = excinfo.value
+        assert "[trace " in str(exc)
+        assert len(exc.trace_id) == 16
+
+
+class TestFleetMetricsEndpoint:
+    def test_router_prometheus_scrapes(self, observed_fleet):
+        exporter = observed_fleet.router.metrics_exporter
+        assert exporter is not None
+        with Connection("127.0.0.1", observed_fleet.port) as conn:
+            conn.execute(CLOSED_SQL)
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{exporter.port}/metrics"
+        ) as response:
+            text = response.read().decode("utf-8")
+        assert "# TYPE mosaic_fleet_queries_total counter" in text
+        assert "mosaic_fleet_up_shards 2" in text
+
+    def test_stats_ships_router_metrics_snapshot(self, observed_fleet):
+        with FleetClient("127.0.0.1", observed_fleet.port, pool_size=1) as client:
+            client.execute(CLOSED_SQL)
+            stats = client.stats()
+        assert stats["metrics"]["mosaic_fleet_queries_total"] >= 1
+        assert stats["router"]["queries_total"] >= 1

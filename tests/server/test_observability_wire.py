@@ -1,0 +1,184 @@
+"""Wire-level observability tests for the network service layer.
+
+Covers the PR 9 acceptance criteria at the TCP boundary: the STATS
+frame's header contract stays append-only (new keys only), a sampled
+trace rides the response header with the server's queue-wait / execute /
+encode phases stamped in, the Prometheus ``/metrics`` endpoint scrapes
+through a running :class:`MosaicServer`, ``Client.metrics()`` returns
+the merged registry snapshot, the slow-query log fires, and ``EXPLAIN
+ANALYZE`` works over a real socket for every visibility.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.client import Client, Connection
+from repro.server.server import MosaicServer
+
+from test_server import CLOSED_SQL, OPEN_SQL, SEMI_SQL, build_tiny_db
+
+
+@pytest.fixture()
+def traced_server(monkeypatch):
+    """Server tracing every query, slow-query threshold 0, metrics on."""
+    monkeypatch.setenv("MOSAIC_TRACE_SAMPLE", "1")
+    db = build_tiny_db()
+    server = MosaicServer(
+        db.engine,
+        port=0,
+        session_config=db.session.config,
+        slow_query_ms=0.0,
+        metrics_port=0,
+    ).start_in_thread()
+    try:
+        yield server, db
+    finally:
+        server.stop_in_thread()
+
+
+def scrape(port: int) -> str:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics") as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        return response.read().decode("utf-8")
+
+
+class TestStatsSchema:
+    #: The seed's STATS server section.  The header contract is
+    #: append-only: this set may only ever grow, so asserting superset
+    #: (never equality) keeps old clients working against new servers.
+    SEED_SERVER_KEYS = {
+        "connections",
+        "max_connections",
+        "active_queries",
+        "queries_total",
+        "errors_total",
+        "executor_workers",
+        "query_timeout",
+        "shard_id",
+    }
+
+    def test_stats_frame_is_append_only_superset(self, traced_server):
+        server, _ = traced_server
+        with Client("127.0.0.1", server.port, pool_size=1) as client:
+            client.execute(CLOSED_SQL)
+            stats = client.stats()
+        assert set(stats["server"]) >= self.SEED_SERVER_KEYS
+        # PR 9 additions ride alongside, never replacing.
+        assert stats["server"]["slow_queries_total"] >= 1  # threshold is 0
+        assert "plans" in stats["engine"]
+        assert "open_adaptive" in stats["engine"]
+        assert isinstance(stats["metrics"], dict)
+
+    def test_client_metrics_returns_registry_snapshot(self, traced_server):
+        server, _ = traced_server
+        with Client("127.0.0.1", server.port, pool_size=1) as client:
+            client.execute(CLOSED_SQL)
+            metrics = client.metrics()
+        assert metrics["mosaic_server_queries_total"] >= 1
+        histogram = metrics["mosaic_server_query_ms"]
+        assert histogram["count"] >= 1
+        # Engine families merge into the same snapshot.
+        assert any(key.startswith("mosaic_cache_size") for key in metrics)
+
+
+class TestTraceOverWire:
+    def test_closed_trace_round_trips_with_server_phases(self, traced_server):
+        server, _ = traced_server
+        with Connection("127.0.0.1", server.port) as conn:
+            result = conn.execute(CLOSED_SQL)
+        trace = result.trace
+        assert trace is not None
+        assert len(trace["trace_id"]) == 16
+        names = {span["name"] for span in trace["spans"]}
+        assert {"parse", "plan", "execute"} <= names
+        phases = trace["server"]
+        assert set(phases) >= {"queue_wait_ms", "execute_ms", "encode_ms"}
+        assert all(
+            phases[key] >= 0.0
+            for key in ("queue_wait_ms", "execute_ms", "encode_ms")
+        )
+
+    def test_trace_ids_unique_across_queries(self, traced_server):
+        server, _ = traced_server
+        with Connection("127.0.0.1", server.port) as conn:
+            ids = [conn.execute(CLOSED_SQL).trace["trace_id"] for _ in range(3)]
+        assert len(set(ids)) == 3
+
+    def test_sampling_off_ships_no_trace(self, traced_server, monkeypatch):
+        server, _ = traced_server
+        monkeypatch.setenv("MOSAIC_TRACE_SAMPLE", "0")
+        with Connection("127.0.0.1", server.port) as conn:
+            assert conn.execute(CLOSED_SQL).trace is None
+
+    def test_open_trace_records_repetitions_and_stop_reason(self, traced_server):
+        server, _ = traced_server
+        with Connection("127.0.0.1", server.port) as conn:
+            result = conn.execute(OPEN_SQL)
+        meta = result.trace["meta"]
+        assert meta["open"]["repetitions_used"] == result.repetitions_used == 3
+        assert meta["open"]["stop_reason"] == "fixed repetitions"
+        assert meta["generator"]["name"]
+
+    def test_slow_query_log_line(self, traced_server, capfd):
+        server, _ = traced_server
+        with Connection("127.0.0.1", server.port) as conn:
+            trace_id = conn.execute(CLOSED_SQL).trace["trace_id"]
+        err = capfd.readouterr().err
+        assert "mosaic slow query" in err
+        assert f"trace={trace_id}" in err
+
+
+class TestExplainAnalyzeOverWire:
+    @pytest.mark.parametrize("sql", [CLOSED_SQL, SEMI_SQL, OPEN_SQL])
+    def test_all_visibilities(self, traced_server, sql):
+        server, _ = traced_server
+        with Connection("127.0.0.1", server.port) as conn:
+            result = conn.execute(f"EXPLAIN ANALYZE {sql}")
+        assert list(result.columns) == ["step", "detail", "ms"]
+        steps = list(result.column("step"))
+        assert "trace" in steps
+        if sql is OPEN_SQL:
+            # OPEN evaluates over generated worlds: no dense plan nodes,
+            # but the adaptive/generator metadata rows take their place.
+            assert "meta: open" in steps
+        else:
+            assert any(step.startswith("node:") for step in steps)
+        assert result.trace is not None
+        assert any(note.startswith("EXPLAIN ANALYZE:") for note in result.notes)
+        # Server phase timings stamp onto the EXPLAIN trace too.
+        assert "encode_ms" in result.trace["server"]
+
+    def test_bypasses_sampling(self, traced_server, monkeypatch):
+        server, _ = traced_server
+        monkeypatch.setenv("MOSAIC_TRACE_SAMPLE", "0")
+        with Connection("127.0.0.1", server.port) as conn:
+            result = conn.execute(f"EXPLAIN ANALYZE {CLOSED_SQL}")
+        assert result.trace is not None
+        assert result.num_rows > 0
+
+
+class TestPrometheusEndpoint:
+    def test_endpoint_scrapes_and_parses(self, traced_server):
+        server, _ = traced_server
+        assert server.metrics_exporter is not None
+        with Connection("127.0.0.1", server.port) as conn:
+            conn.execute(CLOSED_SQL)
+        text = scrape(server.metrics_exporter.port)
+        assert "# TYPE mosaic_server_queries_total counter" in text
+        assert "# TYPE mosaic_server_query_ms histogram" in text
+        assert 'mosaic_server_query_ms_bucket{le="+Inf"}' in text
+        # Engine families render from the same endpoint.
+        assert "mosaic_cache_hits" in text
+        # Every non-comment line is `name{labels} value`.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name
+            float(value)  # parseable sample value
+
+    def test_matches_render_metrics(self, traced_server):
+        server, _ = traced_server
+        scraped = scrape(server.metrics_exporter.port)
+        assert set(scraped.splitlines()) == set(server.render_metrics().splitlines())
