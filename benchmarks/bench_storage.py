@@ -1,0 +1,209 @@
+"""Bench: durable storage — warm restarts vs cold builds, mmap scan tax.
+
+Measures the three promises ARCHITECTURE.md §10 makes:
+
+- **Warm reopen beats cold rebuild >= 10x.**  Cold = DDL + ingest +
+  marginal registration + the first SEMI-OPEN and OPEN queries (which
+  fit the rake plan and the generator model).  Warm = reopening the same
+  ``data_dir`` (mmap + header parse + model restore) and answering the
+  same two queries as cache *hits* — the generator fit, by far the
+  dominant cold cost, never reruns.
+- **Reopen cost is O(columns), not O(rows).**  Restoring a checkpoint
+  maps pages instead of copying them, so a 4x larger table must not
+  reopen 4x slower.
+- **Scanning through the mapping is free-ish.**  CLOSED p50 over the
+  mmap-backed restored sample must stay within 10% (plus a 0.05 ms
+  timer-jitter floor) of the same scan over ordinary in-memory arrays.
+
+Bit-identity between the cold engine and the reopened one is asserted
+in-bench.  ``test_emit_bench_json`` writes ``BENCH_storage.json``;
+``check_bench_regression.py`` gates ``warm_reopen_ms`` and
+``mmap_closed_p50_ms`` against the committed baseline.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import MosaicDB
+from repro.workloads.flights import (
+    FlightsConfig,
+    bucket_flights,
+    flights_marginals,
+    make_biased_flights_sample,
+    make_flights_population,
+)
+
+ROWS = 40_000
+SCALING_ROWS = (10_000, 40_000)
+SCAN_REPS = 50
+REOPEN_REPS = 5
+
+CLOSED_SQL = (
+    "SELECT CLOSED carrier, COUNT(*) AS n, SUM(distance) AS s, "
+    "AVG(elapsed_time) AS a FROM FlightsSample "
+    "WHERE distance > 2 GROUP BY carrier ORDER BY carrier"
+)
+SEMI_OPEN_SQL = (
+    "SELECT SEMI-OPEN carrier, COUNT(*) AS n FROM Flights "
+    "GROUP BY carrier ORDER BY carrier"
+)
+OPEN_SQL = "SELECT OPEN COUNT(*) AS n FROM Flights WHERE distance > 500"
+
+
+def _workload(rows: int):
+    """Pre-built inputs so data generation never pollutes engine timings."""
+    config = FlightsConfig(rows=rows)
+    rng = np.random.default_rng(17)
+    population = make_flights_population(config, rng)
+    sample, _, _ = make_biased_flights_sample(population, config, rng)
+    return bucket_flights(sample, config), flights_marginals(population, config)
+
+
+def _build_cold(
+    data_dir: str, sample, marginals, fit_generator: bool = True
+) -> tuple[MosaicDB, float]:
+    """Cold path: DDL + ingest + marginals + the model-fitting queries."""
+    start = time.perf_counter()
+    db = MosaicDB(seed=9, data_dir=data_dir)
+    db.execute(
+        "CREATE GLOBAL POPULATION Flights (carrier TEXT, taxi_out INT, "
+        "taxi_in INT, elapsed_time INT, distance INT)"
+    )
+    db.execute("CREATE SAMPLE FlightsSample AS (SELECT * FROM Flights)")
+    db.ingest_relation("FlightsSample", sample)
+    for marginal in marginals:
+        db.register_marginal(marginal.name, "Flights", marginal)
+    db.execute(SEMI_OPEN_SQL)  # fits the rake plan
+    if fit_generator:
+        db.execute(OPEN_SQL)  # fits the generator model (the dominant cost)
+    return db, (time.perf_counter() - start) * 1000.0
+
+
+def _reopen_warm(data_dir: str) -> tuple[MosaicDB, float]:
+    """Warm path: mmap restore + the same two queries as model-cache hits."""
+    start = time.perf_counter()
+    db = MosaicDB(seed=9, data_dir=data_dir)
+    semi = db.execute(SEMI_OPEN_SQL)
+    opened = db.execute(OPEN_SQL)
+    elapsed = (time.perf_counter() - start) * 1000.0
+    for result in (semi, opened):
+        assert any("cache hit" in note for note in result.notes), result.notes
+    return db, elapsed
+
+
+def _rows_of(db: MosaicDB, sql: str):
+    rel = db.execute(sql).relation
+    return {name: rel.column(name) for name in rel.column_names}
+
+
+def _assert_identical(a, b, context: str) -> None:
+    assert list(a) == list(b), context
+    for name in a:
+        np.testing.assert_array_equal(a[name], b[name], err_msg=context)
+
+
+def _p50(db: MosaicDB) -> float:
+    db.execute(CLOSED_SQL)  # warm the plan cache
+    times = []
+    for _ in range(SCAN_REPS):
+        start = time.perf_counter()
+        db.execute(CLOSED_SQL)
+        times.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(times)
+
+
+def test_emit_bench_json(tmp_path):
+    sample, marginals = _workload(ROWS)
+
+    # --- cold build, then clean close (final checkpoint, empty WAL) ---
+    data_dir = tmp_path / "main"
+    db, cold_ms = _build_cold(str(data_dir), sample, marginals)
+    cold_closed = _rows_of(db, CLOSED_SQL)
+    cold_semi = _rows_of(db, SEMI_OPEN_SQL)
+    db.close()
+
+    # --- warm reopens: best-of-N to shave scheduler noise ---
+    reopen_times = []
+    restored_models = 0
+    for _ in range(REOPEN_REPS):
+        db, warm_ms = _reopen_warm(str(data_dir))
+        reopen_times.append(warm_ms)
+        restored_models = db.cache_stats()["storage"]["restored_models"]
+        db.close()
+    warm_reopen_ms = min(reopen_times)
+
+    # --- bit-identity: the reopened engine answers exactly the same.
+    # (Each engine's first OPEN execution consumes the first session RNG
+    # draw, so cold-vs-warm first OPEN results are exactly comparable;
+    # _reopen_warm already ran OPEN once, matching the cold build.)
+    db, _ = _reopen_warm(str(data_dir))
+    _assert_identical(cold_closed, _rows_of(db, CLOSED_SQL), CLOSED_SQL)
+    _assert_identical(cold_semi, _rows_of(db, SEMI_OPEN_SQL), SEMI_OPEN_SQL)
+    mmap_p50 = _p50(db)
+    db.close()
+
+    # --- the same scan over plain in-memory arrays (no data_dir) ---
+    inmem = MosaicDB(seed=9)
+    inmem.execute(
+        "CREATE GLOBAL POPULATION Flights (carrier TEXT, taxi_out INT, "
+        "taxi_in INT, elapsed_time INT, distance INT)"
+    )
+    inmem.execute("CREATE SAMPLE FlightsSample AS (SELECT * FROM Flights)")
+    inmem.ingest_relation("FlightsSample", sample)
+    inmem_p50 = _p50(inmem)
+    inmem.close()
+
+    # --- reopen scaling: 4x the rows must not mean 4x the reopen ---
+    reopen_by_rows = {}
+    for rows in SCALING_ROWS:
+        scale_sample, scale_marginals = _workload(rows)
+        scale_dir = tmp_path / f"scale-{rows}"
+        # No generator fit here: scaling isolates the reopen itself.
+        db, _ = _build_cold(
+            str(scale_dir), scale_sample, scale_marginals, fit_generator=False
+        )
+        db.close()
+        times = []
+        for _ in range(REOPEN_REPS):
+            start = time.perf_counter()
+            db = MosaicDB(seed=9, data_dir=str(scale_dir))
+            times.append((time.perf_counter() - start) * 1000.0)
+            db.close()
+        reopen_by_rows[str(rows)] = round(min(times), 3)
+
+    row_factor = SCALING_ROWS[-1] / SCALING_ROWS[0]
+    scaling_ratio = (
+        reopen_by_rows[str(SCALING_ROWS[-1])]
+        / reopen_by_rows[str(SCALING_ROWS[0])]
+    )
+
+    payload = {
+        "workload": (
+            f"flights rows={ROWS}: cold DDL+ingest+marginals+rake fit+"
+            "generator fit vs warm mmap reopen with persisted models"
+        ),
+        "rows": ROWS,
+        "cold_ingest_fit_ms": round(cold_ms, 3),
+        "warm_reopen_ms": round(warm_reopen_ms, 3),
+        "warm_speedup": round(cold_ms / warm_reopen_ms, 1),
+        "restored_models": restored_models,
+        "reopen_ms_by_rows": reopen_by_rows,
+        "reopen_scaling_row_factor": row_factor,
+        "reopen_scaling_time_ratio": round(scaling_ratio, 3),
+        "inmem_closed_p50_ms": round(inmem_p50, 4),
+        "mmap_closed_p50_ms": round(mmap_p50, 4),
+        "mmap_overhead_pct": round((mmap_p50 - inmem_p50) / inmem_p50 * 100, 1),
+        "scan_reps": SCAN_REPS,
+        "bit_identical": True,  # asserted above, CLOSED and SEMI-OPEN
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Acceptance: the §10 budgets hold on every run.
+    assert cold_ms >= 10.0 * warm_reopen_ms, payload
+    assert scaling_ratio <= row_factor / 2.0, payload
+    assert mmap_p50 <= 1.10 * inmem_p50 + 0.05, payload

@@ -68,6 +68,15 @@ TRACKED_METRICS: dict[str, tuple[str, ...]] = {
         "fleet.1.replicated.p50_ms",
         "fleet.2.scatter.p50_ms",
     ),
+    # Not gated: cold_ingest_fit_ms (dominated by the generator fit,
+    # already tracked via BENCH_open.json) and the reopen-scaling ratio
+    # (bench_storage.py asserts its absolute sub-linearity budget on
+    # every run).  The >= 10x warm speedup and the 10% mmap-scan tax are
+    # likewise asserted in-bench; the gate tracks their trajectories.
+    "BENCH_storage.json": (
+        "warm_reopen_ms",
+        "mmap_closed_p50_ms",
+    ),
 }
 
 #: Throughput metrics (higher is better), keyed by payload basename.

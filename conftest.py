@@ -23,12 +23,16 @@ from __future__ import annotations
 import faulthandler
 import gc
 import os
+import shutil
+import sys
+import tempfile
 
 import pytest
 
 _TIMEOUT_ENV = "MOSAIC_TEST_TIMEOUT"
 _SHM_DIR = "/dev/shm"
 _SHM_PREFIX = "mosaic-shm-"
+_DATA_DIR_PREFIX = "mosaic-data-"
 
 
 def _mosaic_segments() -> set[str]:
@@ -52,6 +56,41 @@ def _no_leaked_shm_segments():
         f"leaked shared-memory segments in {_SHM_DIR}: {sorted(leaked)}; "
         "some Engine/ParallelExecution was not shut down"
     )
+
+
+def _mosaic_data_dirs() -> set[str]:
+    root = tempfile.gettempdir()
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return set()
+    return {
+        os.path.join(root, name)
+        for name in names
+        if name.startswith(_DATA_DIR_PREFIX)
+    }
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _no_leaked_data_dirs():
+    """Sweep ``mosaic-data-*`` temp directories the durable-storage tests
+    create (including those orphaned by deliberate SIGKILL crash tests).
+
+    Unlike the shm check this cleans up rather than failing: crash-safety
+    tests kill processes mid-checkpoint on purpose, so an orphaned data
+    directory is expected debris, not a bug — but it must not accumulate
+    across runs.
+    """
+    before = _mosaic_data_dirs()
+    yield
+    leaked = _mosaic_data_dirs() - before
+    for path in sorted(leaked):
+        shutil.rmtree(path, ignore_errors=True)
+    if leaked:
+        print(
+            f"\nconftest: swept {len(leaked)} leftover mosaic data dir(s)",
+            file=sys.stderr,
+        )
 
 
 def _watchdog_seconds() -> float:

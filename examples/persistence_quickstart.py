@@ -1,0 +1,109 @@
+"""Quickstart: durable storage — checkpoints, WAL replay, warm restarts.
+
+Run with::
+
+    python examples/persistence_quickstart.py
+
+Tours the PR 10 storage surface: give ``MosaicDB`` a ``data_dir`` and
+the catalog, sample weights, marginals, and *fitted models* survive
+process death.  The demo builds a small people database, runs queries
+at all three visibilities (fitting a rake plan and a generator model),
+checkpoints, mutates an unrelated table (WAL only), "crashes" without
+a final checkpoint, reopens the directory, and shows the restart is
+warm: O(1) mmap reopen, WAL replay, model-cache hits on the first
+SEMI-OPEN/OPEN query, and bit-identical answers.
+"""
+
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro import MosaicDB
+
+SETUP = """
+CREATE GLOBAL POPULATION People (country TEXT, age INT);
+CREATE TABLE counts (country TEXT, n INT);
+INSERT INTO counts VALUES ('UK', 120), ('FR', 200), ('DE', 150);
+CREATE METADATA People_M1 AS (SELECT country, n FROM counts);
+CREATE SAMPLE S AS (SELECT * FROM People)
+"""
+
+QUERIES = (
+    "SELECT CLOSED country, COUNT(*) FROM S GROUP BY country",
+    "SELECT SEMI-OPEN country, COUNT(*) FROM People GROUP BY country",
+    "SELECT OPEN COUNT(*) FROM People WHERE age >= 40",
+)
+
+
+def run_queries(db: MosaicDB) -> list:
+    out = []
+    for sql in QUERIES:
+        result = db.execute(sql)
+        rel = result.relation
+        out.append({name: rel.column(name) for name in rel.column_names})
+        hits = [note for note in result.notes if "cache hit" in note]
+        print(f"  {sql}")
+        if hits:
+            print(f"    -> {hits[0]}")
+    return out
+
+
+def main() -> None:
+    data_dir = tempfile.mkdtemp(prefix="mosaic-quickstart-")
+    rng = np.random.default_rng(42)
+
+    # 1. Cold boot: build the catalog, fit models by querying, then
+    #    checkpoint — pages + manifest + the fitted models.
+    db = MosaicDB(seed=7, data_dir=data_dir)
+    db.execute_script(SETUP)
+    rows = [
+        (country, int(rng.integers(18, 80)))
+        for country in ("UK",) * 40 + ("FR",) * 30 + ("DE",) * 30
+    ]
+    db.ingest_rows("S", rows)
+
+    print("cold engine (models fitted here):")
+    before = run_queries(db)
+    db.commit()  # checkpoint persists the models fitted above
+
+    # A mutation after the checkpoint lives only in the WAL.  It touches
+    # a fresh table, so the persisted models stay current across replay.
+    db.execute("CREATE TABLE audit (event TEXT)")
+    db.execute("INSERT INTO audit VALUES ('post-checkpoint')")
+
+    # ...and we crash without a final checkpoint (db.close() would
+    # checkpoint cleanly; real crashes don't get the chance).
+    db.engine._durable.close()
+    db.close()
+
+    # 2. Warm boot: mmap the checkpoint pages (O(columns), not O(rows)),
+    #    replay the WAL tail, restore still-current fitted models.
+    db2 = MosaicDB(seed=7, data_dir=data_dir)
+    storage = db2.cache_stats()["storage"]
+    print(
+        f"\nwarm restart: {storage['restored_tables']} table(s), "
+        f"{storage['restored_samples']} sample(s), "
+        f"{storage['restored_models']} model(s), "
+        f"{storage['wal_replayed']} WAL record(s) replayed "
+        f"in {storage['restore_ms']:.1f}ms"
+    )
+    assert storage["restored_models"] >= 1
+    assert storage["wal_replayed"] >= 1
+    db2.catalog.auxiliary("audit")  # the WAL-only table came back
+    print("replayed post-checkpoint mutation verified")
+
+    print("\nwarm engine (note the cache hits):")
+    after = run_queries(db2)
+
+    for sql, a, b in zip(QUERIES, before, after):
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name], err_msg=sql)
+    print("\nall three visibilities bit-identical across the restart")
+
+    db2.close()
+    shutil.rmtree(data_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -109,3 +109,13 @@ class VersionedLRUCache(LRUCache):
 
     def put(self, key: Hashable, stamp: Hashable, value: Any = None) -> None:  # type: ignore[override]
         super().put(key, (stamp, value))
+
+    def snapshot(self) -> list[tuple[Hashable, Hashable, Any]]:
+        """Every live ``(key, stamp, value)`` entry, LRU order (oldest first).
+
+        The durable-storage layer uses this to persist fitted artifacts at
+        checkpoint time; values are published-as-built and immutable, so
+        handing them out does not race concurrent lookups.
+        """
+        with self._mutex:
+            return [(key, stamp, value) for key, (stamp, value) in self._entries.items()]

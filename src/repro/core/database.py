@@ -60,6 +60,7 @@ class MosaicDB:
         open_config: OpenQueryConfig | None = None,
         combine_samples: bool = False,
         execution: ExecutionConfig | None = None,
+        data_dir: str | None = None,
     ):
         config = SessionConfig(
             seed=seed,
@@ -75,6 +76,7 @@ class MosaicDB:
             reweight_cache_size=config.reweight_cache_size,
             generator_cache_size=config.generator_cache_size,
             execution=execution,
+            data_dir=data_dir,
         )
         self.session = self.engine.root_session(config)
 
@@ -172,6 +174,18 @@ class MosaicDB:
     def execute_statement(self, statement, sql_text: str | None = None) -> QueryResult:
         """Run an already-parsed (programmatic) statement AST."""
         return self.session.execute_statement(statement, sql_text=sql_text)
+
+    def checkpoint(self) -> dict:
+        """Durably persist catalog + fitted models (needs ``data_dir``)."""
+        return self.engine.checkpoint()
+
+    def commit(self) -> dict:
+        """Alias of :meth:`checkpoint` (worldbase-style commit idiom)."""
+        return self.engine.commit()
+
+    def rollback(self) -> dict:
+        """Discard every mutation since the last checkpoint (needs ``data_dir``)."""
+        return self.engine.rollback()
 
     def clear_caches(self) -> None:
         """Empty all pipeline caches (plans, statements, reweights, models)."""

@@ -85,6 +85,7 @@ from repro.sql.ast_nodes import (
 )
 from repro.sql.binder import bind_expression, require_column
 from repro.sql.parser import parse_script, parse_statement
+from repro.storage.store import DurableStore
 
 if TYPE_CHECKING:  # circular at runtime: session imports engine for typing only
     from repro.core.session import Session, SessionConfig
@@ -101,6 +102,8 @@ class Engine:
         reweight_cache_size: int = 64,
         generator_cache_size: int = 32,
         execution: ExecutionConfig | None = None,
+        data_dir: str | os.PathLike | None = None,
+        wal_sync: bool = False,
     ):
         self.catalog = Catalog()
         self._lock = ReadWriteLock()
@@ -171,6 +174,21 @@ class Engine:
         # path, so answers are bit-identical across worker counts.
         self._execution = ParallelExecution(execution, registry=self.metrics)
         self._closed = False
+        # Durable storage (ARCHITECTURE.md §10): with a data_dir the engine
+        # restores the catalog + fitted models from the last checkpoint and
+        # replays the WAL tail before serving its first statement.
+        # TEMPORARY tables are transient by contract: their names live here
+        # and are excluded from both the WAL and checkpoints.
+        self._transient_tables: set[str] = set()
+        self._durable: DurableStore | None = None
+        if data_dir is not None:
+            self._durable = DurableStore(data_dir, wal_sync=wal_sync)
+            self._durable.open(self)
+            self.metrics.gauge(
+                "mosaic_wal_bytes",
+                "Bytes of write-ahead log not yet absorbed by a checkpoint",
+                fn=self._durable.wal_size,
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -207,6 +225,14 @@ class Engine:
         # a segment, so stopping the workers and unlinking every shared
         # segment here is race-free (and idempotent).
         self._execution.shutdown()
+        # Final durable flush: one last checkpoint persists every model
+        # fitted this run and leaves an empty WAL, so the next boot is a
+        # pure O(1) mmap restore with nothing to replay.
+        if self._durable is not None and not self._durable.closed:
+            try:
+                self._durable.checkpoint(self)
+            finally:
+                self._durable.close()
 
     def _open_repetition_pool(self) -> ThreadPoolExecutor:
         """The shared executor OPEN repetitions fan out across (lazy)."""
@@ -465,7 +491,11 @@ class Engine:
                 return self._run_explain_analyze(statement, session)
         with self._lock.write_locked():
             self._check_open()
-            return self._run_write_statement(statement)
+            result = self._run_write_statement(statement)
+            # Applied first, logged second: a failed statement must never
+            # reach the WAL (replay would re-raise on every boot).
+            self._log_statement(statement)
+            return result
 
     def _run_write_statement(self, statement: Statement) -> QueryResult:
         if isinstance(statement, CreateTable):
@@ -646,6 +676,100 @@ class Engine:
         # replace_data validates before swapping and bumps sample.version,
         # which invalidates exactly this sample's cached reweights/generators.
         sample.replace_data(new_relation, new_weights)
+
+    # ------------------------------------------------------------------ #
+    # Durability (ARCHITECTURE.md §10; all helpers run under the write
+    # lock, except _apply_wal_record which runs during the exclusive boot)
+    # ------------------------------------------------------------------ #
+
+    def _log_statement(self, statement: Statement) -> None:
+        """WAL one just-applied write statement.
+
+        TEMPORARY tables are transient by contract: their DDL and DML are
+        never logged (nor checkpointed), so a restart simply forgets them.
+        """
+        if isinstance(statement, CreateTable):
+            if statement.temporary:
+                self._transient_tables.add(statement.name)
+                return
+            self._transient_tables.discard(statement.name)
+        elif isinstance(statement, Insert):
+            if statement.table in self._transient_tables:
+                return
+        elif isinstance(statement, Drop) and statement.kind.upper() == "TABLE":
+            if statement.name in self._transient_tables:
+                self._transient_tables.discard(statement.name)
+                return
+        self._log_write({"op": "statement", "statement": statement})
+
+    def _log_write(self, record: dict) -> None:
+        """Append one replayable record; auto-checkpoint on a large log."""
+        if self._durable is None:
+            return
+        self._durable.log_record(record)
+        if self._durable.wal_size() > self._durable.wal_limit_bytes:
+            self._durable.checkpoint(self)
+
+    def _apply_wal_record(self, record: dict) -> None:
+        """Replay one WAL record at boot.
+
+        Mirrors the four logging sites: SQL write statements re-run through
+        :meth:`_run_write_statement` (which never logs — logging lives in
+        the statement entry point), programmatic ingests and drawn samples
+        replay their materialised relations, marginals re-register.
+        """
+        op = record["op"]
+        if op == "statement":
+            self._run_write_statement(record["statement"])
+        elif op == "ingest":
+            self._ingest_relation_locked(record["name"], record["relation"])
+        elif op == "sample":
+            self.catalog.create_sample(
+                SampleRelation(
+                    name=record["name"],
+                    relation=record["relation"],
+                    population=record["population"],
+                    mechanism=record["mechanism"],
+                    initial_weights=record["weights"],
+                )
+            )
+        elif op == "marginal":
+            self.catalog.register_metadata(
+                record["metadata"], record["population"], record["marginal"]
+            )
+        else:
+            raise CatalogError(f"unknown WAL record op {op!r}")
+
+    def checkpoint(self) -> dict:
+        """Durably persist the catalog and fitted models, truncate the WAL.
+
+        Returns a small summary (checkpoint name, table/model counts).
+        Queries block only for the write-out itself; afterwards the next
+        boot restores this state via mmap in O(1) and replays nothing.
+        """
+        if self._durable is None:
+            raise CatalogError("engine has no data_dir; durable storage is disabled")
+        with self._lock.write_locked():
+            self._check_open()
+            return self._durable.checkpoint(self)
+
+    def commit(self) -> dict:
+        """Alias of :meth:`checkpoint` — the worldbase-style named-resource
+        idiom: mutate the catalog, then ``commit()`` to make it durable."""
+        return self.checkpoint()
+
+    def rollback(self) -> dict:
+        """Discard every mutation since the last :meth:`checkpoint`.
+
+        The WAL tail is dropped and the catalog (plus model caches) is
+        rebuilt from the live checkpoint — an empty catalog when no
+        checkpoint exists yet.
+        """
+        if self._durable is None:
+            raise CatalogError("engine has no data_dir; durable storage is disabled")
+        with self._lock.write_locked():
+            self._check_open()
+            return self._durable.rollback(self)
 
     def _run_update_weights(self, statement: UpdateWeights) -> QueryResult:
         sample = self.catalog.sample(statement.sample)
@@ -1125,7 +1249,7 @@ class Engine:
         the schema landscape changed between them (fine-grained
         invalidation itself runs on per-object versions).
         """
-        return {
+        stats = {
             "statements": self._statement_cache.stats(),
             "plans": self._plan_cache.stats(),
             "reweights": self._reweight_cache.stats(),
@@ -1142,6 +1266,11 @@ class Engine:
             },
             "catalog": {"catalog_version": self.catalog.version},
         }
+        if self._durable is not None:
+            # Durable-store counters (restored tables/models, WAL records,
+            # checkpoints) — what the restart smoke asserts "warm" from.
+            stats["storage"] = self._durable.stats_snapshot()
+        return stats
 
     # ------------------------------------------------------------------ #
     # Programmatic API (used by sessions, experiments and examples)
@@ -1151,25 +1280,31 @@ class Engine:
         """Append tuples to a sample or auxiliary table by name."""
         with self._lock.write_locked():
             self._check_open()
-            kind = self.catalog.kind_of(name)
-            if kind == "auxiliary":
-                existing = self.catalog.auxiliary(name)
-                merged = (
-                    relation if existing.num_rows == 0 else existing.concat(relation)
+            self._ingest_relation_locked(name, relation)
+            if name not in self._transient_tables:
+                self._log_write({"op": "ingest", "name": name, "relation": relation})
+
+    def _ingest_relation_locked(self, name: str, relation: Relation) -> None:
+        """The ingest body, shared by :meth:`ingest_relation` and WAL replay."""
+        kind = self.catalog.kind_of(name)
+        if kind == "auxiliary":
+            existing = self.catalog.auxiliary(name)
+            merged = (
+                relation if existing.num_rows == 0 else existing.concat(relation)
+            )
+            self.catalog.replace_auxiliary(name, merged)
+            return
+        if kind == "sample":
+            sample = self.catalog.sample(name)
+            if sample.num_rows == 0:
+                projected = relation.project(list(sample.relation.column_names))
+                sample.replace_data(projected, np.ones(projected.num_rows))
+            else:
+                self._append_to_sample(
+                    sample, relation.project(list(sample.relation.column_names))
                 )
-                self.catalog.replace_auxiliary(name, merged)
-                return
-            if kind == "sample":
-                sample = self.catalog.sample(name)
-                if sample.num_rows == 0:
-                    projected = relation.project(list(sample.relation.column_names))
-                    sample.replace_data(projected, np.ones(projected.num_rows))
-                else:
-                    self._append_to_sample(
-                        sample, relation.project(list(sample.relation.column_names))
-                    )
-                return
-            raise CatalogError(f"cannot ingest into {kind} relation {name!r}")
+            return
+        raise CatalogError(f"cannot ingest into {kind} relation {name!r}")
 
     def ingest_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
         with self._lock.read_locked():
@@ -1209,6 +1344,18 @@ class Engine:
                 mechanism=mechanism,
             )
             self.catalog.create_sample(sample)
+            # The draw itself consumed RNG state, so replay logs the
+            # materialised tuples + weights rather than re-drawing.
+            self._log_write(
+                {
+                    "op": "sample",
+                    "name": sample.name,
+                    "population": sample.population,
+                    "relation": sample.relation,
+                    "weights": sample._weights,
+                    "mechanism": mechanism,
+                }
+            )
             return sample
 
     def register_marginal(
@@ -1218,6 +1365,14 @@ class Engine:
         with self._lock.write_locked():
             self._check_open()
             self.catalog.register_metadata(metadata_name, population_name, marginal)
+            self._log_write(
+                {
+                    "op": "marginal",
+                    "metadata": metadata_name,
+                    "population": population_name,
+                    "marginal": marginal,
+                }
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Engine({self.catalog!r})"

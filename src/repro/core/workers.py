@@ -876,5 +876,9 @@ class ParallelExecution:
             "segments_shared": store["shares"],
             "segment_reuses": store["reuses"],
             "segment_evictions": store["evictions"],
+            # Durable page files served to workers without any shm copy
+            # (the zero-copy path for mmap-backed relations; see
+            # repro.storage.pages and shm.MappedSegmentHandle).
+            "segment_mmap_leases": store["mmap_leases"],
             "live_segments": store["live_segments"],
         }

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 
@@ -60,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the router's Prometheus /metrics on this port "
         "(0 picks a free one)",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=os.environ.get("MOSAIC_DATA_DIR") or None,
+        help="durable storage root: shard k persists under "
+        "<data-dir>/shard-<k> (default: MOSAIC_DATA_DIR, or in-memory only)",
+    )
     return parser
 
 
@@ -72,7 +79,11 @@ async def run(args: argparse.Namespace) -> int:
         table, spec = parse_partition_option(spec_text)
         partitions[table] = spec
     shards = launch_shards(
-        args.shards, seed=args.seed, workers=args.workers, init_sql=args.init_sql
+        args.shards,
+        seed=args.seed,
+        workers=args.workers,
+        init_sql=args.init_sql,
+        data_dir=args.data_dir,
     )
     try:
         router = FleetRouter(

@@ -75,9 +75,14 @@ def launch_shard(
     seed: int = 0,
     workers: int | None = None,
     init_sql: str | None = None,
+    data_dir: str | None = None,
     startup_timeout: float = 60.0,
 ) -> ShardProcess:
-    """Start one shard subprocess and wait for it to report its port."""
+    """Start one shard subprocess and wait for it to report its port.
+
+    With ``data_dir``, the shard persists under ``<data_dir>/shard-<id>``
+    — each shard owns its slice of the data, so each gets its own store.
+    """
     command = [
         sys.executable,
         "-m",
@@ -95,6 +100,8 @@ def launch_shard(
         command += ["--workers", str(workers)]
     if init_sql is not None:
         command += ["--init-sql", init_sql]
+    if data_dir is not None:
+        command += ["--data-dir", os.path.join(data_dir, f"shard-{shard_id}")]
     process = subprocess.Popen(
         command,
         stderr=subprocess.PIPE,
@@ -136,6 +143,7 @@ def launch_shards(
     seed: int = 0,
     workers: int | None = None,
     init_sql: str | None = None,
+    data_dir: str | None = None,
 ) -> list[ShardProcess]:
     """Boot ``count`` shards, tearing down any survivors if one fails.
 
@@ -148,7 +156,12 @@ def launch_shards(
         for shard_id in range(count):
             shards.append(
                 launch_shard(
-                    shard_id, host=host, seed=seed, workers=workers, init_sql=init_sql
+                    shard_id,
+                    host=host,
+                    seed=seed,
+                    workers=workers,
+                    init_sql=init_sql,
+                    data_dir=data_dir,
                 )
             )
     except BaseException:

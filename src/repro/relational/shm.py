@@ -33,6 +33,7 @@ reaching the tracker instead.
 
 from __future__ import annotations
 
+import mmap
 import threading
 import uuid
 import weakref
@@ -109,12 +110,52 @@ class ExtraSlot(NamedTuple):
 
 
 class RelationDescriptor(NamedTuple):
-    """Everything a worker needs to attach: no row data, plain tuples."""
+    """Everything a worker needs to attach: no row data, plain tuples.
+
+    ``path`` distinguishes the two segment kinds: ``None`` means a
+    ``/dev/shm`` segment named ``segment``; a filesystem path means a
+    durable columnar page file (``repro.storage.pages``) that attachers
+    memory-map read-only — same slot layout, zero copies, no shared-memory
+    segment at all.  File descriptors still carry a unique ``segment``
+    string (``"file:<path>"``) so worker-side caches key them like any
+    other segment.  The field defaults to ``None`` so descriptors pickled
+    by older code unpickle unchanged.
+    """
 
     segment: str
     num_rows: int
     columns: tuple[ColumnSlot, ...]
     extras: tuple[ExtraSlot, ...]
+    path: str | None = None
+
+
+class _FileSegment:
+    """A read-only memory-mapped page file, duck-typed like ``SharedMemory``.
+
+    Exposes ``buf``/``close()`` so :func:`attach_relation` and
+    :class:`AttachedRelation` treat file-backed and shm-backed segments
+    identically.  Unmapping while views still reference the buffer is the
+    same BufferError situation as shm: the mapping then dies with the
+    process (the kernel keeps the inode alive even if the file is
+    unlinked, so deleting an old checkpoint never invalidates live views).
+    """
+
+    __slots__ = ("_mmap", "buf", "name")
+
+    def __init__(self, path: str):
+        with open(path, "rb") as handle:
+            self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        self.buf = memoryview(self._mmap)
+        self.name = f"file:{path}"
+
+    def close(self) -> None:
+        buf, self.buf = self.buf, None
+        if buf is not None:
+            buf.release()
+        try:
+            self._mmap.close()
+        except BufferError:  # a view escaped; unmapped at process exit
+            pass
 
 
 class AttachedRelation:
@@ -302,8 +343,15 @@ def attach_relation(
     for one morsel — not for the whole relation.  Extras are windowed the
     same way.  Codes still index the full shared vocab, so dictionary
     encodings stay consistent with whole-relation domain layouts.
+
+    A descriptor with ``path`` set maps the durable page file instead of a
+    ``/dev/shm`` segment — byte-identical slot layout, so everything below
+    is shared between the two segment kinds.
     """
-    shm = _attach_segment(descriptor.segment)
+    if descriptor.path is not None:
+        shm = _FileSegment(descriptor.path)
+    else:
+        shm = _attach_segment(descriptor.segment)
     start, stop = (0, descriptor.num_rows) if window is None else window
     if not 0 <= start <= stop <= descriptor.num_rows:
         shm.close()
@@ -394,6 +442,34 @@ class SharedRelationHandle:
             pass
 
 
+class MappedSegmentHandle:
+    """A no-op lease over a durable page file already on disk.
+
+    File-backed relations (``repro.storage.pages.MappedRelation``) carry
+    their own :class:`RelationDescriptor`; workers mmap the page file
+    directly, so there is no segment to create, refcount, or unlink —
+    acquire/release exist only to satisfy the
+    :class:`SharedRelationHandle` protocol.  The page file's lifetime is
+    the durable store's concern (checkpoints referenced by live relations
+    are never deleted; see ``repro.storage.store``).
+    """
+
+    __slots__ = ("descriptor",)
+
+    def __init__(self, descriptor: RelationDescriptor):
+        self.descriptor = descriptor
+
+    @property
+    def segment_name(self) -> str:
+        return self.descriptor.segment
+
+    def acquire(self) -> "MappedSegmentHandle":
+        return self
+
+    def release(self) -> None:
+        pass
+
+
 class SharedRelationStore:
     """A refcounting LRU cache of shared segments, keyed by array identity.
 
@@ -413,7 +489,7 @@ class SharedRelationStore:
         self._entries: "OrderedDict[tuple, SharedRelationHandle]" = OrderedDict()
         self._pins: dict[tuple, list] = {}  # weakrefs keeping key ids valid
         self._closed = False
-        self._stats = {"shares": 0, "reuses": 0, "evictions": 0}
+        self._stats = {"shares": 0, "reuses": 0, "evictions": 0, "mmap_leases": 0}
 
     def lease(
         self,
@@ -437,6 +513,20 @@ class SharedRelationStore:
         object's death and are reclaimed by LRU eviction or close_all().
         """
         extras = dict(extras or {})
+        if not extras:
+            # Zero-copy fast path: a durable, file-backed relation already
+            # *is* a segment on disk — workers mmap the page file via its
+            # descriptor, so nothing is copied into /dev/shm at all.
+            # Extras (weights, rep ids) are per-query arrays that live
+            # outside the page, so any extra falls back to a copied shm
+            # segment below.
+            descriptor = getattr(relation, "mmap_descriptor", None)
+            if descriptor is not None:
+                with self._lock:
+                    if self._closed:
+                        raise MosaicError("shared-relation store is closed")
+                    self._stats["mmap_leases"] += 1
+                return MappedSegmentHandle(descriptor)
         if key is not None:
             key = ("stable", key, tuple(sorted(extras)))
         else:

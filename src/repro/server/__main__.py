@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 
@@ -71,14 +72,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="log queries at or above this execution time to stderr",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=os.environ.get("MOSAIC_DATA_DIR") or None,
+        help="durable storage directory: restore on boot, checkpoint on "
+        "SIGTERM (default: MOSAIC_DATA_DIR, or in-memory only)",
+    )
     return parser
 
 
 async def run(args: argparse.Namespace) -> int:
     engine = Engine(
-        seed=args.seed, execution=ExecutionConfig(processes=args.workers)
+        seed=args.seed,
+        execution=ExecutionConfig(processes=args.workers),
+        data_dir=args.data_dir,
     )
-    if args.init_sql:
+    warm = False
+    if args.data_dir:
+        storage = engine.cache_stats()["storage"]
+        warm = bool(storage["checkpoint"]) or storage["wal_replayed"] > 0
+        print(
+            "storage: restored "
+            f"{storage['restored_tables']} table(s), "
+            f"{storage['restored_samples']} sample(s), "
+            f"{storage['restored_models']} model(s), replayed "
+            f"{storage['wal_replayed']} WAL record(s) from {args.data_dir} "
+            f"in {storage['restore_ms']:.1f}ms",
+            file=sys.stderr,
+        )
+    if args.init_sql and warm:
+        # The bootstrap script's DDL already lives in the restored catalog;
+        # re-running it would only raise duplicate-relation errors.
+        print("init: skipped (warm restore from --data-dir)", file=sys.stderr)
+    elif args.init_sql:
         with open(args.init_sql) as handle:
             script = handle.read()
         session = engine.root_session(SessionConfig(seed=args.seed))

@@ -1,0 +1,534 @@
+"""The durable store: checkpoints + WAL + persisted fitted models.
+
+Directory layout (one store per engine)::
+
+    <data_dir>/
+      CURRENT            # name of the live checkpoint ("ck-000003")
+      wal.log            # records newer than the live checkpoint
+      ck-000003/
+        catalog.pkl      # names, versions, predicates, mechanisms, marginals
+        models.pkl       # fitted generators / reweights, name-keyed
+        tables/t0000.page ...   # one mmap-able columnar page per relation
+
+Checkpoint protocol (crash-safe at every step):
+
+1. Write everything into ``ck-<n>.tmp`` (page files are themselves
+   atomic temp+rename), fsync each file and the directory.
+2. ``os.rename`` the temp directory to ``ck-<n>``; fsync ``data_dir``.
+3. Point ``CURRENT`` at ``ck-<n>`` via atomic temp-write+rename; fsync.
+4. Truncate the WAL and delete superseded checkpoint directories.
+
+A crash before (3) leaves ``CURRENT`` on the old checkpoint — the ``.tmp``
+or unreferenced directory is swept on the next boot.  A crash between (3)
+and (4) leaves already-checkpointed records in the log; replay skips them
+by LSN (see :mod:`repro.storage.wal`).  The boot checkpoint's directory is
+never deleted while the process lives, because restored relations keep
+``mmap`` views into its page files.
+
+Model persistence re-keys cache entries across process boundaries:
+in-memory model caches key on process-unique catalog uids, so entries are
+persisted under *names* plus the version stamps they were fitted at, and
+restored — after WAL replay — only if the restored object's versions still
+match (an entry invalidated by replayed DML simply stays cold).  Restored
+entries land back under the fresh uids with freshly computed stamps, so
+the first OPEN/SEMI-OPEN query after a restart is a cache *hit*.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import shutil
+import time
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.population import PopulationRelation
+from repro.catalog.sample import SampleRelation
+from repro.errors import MosaicError
+from repro.relational.relation import Relation
+from repro.storage.pages import MappedRelation, open_page, write_page
+from repro.storage.wal import WriteAheadLog
+
+#: The extra-slot name sample weights ship under inside a page file.
+WEIGHTS_EXTRA = "__weights__"
+
+CURRENT_POINTER = "CURRENT"
+WAL_NAME = "wal.log"
+
+#: Appending past this many WAL bytes triggers an automatic checkpoint
+#: (override via ``MOSAIC_WAL_LIMIT_BYTES`` or ``Engine(wal_limit_bytes=)``).
+DEFAULT_WAL_LIMIT_BYTES = 64 * 1024 * 1024
+
+
+class StorageError(MosaicError):
+    """The durable store is unusable (bad directory, corrupt checkpoint)."""
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _checkpoint_number(name: str) -> int | None:
+    if not name.startswith("ck-"):
+        return None
+    try:
+        return int(name[3:])
+    except ValueError:
+        return None
+
+
+class DurableStore:
+    """One engine's durable state: catalog checkpoints + write-ahead log.
+
+    Thread safety: every mutating method is called by the engine under its
+    *write* lock (or from the single-threaded boot/shutdown paths), which
+    is the same exclusion that freezes the catalog being written out.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike,
+        *,
+        wal_sync: bool = False,
+        wal_limit_bytes: int | None = None,
+    ):
+        self.path = os.path.abspath(os.fspath(data_dir))
+        os.makedirs(self.path, exist_ok=True)
+        if wal_limit_bytes is None:
+            env = os.environ.get("MOSAIC_WAL_LIMIT_BYTES", "").strip()
+            wal_limit_bytes = int(env) if env else DEFAULT_WAL_LIMIT_BYTES
+        self.wal_limit_bytes = max(1, int(wal_limit_bytes))
+        self._wal = WriteAheadLog(os.path.join(self.path, WAL_NAME), sync=wal_sync)
+        self._boot_checkpoint: str | None = None  # never deleted while live
+        self._current: str | None = None
+        self._closed = False
+        self.stats = {
+            "checkpoints_written": 0,
+            "wal_records": 0,
+            "wal_replayed": 0,
+            "restored_tables": 0,
+            "restored_samples": 0,
+            "restored_models": 0,
+            "stale_models_skipped": 0,
+            "unpicklable_skipped": 0,
+            "torn_wal_bytes": 0,
+            "restore_ms": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Boot
+    # ------------------------------------------------------------------ #
+
+    def open(self, engine) -> None:
+        """Restore the engine's catalog and model caches, replay the WAL."""
+        started = time.perf_counter()
+        self._sweep_stale_dirs()
+        self._current = self._read_current()
+        self._boot_checkpoint = self._current
+        checkpoint_lsn = 0
+        models: list[dict] = []
+        if self._current is not None:
+            checkpoint_lsn, models = self._load_checkpoint(engine, self._current)
+        records = self._wal.open()
+        self.stats["torn_wal_bytes"] = self._wal.torn_bytes_dropped
+        self._wal.set_next_lsn(checkpoint_lsn + 1)
+        replayed = 0
+        for lsn, payload in records:
+            if lsn <= checkpoint_lsn:
+                continue  # the checkpoint already contains this record
+            engine._apply_wal_record(pickle.loads(payload))
+            replayed += 1
+        self.stats["wal_replayed"] = replayed
+        # After replay: entries whose sample/population was mutated by a
+        # replayed record no longer match their persisted versions and are
+        # skipped — exactly the staleness the version stamps encode.
+        self._restore_models(engine, models)
+        self.stats["restore_ms"] = (time.perf_counter() - started) * 1000.0
+
+    def _sweep_stale_dirs(self) -> None:
+        """Drop half-written ``.tmp`` checkpoints a crash left behind."""
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".tmp") and name.startswith("ck-"):
+                shutil.rmtree(os.path.join(self.path, name), ignore_errors=True)
+
+    def _read_current(self) -> str | None:
+        try:
+            with open(os.path.join(self.path, CURRENT_POINTER)) as handle:
+                name = handle.read().strip()
+        except FileNotFoundError:
+            return None
+        if not name or _checkpoint_number(name) is None:
+            raise StorageError(f"corrupt CURRENT pointer in {self.path}: {name!r}")
+        if not os.path.isdir(os.path.join(self.path, name)):
+            raise StorageError(
+                f"CURRENT points at missing checkpoint {name!r} in {self.path}"
+            )
+        return name
+
+    # ------------------------------------------------------------------ #
+    # WAL records
+    # ------------------------------------------------------------------ #
+
+    def log_record(self, record: dict) -> int:
+        """Append one replayable mutation record; returns its LSN."""
+        lsn = self._wal.append(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        self.stats["wal_records"] += 1
+        return lsn
+
+    def wal_size(self) -> int:
+        return self._wal.size()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, engine) -> dict:
+        """Write the engine's full durable state as a new checkpoint.
+
+        Caller holds the engine write lock (or is the post-fence shutdown
+        path); the catalog cannot change underneath the copy.
+        """
+        if self._closed:
+            raise StorageError("durable store is closed")
+        catalog = engine.catalog
+        transient = getattr(engine, "_transient_tables", set())
+        number = 1
+        if self._current is not None:
+            number = (_checkpoint_number(self._current) or 0) + 1
+        name = f"ck-{number:06d}"
+        temp = os.path.join(self.path, f"{name}.tmp")
+        shutil.rmtree(temp, ignore_errors=True)
+        tables_dir = os.path.join(temp, "tables")
+        os.makedirs(tables_dir)
+
+        file_index = 0
+        auxiliary_meta = []
+        for table_name in sorted(catalog._auxiliary):
+            if table_name in transient:
+                continue
+            file_name = f"t{file_index:04d}.page"
+            file_index += 1
+            write_page(os.path.join(tables_dir, file_name), catalog._auxiliary[table_name])
+            auxiliary_meta.append(
+                {
+                    "name": table_name,
+                    "version": catalog._auxiliary_versions[table_name],
+                    "file": file_name,
+                }
+            )
+        sample_meta = []
+        for sample_name in sorted(catalog._samples):
+            sample = catalog._samples[sample_name]
+            file_name = f"t{file_index:04d}.page"
+            file_index += 1
+            write_page(
+                os.path.join(tables_dir, file_name),
+                sample.relation,
+                {WEIGHTS_EXTRA: sample._weights},
+            )
+            sample_meta.append(
+                {
+                    "name": sample.name,
+                    "population": sample.population,
+                    "version": sample.version,
+                    "predicate": sample.defining_predicate,
+                    "mechanism": sample.mechanism,
+                    "file": file_name,
+                }
+            )
+
+        # Populations pickle whole (schema, predicate, marginals); their
+        # process-unique uids are reassigned on restore.  Globals first so
+        # create_population's view validation passes on reload.
+        populations = sorted(
+            catalog._populations.values(), key=lambda p: (not p.is_global, p.name)
+        )
+        manifest = {
+            "lsn": self._wal.next_lsn - 1,  # newest record this checkpoint contains
+            "catalog_version": catalog.version,
+            "auxiliary": auxiliary_meta,
+            "auxiliary_versions": dict(catalog._auxiliary_versions),
+            "samples": sample_meta,
+            "populations": populations,
+            "metadata_owner": dict(catalog._metadata_owner),
+            "global_population": catalog._global_population,
+        }
+        with open(os.path.join(temp, "catalog.pkl"), "wb") as handle:
+            pickle.dump(manifest, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        models = self._persist_models(engine)
+        with open(os.path.join(temp, "models.pkl"), "wb") as handle:
+            pickle.dump(models, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+        for directory, _, files in os.walk(temp):
+            for file_name in files:
+                _fsync_file(os.path.join(directory, file_name))
+            _fsync_dir(directory)
+        delay = os.environ.get("MOSAIC_TEST_CHECKPOINT_DELAY", "").strip()
+        if delay:
+            # Crash-test hook: widen the window between the temp write and
+            # the rename so a test can SIGKILL exactly mid-checkpoint.
+            time.sleep(float(delay))
+        final = os.path.join(self.path, name)
+        os.rename(temp, final)
+        _fsync_dir(self.path)
+        self._write_current(name)
+        previous, self._current = self._current, name
+        self._wal.truncate()
+        self._delete_superseded(keep={name, self._boot_checkpoint, previous})
+        self.stats["checkpoints_written"] += 1
+        return {
+            "checkpoint": name,
+            "tables": file_index,
+            "models": len(models),
+            "lsn": manifest["lsn"],
+        }
+
+    def _write_current(self, name: str) -> None:
+        pointer = os.path.join(self.path, CURRENT_POINTER)
+        temp = f"{pointer}.tmp.{os.getpid()}"
+        with open(temp, "w") as handle:
+            handle.write(name + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, pointer)
+        _fsync_dir(self.path)
+
+    def _delete_superseded(self, keep: set) -> None:
+        """Garbage-collect old checkpoints.
+
+        The boot checkpoint survives (live relations mmap its pages); the
+        immediately superseded one survives one extra round purely so a
+        concurrent reader of CURRENT written microseconds ago never races
+        a directory deletion.
+        """
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if _checkpoint_number(name) is None or name in keep:
+                continue
+            shutil.rmtree(os.path.join(self.path, name), ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
+    # Restore
+    # ------------------------------------------------------------------ #
+
+    def _load_checkpoint(self, engine, name: str) -> tuple[int, list[dict]]:
+        """Rebuild the engine's catalog from checkpoint ``name``.
+
+        Returns ``(checkpoint lsn, persisted model entries)``.
+        """
+        directory = os.path.join(self.path, name)
+        try:
+            with open(os.path.join(directory, "catalog.pkl"), "rb") as handle:
+                manifest = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise StorageError(f"corrupt checkpoint {name} in {self.path}: {exc}") from exc
+
+        catalog = Catalog()
+        for population in manifest["populations"]:
+            # Fresh process-unique uid: a restored uid could collide with a
+            # population created later in this process, aliasing caches.
+            population.uid = next(PopulationRelation._uid_counter)
+            catalog._populations[population.name] = population
+            if population.is_global:
+                catalog._global_population = population.name
+        for meta in manifest["auxiliary"]:
+            relation, _ = open_page(os.path.join(directory, "tables", meta["file"]))
+            catalog._auxiliary[meta["name"]] = relation
+            self.stats["restored_tables"] += 1
+        catalog._auxiliary_versions = dict(manifest["auxiliary_versions"])
+        for meta in manifest["samples"]:
+            relation, extras = open_page(os.path.join(directory, "tables", meta["file"]))
+            # Construct over an empty relation so no O(rows) ones-vector is
+            # allocated, then adopt the mapped tuples and the page's weight
+            # view directly: the vector was validated when written, and
+            # every mutator replaces rather than writes in place, so a
+            # read-only view is safe — reopen stays O(1) in rows.
+            sample = SampleRelation(
+                name=meta["name"],
+                relation=Relation.empty(relation.schema),
+                population=meta["population"],
+                defining_predicate=meta["predicate"],
+                mechanism=meta["mechanism"],
+            )
+            sample.relation = relation
+            sample._weights = extras[WEIGHTS_EXTRA]
+            sample.version = meta["version"]
+            catalog._samples[sample.name] = sample
+            self.stats["restored_samples"] += 1
+        catalog._metadata_owner = dict(manifest["metadata_owner"])
+        catalog._global_population = manifest["global_population"]
+        catalog.version = manifest["catalog_version"]
+        engine.catalog = catalog
+
+        try:
+            with open(os.path.join(directory, "models.pkl"), "rb") as handle:
+                models = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            models = []  # models are an optimisation, never required state
+        return int(manifest["lsn"]), models
+
+    # ------------------------------------------------------------------ #
+    # Fitted-model persistence (name-keyed across process boundaries)
+    # ------------------------------------------------------------------ #
+
+    def _persist_models(self, engine) -> list[dict]:
+        catalog = engine.catalog
+        population_names = {p.uid: p.name for p in catalog._populations.values()}
+        sample_names = {s.uid: s.name for s in catalog._samples.values()}
+        gp = catalog.global_population
+        entries: list[dict] = []
+
+        def current_stamp(population, sample):
+            return (
+                sample.version,
+                population.metadata_version,
+                None if gp is None else (gp.uid, gp.metadata_version),
+            )
+
+        def named_entry(cache_name, pop_uid, sample_uid, stamp, value, factory=None):
+            pop_name = population_names.get(pop_uid)
+            sample_name = sample_names.get(sample_uid)
+            if pop_name is None or sample_name is None:
+                return None  # fitted against a since-dropped object
+            population = catalog._populations[pop_name]
+            sample = catalog._samples[sample_name]
+            if stamp != current_stamp(population, sample):
+                self.stats["stale_models_skipped"] += 1
+                return None
+            return {
+                "cache": cache_name,
+                "population": pop_name,
+                "sample": sample_name,
+                "sample_version": sample.version,
+                "pop_metadata_version": population.metadata_version,
+                "gp": None if gp is None else (gp.name, gp.metadata_version),
+                "factory": factory,
+                "value": value,
+            }
+
+        for key, stamp, value in engine._reweight_cache.snapshot():
+            if not (isinstance(key, tuple) and len(key) == 2):
+                continue
+            entry = named_entry("reweights", key[0], key[1], stamp, value)
+            if entry is not None:
+                entries.append(entry)
+        for key, stamp, value in engine._open_generators.snapshot():
+            if not (isinstance(key, tuple) and len(key) == 3):
+                continue
+            entry = named_entry(
+                "generators", key[0], key[1], stamp, value, factory=key[2]
+            )
+            if entry is not None:
+                entries.append(entry)
+
+        durable: list[dict] = []
+        for entry in entries:
+            try:
+                pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                # Lambdas as factories, models holding open resources, ...:
+                # persistence is best-effort, a skipped model just refits.
+                self.stats["unpicklable_skipped"] += 1
+                continue
+            durable.append(entry)
+        return durable
+
+    def _restore_models(self, engine, entries: list[dict]) -> None:
+        catalog = engine.catalog
+        gp = catalog.global_population
+        gp_now = None if gp is None else (gp.name, gp.metadata_version)
+        restored = 0
+        for entry in entries:
+            population = catalog._populations.get(entry["population"])
+            sample = catalog._samples.get(entry["sample"])
+            if population is None or sample is None:
+                continue
+            if (
+                sample.version != entry["sample_version"]
+                or population.metadata_version != entry["pop_metadata_version"]
+                or gp_now != entry["gp"]
+            ):
+                self.stats["stale_models_skipped"] += 1
+                continue
+            stamp = (
+                sample.version,
+                population.metadata_version,
+                None if gp is None else (gp.uid, gp.metadata_version),
+            )
+            if entry["cache"] == "reweights":
+                engine._reweight_cache.put(
+                    (population.uid, sample.uid), stamp, entry["value"]
+                )
+            else:
+                engine._open_generators.put(
+                    (population.uid, sample.uid, entry["factory"]),
+                    stamp,
+                    entry["value"],
+                )
+            restored += 1
+        self.stats["restored_models"] += restored
+
+    # ------------------------------------------------------------------ #
+    # Rollback + lifecycle
+    # ------------------------------------------------------------------ #
+
+    def rollback(self, engine) -> dict:
+        """Discard every uncommitted mutation: back to the last checkpoint.
+
+        The WAL tail is dropped, the catalog is rebuilt from the live
+        checkpoint's pages (an empty catalog when none exists yet), and
+        the model caches are reset to the checkpoint's persisted models.
+        Caller holds the engine write lock.
+        """
+        if self._closed:
+            raise StorageError("durable store is closed")
+        discarded = self._wal.size()
+        self._wal.truncate()
+        engine._reweight_cache.clear()
+        engine._open_generators.clear()
+        if self._current is None:
+            engine.catalog = Catalog()
+            return {"checkpoint": None, "discarded_wal_bytes": discarded}
+        # Re-reading the checkpoint keeps pages mmapped from a directory
+        # that is never deleted while this process lives.
+        self._boot_checkpoint = self._current
+        _, models = self._load_checkpoint(engine, self._current)
+        self._restore_models(engine, models)
+        return {"checkpoint": self._current, "discarded_wal_bytes": discarded}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._wal.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats_snapshot(self) -> dict:
+        snapshot = dict(self.stats)
+        snapshot["wal_bytes"] = self.wal_size()
+        snapshot["checkpoint"] = self._current or ""
+        snapshot["restore_ms"] = round(float(snapshot["restore_ms"]), 3)
+        return snapshot

@@ -1,0 +1,150 @@
+"""Crash safety: SIGKILL mid-checkpoint and torn WAL tails.
+
+The contract these tests pin (ARCHITECTURE.md §10): after *any* crash —
+including one that lands exactly between a checkpoint's temp-directory
+write and its rename — recovery reaches the last committed state, where
+"committed" means every mutation whose WAL append returned.  Results after
+recovery are bit-identical to an uncrashed engine holding the same state.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import MosaicDB
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Runs in a subprocess: builds a catalog, checkpoints, mutates (WAL-only),
+#: then starts a second checkpoint that a crash-test hook holds open long
+#: enough for the parent to SIGKILL the process mid-write.
+CHILD = textwrap.dedent(
+    """
+    import os
+    import sys
+    from repro import MosaicDB
+
+    data_dir = sys.argv[1]
+    db = MosaicDB(seed=11, data_dir=data_dir)
+    db.execute("CREATE TABLE t (city TEXT, n INT)")
+    db.execute("INSERT INTO t VALUES ('AA', 1), ('BB', 2)")
+    db.commit()                                   # checkpoint ck-000001
+    db.execute("INSERT INTO t VALUES ('CC', 3)")  # WAL only
+    os.environ["MOSAIC_TEST_CHECKPOINT_DELAY"] = "30"
+    print("CHECKPOINT-START", flush=True)
+    db.commit()                                   # held open by the delay hook
+    print("CHECKPOINT-DONE", flush=True)
+    """
+)
+
+
+def expected_rows():
+    return [("AA", 1), ("BB", 2), ("CC", 3)]
+
+
+def rows_of(result):
+    rel = result.relation
+    columns = [rel.column(name) for name in rel.column_names]
+    return [tuple(col[i] for col in columns) for i in range(rel.num_rows)]
+
+
+def run_child_and_kill_mid_checkpoint(data_dir: str) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-c", CHILD, data_dir],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        assert process.stdout is not None
+        line = process.stdout.readline().strip()
+        assert line == "CHECKPOINT-START", line
+        # The checkpoint's temp directory is being written (or sitting in
+        # the delay window before its rename).  Give the writes a moment to
+        # hit disk, then kill without any chance to clean up.
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if any(
+                name.endswith(".tmp") for name in os.listdir(data_dir)
+            ):
+                break
+            time.sleep(0.02)
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:  # pragma: no cover - defensive
+            process.kill()
+            process.wait(timeout=30)
+    assert process.returncode == -signal.SIGKILL
+
+
+def test_sigkill_mid_checkpoint_recovers_last_committed_state(tmp_path):
+    run_child_and_kill_mid_checkpoint(str(tmp_path))
+    # The half-written checkpoint must be visible as debris right now...
+    assert any(name.endswith(".tmp") for name in os.listdir(tmp_path))
+
+    db = MosaicDB(seed=11, data_dir=str(tmp_path))
+    # ...swept on boot, with CURRENT still on the committed checkpoint.
+    assert not any(name.endswith(".tmp") for name in os.listdir(tmp_path))
+    storage = db.cache_stats()["storage"]
+    assert storage["checkpoint"].startswith("ck-")
+    assert storage["wal_replayed"] >= 1  # the CC row came back via replay
+    assert sorted(rows_of(db.execute("SELECT city, n FROM t"))) == expected_rows()
+    db.close()
+
+    # And the state stays stable across a further clean restart.
+    db2 = MosaicDB(seed=11, data_dir=str(tmp_path))
+    assert sorted(rows_of(db2.execute("SELECT city, n FROM t"))) == expected_rows()
+    db2.close()
+
+
+def test_torn_wal_tail_recovers_committed_prefix(tmp_path):
+    db = MosaicDB(seed=5, data_dir=str(tmp_path))
+    db.execute("CREATE TABLE t (x INT)")
+    db.execute("INSERT INTO t VALUES (1)")
+    db.execute("INSERT INTO t VALUES (2)")
+    db.engine._durable.close()  # crash: no final checkpoint
+    db.close()
+
+    wal = tmp_path / "wal.log"
+    # Tear the last frame mid-payload, as a crash mid-append would.
+    data = wal.read_bytes()
+    wal.write_bytes(data[: len(data) - 5])
+
+    db2 = MosaicDB(seed=5, data_dir=str(tmp_path))
+    storage = db2.cache_stats()["storage"]
+    assert storage["torn_wal_bytes"] > 0
+    # The torn record (INSERT 2) is gone; the committed prefix survives.
+    assert rows_of(db2.execute("SELECT x FROM t")) == [(1,)]
+    db2.close()
+
+
+def test_garbage_appended_to_wal_is_dropped(tmp_path):
+    db = MosaicDB(seed=5, data_dir=str(tmp_path))
+    db.execute("CREATE TABLE t (x INT)")
+    db.execute("INSERT INTO t VALUES (7)")
+    db.engine._durable.close()
+    db.close()
+
+    with open(tmp_path / "wal.log", "ab") as handle:
+        handle.write(os.urandom(37))
+
+    db2 = MosaicDB(seed=5, data_dir=str(tmp_path))
+    assert db2.cache_stats()["storage"]["torn_wal_bytes"] > 0
+    assert rows_of(db2.execute("SELECT x FROM t")) == [(7,)]
+    # Recovery truncated the garbage: appends land on a frame boundary.
+    db2.execute("INSERT INTO t VALUES (8)")
+    db2.engine._durable.close()
+    db2.close()
+
+    db3 = MosaicDB(seed=5, data_dir=str(tmp_path))
+    assert rows_of(db3.execute("SELECT x FROM t")) == [(7,), (8,)]
+    db3.close()

@@ -1,0 +1,95 @@
+"""The write-ahead log: framing, torn tails, CRCs, LSN monotonicity."""
+
+import struct
+
+import pytest
+
+from repro.storage.wal import WalError, WriteAheadLog
+
+
+def test_append_and_reopen_round_trip(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    assert wal.open() == []
+    payloads = [b"alpha", b"", b"x" * 1000]
+    lsns = [wal.append(p) for p in payloads]
+    assert lsns == [1, 2, 3]
+    wal.close()
+
+    wal2 = WriteAheadLog(path)
+    assert wal2.open() == list(zip(lsns, payloads))
+    assert wal2.next_lsn == 4
+    wal2.close()
+
+
+def test_torn_tail_truncated_and_appendable(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.open()
+    wal.append(b"committed-1")
+    wal.append(b"committed-2")
+    wal.close()
+    good_size = path.stat().st_size
+
+    # A crash mid-append leaves a partial frame at the tail.
+    with open(path, "ab") as handle:
+        handle.write(struct.pack("<IIQ", 500, 0, 3) + b"only-part-of-it")
+
+    wal2 = WriteAheadLog(path)
+    records = wal2.open()
+    assert [payload for _, payload in records] == [b"committed-1", b"committed-2"]
+    assert wal2.torn_bytes_dropped > 0
+    assert path.stat().st_size == good_size  # tail physically truncated
+    assert wal2.append(b"after-recovery") == 3
+    wal2.close()
+
+
+def test_corrupt_crc_stops_replay_at_last_good_frame(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.open()
+    wal.append(b"first")
+    second_start = path.stat().st_size
+    wal.append(b"second")
+    wal.close()
+
+    data = bytearray(path.read_bytes())
+    data[second_start + 16] ^= 0xFF  # flip a payload byte of frame 2
+    path.write_bytes(bytes(data))
+
+    wal2 = WriteAheadLog(path)
+    records = wal2.open()
+    assert [payload for _, payload in records] == [b"first"]
+    assert wal2.torn_bytes_dropped > 0
+    wal2.close()
+
+
+def test_truncate_preserves_lsn_counter(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.open()
+    wal.append(b"a")
+    wal.append(b"b")
+    wal.truncate()
+    assert wal.size() == 0
+    assert wal.append(b"c") == 3  # monotonic across truncation
+    wal.close()
+
+
+def test_set_next_lsn_never_moves_backwards(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.open()
+    wal.set_next_lsn(10)
+    assert wal.next_lsn == 10
+    wal.set_next_lsn(4)
+    assert wal.next_lsn == 10
+
+
+def test_append_on_closed_log_raises(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    with pytest.raises(WalError):
+        wal.append(b"x")
+    wal.open()
+    wal.close()
+    assert wal.closed
+    with pytest.raises(WalError):
+        wal.append(b"x")
